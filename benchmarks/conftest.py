@@ -1,0 +1,81 @@
+"""Shared fixtures for the pytest-benchmark suite.
+
+Each ``benchmarks/test_*.py`` corresponds to one table or figure of the
+paper's evaluation (see DESIGN.md §2).  The benchmarks exercise the exact
+operation the artifact measures, at a cardinality small enough to run in
+seconds; the full sweeps that regenerate the tables/figures live in
+``repro.experiments`` (``python -m repro.experiments.runall``).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import pytest
+
+from repro.core.pivots import select_pivots
+from repro.core.spbtree import SPBTree
+from repro.datasets import load_dataset
+
+BENCH_SIZE = int(os.environ.get("REPRO_BENCH_SIZE", "800"))
+
+
+@pytest.fixture(scope="session")
+def words_ds():
+    return load_dataset("words", size=BENCH_SIZE, num_queries=10)
+
+
+@pytest.fixture(scope="session")
+def color_ds():
+    return load_dataset("color", size=BENCH_SIZE, num_queries=10)
+
+
+@pytest.fixture(scope="session")
+def dna_ds():
+    return load_dataset("dna", size=max(200, BENCH_SIZE // 2), num_queries=10)
+
+
+@pytest.fixture(scope="session")
+def synthetic_ds():
+    return load_dataset("synthetic", size=BENCH_SIZE, num_queries=10)
+
+
+def build_tree(dataset, curve="hilbert", **kwargs):
+    return SPBTree.build(
+        dataset.objects,
+        dataset.metric,
+        d_plus=dataset.d_plus,
+        curve=curve,
+        seed=7,
+        **kwargs,
+    )
+
+
+@pytest.fixture(scope="session")
+def words_tree(words_ds):
+    return build_tree(words_ds)
+
+
+@pytest.fixture(scope="session")
+def color_tree(color_ds):
+    return build_tree(color_ds)
+
+
+@pytest.fixture(scope="session")
+def join_trees(words_ds):
+    """Two Z-order SPB-trees sharing a pivot table, for SJA benchmarks."""
+    half = len(words_ds.objects) // 2
+    set_q, set_o = words_ds.objects[:half], words_ds.objects[half:]
+    pivots = select_pivots(set_o, 5, words_ds.metric, seed=7)
+    tree_q = SPBTree.build(
+        set_q, words_ds.metric, pivots=pivots, d_plus=words_ds.d_plus,
+        curve="z",
+    )
+    tree_o = SPBTree.build(
+        set_o, words_ds.metric, pivots=pivots, d_plus=words_ds.d_plus,
+        curve="z",
+    )
+    return words_ds, set_q, set_o, tree_q, tree_o

@@ -1,0 +1,46 @@
+"""Benchmarks for the related-work baselines (extended comparison):
+VP-tree, GHT, BK-tree, LAESA, List of Clusters, PM-tree."""
+
+import pytest
+
+from repro.baselines import (
+    LAESA,
+    BKTree,
+    GHTree,
+    ListOfClusters,
+    PMTree,
+    VPTree,
+)
+
+
+@pytest.fixture(scope="module")
+def classic_indexes(words_ds):
+    return {
+        "vptree": VPTree(words_ds.objects, words_ds.metric, seed=7),
+        "ght": GHTree(words_ds.objects, words_ds.metric, seed=7),
+        "bktree": BKTree(words_ds.objects, words_ds.metric),
+        "laesa": LAESA(words_ds.objects, words_ds.metric, seed=7),
+        "lc": ListOfClusters(words_ds.objects, words_ds.metric, seed=7),
+        "pmtree": PMTree.build(words_ds.objects, words_ds.metric, seed=7),
+    }
+
+
+@pytest.mark.parametrize(
+    "name", ["vptree", "ght", "bktree", "laesa", "lc", "pmtree"]
+)
+def test_knn_query(benchmark, classic_indexes, words_ds, name):
+    index = classic_indexes[name]
+    q = words_ds.queries[2]
+    result = benchmark(lambda: index.knn_query(q, 8))
+    assert len(result) == 8
+
+
+@pytest.mark.parametrize(
+    "name", ["vptree", "ght", "bktree", "laesa", "lc", "pmtree"]
+)
+def test_range_query(benchmark, classic_indexes, words_ds, name):
+    index = classic_indexes[name]
+    q = words_ds.queries[2]
+    reference = len(classic_indexes["laesa"].range_query(q, 2))
+    result = benchmark(lambda: index.range_query(q, 2))
+    assert len(result) == reference

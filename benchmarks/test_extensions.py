@@ -1,0 +1,63 @@
+"""Benchmarks for the beyond-paper features: self-join, kNN join,
+persistence, and counting queries."""
+
+import pytest
+
+from repro.core.join import knn_join, similarity_self_join
+from repro.core.persist import load_tree, save_tree
+from repro.core.spbtree import SPBTree
+from repro.experiments.common import radius_for
+
+
+@pytest.fixture(scope="module")
+def z_tree(words_ds):
+    return SPBTree.build(
+        words_ds.objects,
+        words_ds.metric,
+        d_plus=words_ds.d_plus,
+        curve="z",
+        seed=7,
+    )
+
+
+def test_self_join(benchmark, z_tree, words_ds):
+    epsilon = radius_for(words_ds, 4)
+    result = benchmark(lambda: similarity_self_join(z_tree, epsilon))
+    assert result.stats.distance_computations > 0
+
+
+def test_knn_join(benchmark, join_trees):
+    _, _, _, tree_q, tree_o = join_trees
+    results, stats = benchmark(lambda: knn_join(tree_q, tree_o, 3))
+    assert stats.result_size == 3 * len(tree_q)
+
+
+def test_range_count(benchmark, words_tree, words_ds):
+    q = words_ds.queries[0]
+    radius = radius_for(words_ds, 16)
+    count = benchmark(lambda: words_tree.range_count(q, radius))
+    assert count == len(words_tree.range_query(q, radius))
+
+
+def test_save_and_load(benchmark, words_tree, words_ds, tmp_path_factory):
+    def round_trip():
+        directory = str(tmp_path_factory.mktemp("idx"))
+        save_tree(words_tree, directory)
+        return load_tree(directory, words_ds.metric)
+
+    reopened = benchmark.pedantic(round_trip, rounds=3, iterations=1)
+    assert len(reopened) == len(words_tree)
+
+
+def test_rebuild(benchmark, words_ds):
+    def build_and_rebuild():
+        tree = SPBTree.build(
+            words_ds.objects[:400],
+            words_ds.metric,
+            d_plus=words_ds.d_plus,
+            seed=7,
+        )
+        return tree.rebuild()
+
+    fresh = benchmark.pedantic(build_and_rebuild, rounds=3, iterations=1)
+    assert len(fresh) == 400

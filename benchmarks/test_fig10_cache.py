@@ -1,0 +1,20 @@
+"""Benchmarks for Fig. 10: kNN cost vs. RAF cache size.
+
+Regenerate the full figure with ``python -m repro.experiments.fig10_cache``.
+"""
+
+import pytest
+
+from benchmarks.conftest import build_tree
+
+
+@pytest.mark.parametrize("cache", [0, 32, 128])
+def test_knn_with_cache_size(benchmark, color_ds, cache):
+    tree = build_tree(color_ds, cache_pages=cache)
+    q = color_ds.queries[0]
+
+    def query():
+        tree.flush_cache()
+        return tree.knn_query(q, 8)
+
+    assert len(benchmark(query)) == 8

@@ -1,0 +1,16 @@
+"""Benchmarks for Fig. 11: kNN cost vs. δ granularity.
+
+Regenerate the full figure with ``python -m repro.experiments.fig11_delta``.
+"""
+
+import pytest
+
+from benchmarks.conftest import build_tree
+
+
+@pytest.mark.parametrize("fraction", [0.001, 0.005, 0.009])
+def test_knn_under_delta(benchmark, color_ds, fraction):
+    tree = build_tree(color_ds, delta=color_ds.d_plus * fraction)
+    q = color_ds.queries[0]
+    result = benchmark(lambda: tree.knn_query(q, 8))
+    assert len(result) == 8

@@ -1,0 +1,34 @@
+"""Benchmarks for Fig. 12: range query cost of the four MAMs.
+
+Regenerate the full figure with ``python -m repro.experiments.fig12_range``.
+"""
+
+import pytest
+
+from repro.baselines import MIndex, MTree, OmniRTree
+from repro.core.spbtree import SPBTree
+from repro.experiments.common import radius_for
+
+
+@pytest.fixture(scope="module")
+def indexes(words_ds):
+    return {
+        "spb": SPBTree.build(
+            words_ds.objects, words_ds.metric, d_plus=words_ds.d_plus, seed=7
+        ),
+        "mtree": MTree.build(words_ds.objects, words_ds.metric, seed=7),
+        "omni": OmniRTree.build(words_ds.objects, words_ds.metric, seed=7),
+        "mindex": MIndex.build(
+            words_ds.objects, words_ds.metric, d_plus=words_ds.d_plus, seed=7
+        ),
+    }
+
+
+@pytest.mark.parametrize("name", ["spb", "mtree", "omni", "mindex"])
+def test_range_query(benchmark, indexes, words_ds, name):
+    index = indexes[name]
+    q = words_ds.queries[0]
+    radius = radius_for(words_ds, 8)
+    reference = len(indexes["spb"].range_query(q, radius))
+    result = benchmark(lambda: index.range_query(q, radius))
+    assert len(result) == reference

@@ -1,0 +1,17 @@
+"""Benchmarks for Fig. 13: kNN query cost of the four MAMs.
+
+Regenerate the full figure with ``python -m repro.experiments.fig13_knn``.
+"""
+
+import pytest
+
+from benchmarks.test_fig12_range import indexes  # noqa: F401  (fixture)
+
+
+@pytest.mark.parametrize("name", ["spb", "mtree", "omni", "mindex"])
+@pytest.mark.parametrize("k", [1, 8, 32])
+def test_knn_query(benchmark, indexes, words_ds, name, k):  # noqa: F811
+    index = indexes[name]
+    q = words_ds.queries[1]
+    result = benchmark(lambda: index.knn_query(q, k))
+    assert len(result) == k

@@ -1,0 +1,29 @@
+"""Benchmarks for Fig. 14: SPB-tree query cost vs. cardinality.
+
+Regenerate the full figure with
+``python -m repro.experiments.fig14_scalability``.
+"""
+
+import pytest
+
+from repro.core.spbtree import SPBTree
+from repro.datasets import load_dataset
+from repro.experiments.common import radius_for
+
+
+@pytest.mark.parametrize("n", [400, 800, 1600])
+def test_range_query_scaling(benchmark, n):
+    ds = load_dataset("synthetic", size=n, num_queries=5)
+    tree = SPBTree.build(ds.objects, ds.metric, d_plus=ds.d_plus, seed=7)
+    q = ds.queries[0]
+    radius = radius_for(ds, 8)
+    benchmark(lambda: tree.range_query(q, radius))
+
+
+@pytest.mark.parametrize("n", [400, 800, 1600])
+def test_knn_query_scaling(benchmark, n):
+    ds = load_dataset("synthetic", size=n, num_queries=5)
+    tree = SPBTree.build(ds.objects, ds.metric, d_plus=ds.d_plus, seed=7)
+    q = ds.queries[0]
+    result = benchmark(lambda: tree.knn_query(q, 8))
+    assert len(result) == 8

@@ -1,0 +1,37 @@
+"""Benchmarks for Fig. 15: range-query cost model evaluation speed and
+accuracy.
+
+Regenerate the full figure with
+``python -m repro.experiments.fig15_range_costmodel``.
+"""
+
+import pytest
+
+from repro.core.costmodel import CostModel
+from repro.experiments.common import radius_for
+
+
+@pytest.fixture(scope="module")
+def model(color_tree):
+    return CostModel(color_tree)
+
+
+def test_estimate_range(benchmark, model, color_ds):
+    q = color_ds.queries[0]
+    radius = radius_for(color_ds, 8)
+    estimate = benchmark(lambda: model.estimate_range(q, radius))
+    assert estimate.edc >= model.tree.space.num_pivots
+
+
+def test_range_model_accuracy(model, color_tree, color_ds):
+    """Assert the paper's qualitative claim: reasonable average accuracy."""
+    radius = radius_for(color_ds, 8)
+    accs = []
+    for q in color_ds.queries:
+        est = model.estimate_range(q, radius)
+        color_tree.reset_counters()
+        color_tree.range_query(q, radius)
+        actual = color_tree.distance_computations
+        if actual:
+            accs.append(max(0.0, 1 - abs(actual - est.edc) / actual))
+    assert sum(accs) / len(accs) > 0.6

@@ -1,0 +1,31 @@
+"""Benchmarks for Fig. 16: kNN cost model evaluation speed and accuracy.
+
+Regenerate the full figure with
+``python -m repro.experiments.fig16_knn_costmodel``.
+"""
+
+import pytest
+
+from repro.core.costmodel import CostModel
+
+
+@pytest.fixture(scope="module")
+def model(color_tree):
+    return CostModel(color_tree)
+
+
+def test_estimate_knn(benchmark, model, color_ds):
+    q = color_ds.queries[0]
+    estimate = benchmark(lambda: model.estimate_knn(q, 8))
+    assert estimate.radius > 0
+
+
+def test_knn_radius_estimate_tracks_actual(model, color_tree, color_ds):
+    ratios = []
+    for q in color_ds.queries:
+        est = model.estimate_knn(q, 8)
+        actual = color_tree.knn_query(q, 8)[-1][0]
+        if actual > 0:
+            ratios.append(est.radius / actual)
+    mean = sum(ratios) / len(ratios)
+    assert 0.5 < mean < 2.0

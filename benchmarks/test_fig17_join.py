@@ -1,0 +1,36 @@
+"""Benchmarks for Fig. 17: similarity join algorithms.
+
+Regenerate the full figure with ``python -m repro.experiments.fig17_join``.
+"""
+
+import pytest
+
+from repro.baselines import EDIndex, quickjoin
+from repro.core.join import similarity_join
+from repro.experiments.common import radius_for
+
+
+def test_sja(benchmark, join_trees):
+    ds, set_q, set_o, tree_q, tree_o = join_trees
+    epsilon = radius_for(ds, 6)
+    result = benchmark(lambda: similarity_join(tree_q, tree_o, epsilon))
+    assert result.pairs is not None
+
+
+def test_qja(benchmark, join_trees):
+    ds, set_q, set_o, tree_q, tree_o = join_trees
+    epsilon = radius_for(ds, 6)
+    reference = len(similarity_join(tree_q, tree_o, epsilon).pairs)
+    result = benchmark(
+        lambda: quickjoin(set_q, set_o, ds.metric, epsilon, seed=7)
+    )
+    assert len(result.pairs) == reference
+
+
+def test_edindex_join(benchmark, join_trees):
+    ds, set_q, set_o, tree_q, tree_o = join_trees
+    epsilon = radius_for(ds, 2)
+    index = EDIndex.build(set_q, set_o, ds.metric, epsilon, seed=7)
+    reference = len(similarity_join(tree_q, tree_o, epsilon).pairs)
+    result = benchmark(lambda: index.join(epsilon))
+    assert len(result.pairs) == reference

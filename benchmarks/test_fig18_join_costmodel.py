@@ -1,0 +1,29 @@
+"""Benchmarks for Fig. 18: similarity-join cost model accuracy.
+
+Regenerate the full figure with
+``python -m repro.experiments.fig18_join_costmodel``.
+"""
+
+from repro.core.costmodel import CostModel
+from repro.core.join import similarity_join
+from repro.experiments.common import radius_for
+
+
+def test_estimate_join(benchmark, join_trees):
+    ds, _, _, tree_q, tree_o = join_trees
+    epsilon = radius_for(ds, 6)
+    estimate = benchmark(
+        lambda: CostModel.estimate_join(tree_q, tree_o, epsilon)
+    )
+    assert estimate.epa > 0
+
+
+def test_join_model_accuracy(join_trees):
+    ds, _, _, tree_q, tree_o = join_trees
+    epsilon = radius_for(ds, 6)
+    estimate = CostModel.estimate_join(tree_q, tree_o, epsilon)
+    result = similarity_join(tree_q, tree_o, epsilon)
+    actual = result.stats.distance_computations
+    if actual > 50:
+        accuracy = max(0.0, 1 - abs(actual - estimate.edc) / actual)
+        assert accuracy > 0.5

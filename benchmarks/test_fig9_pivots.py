@@ -1,0 +1,33 @@
+"""Benchmarks for Fig. 9: query cost under different pivot selections.
+
+Regenerate the full figure with ``python -m repro.experiments.fig9_pivots``.
+"""
+
+import pytest
+
+from repro.core.pivots import select_pivots
+from repro.core.spbtree import SPBTree
+
+
+def _tree_with(dataset, method):
+    pivots = select_pivots(dataset.objects, 5, dataset.metric, method=method, seed=7)
+    return SPBTree.build(
+        dataset.objects, dataset.metric, pivots=pivots, d_plus=dataset.d_plus
+    )
+
+
+@pytest.mark.parametrize("method", ["hfi", "hf", "spacing", "pca"])
+def test_knn_under_pivot_method(benchmark, words_ds, method):
+    tree = _tree_with(words_ds, method)
+    q = words_ds.queries[0]
+    result = benchmark(lambda: tree.knn_query(q, 8))
+    assert len(result) == 8
+
+
+def test_hfi_selection_itself(benchmark, words_ds):
+    result = benchmark(
+        lambda: select_pivots(
+            words_ds.objects, 5, words_ds.metric, method="hfi", seed=7
+        )
+    )
+    assert len(result) == 5

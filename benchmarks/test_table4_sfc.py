@@ -1,0 +1,30 @@
+"""Benchmarks for Table 4: kNN cost under Hilbert vs. Z-order curves.
+
+Regenerate the full table with ``python -m repro.experiments.table4_sfc``.
+"""
+
+import pytest
+
+from benchmarks.conftest import build_tree
+
+
+@pytest.fixture(scope="module")
+def hilbert_tree(words_ds):
+    return build_tree(words_ds, curve="hilbert")
+
+
+@pytest.fixture(scope="module")
+def z_tree(words_ds):
+    return build_tree(words_ds, curve="z")
+
+
+def test_knn_hilbert_curve(benchmark, hilbert_tree, words_ds):
+    q = words_ds.queries[0]
+    result = benchmark(lambda: hilbert_tree.knn_query(q, 8))
+    assert len(result) == 8
+
+
+def test_knn_z_curve(benchmark, z_tree, words_ds):
+    q = words_ds.queries[0]
+    result = benchmark(lambda: z_tree.knn_query(q, 8))
+    assert len(result) == 8

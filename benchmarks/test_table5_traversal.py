@@ -1,0 +1,20 @@
+"""Benchmarks for Table 5: incremental vs. greedy kNN traversal.
+
+Regenerate the full table with ``python -m repro.experiments.table5_traversal``.
+"""
+
+import pytest
+
+from benchmarks.conftest import build_tree
+
+
+@pytest.fixture(scope="module")
+def dna_tree(dna_ds):
+    return build_tree(dna_ds)
+
+
+@pytest.mark.parametrize("traversal", ["incremental", "greedy"])
+def test_knn_traversal(benchmark, dna_tree, dna_ds, traversal):
+    q = dna_ds.queries[0]
+    result = benchmark(lambda: dna_tree.knn_query(q, 8, traversal=traversal))
+    assert len(result) == 8

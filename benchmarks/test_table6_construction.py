@@ -1,0 +1,42 @@
+"""Benchmarks for Table 6: index construction cost of the four MAMs.
+
+Regenerate the full table with
+``python -m repro.experiments.table6_construction``.
+"""
+
+import pytest
+
+from repro.baselines import MIndex, MTree, OmniRTree
+from repro.core.spbtree import SPBTree
+
+
+def test_build_spbtree(benchmark, color_ds):
+    tree = benchmark(
+        lambda: SPBTree.build(
+            color_ds.objects, color_ds.metric, d_plus=color_ds.d_plus, seed=7
+        )
+    )
+    assert len(tree) == len(color_ds.objects)
+
+
+def test_build_mtree(benchmark, color_ds):
+    tree = benchmark(
+        lambda: MTree.build(color_ds.objects, color_ds.metric, seed=7)
+    )
+    assert len(tree) == len(color_ds.objects)
+
+
+def test_build_omnirtree(benchmark, color_ds):
+    tree = benchmark(
+        lambda: OmniRTree.build(color_ds.objects, color_ds.metric, seed=7)
+    )
+    assert len(tree) == len(color_ds.objects)
+
+
+def test_build_mindex(benchmark, color_ds):
+    tree = benchmark(
+        lambda: MIndex.build(
+            color_ds.objects, color_ds.metric, d_plus=color_ds.d_plus, seed=7
+        )
+    )
+    assert len(tree) == len(color_ds.objects)

@@ -1,0 +1,40 @@
+"""Benchmarks for Table 7: per-insert update cost of the four MAMs.
+
+Regenerate the full table with ``python -m repro.experiments.table7_update``.
+"""
+
+import itertools
+
+import pytest
+
+from repro.baselines import MIndex, MTree, OmniRTree
+from repro.core.spbtree import SPBTree
+from repro.datasets import generate_words
+
+_COUNTER = itertools.count()
+
+
+def _fresh_word():
+    return f"zq{next(_COUNTER):08d}"
+
+
+@pytest.fixture(scope="module")
+def built(words_ds):
+    return {
+        "spb": SPBTree.build(
+            words_ds.objects, words_ds.metric, d_plus=words_ds.d_plus, seed=7
+        ),
+        "mtree": MTree.build(words_ds.objects, words_ds.metric, seed=7),
+        "omni": OmniRTree.build(words_ds.objects, words_ds.metric, seed=7),
+        "mindex": MIndex.build(
+            words_ds.objects, words_ds.metric, d_plus=words_ds.d_plus, seed=7
+        ),
+    }
+
+
+@pytest.mark.parametrize("name", ["spb", "mtree", "omni", "mindex"])
+def test_insert(benchmark, built, name):
+    index = built[name]
+    benchmark.pedantic(
+        lambda: index.insert(_fresh_word()), rounds=20, iterations=1
+    )

@@ -1,0 +1,81 @@
+"""Data integration: near-duplicate detection with a similarity join.
+
+The paper's §5.1 use case: "in a sales data warehouse, due to typing
+mistakes ... product and customer names in sales records may not be
+matching exactly with those in the master product catalog"; a similarity
+join under edit distance eliminates such errors.
+
+We simulate a master catalog and a dirty feed containing typo'd copies,
+then run the paper's SJA (merge join over two Z-order SPB-trees sharing a
+pivot table) and compare it with the Quickjoin baseline.
+
+Run:  python examples/data_integration_join.py
+"""
+
+import random
+
+from repro import EditDistance, SPBTree, quickjoin, select_pivots, similarity_join
+from repro.datasets import generate_words
+
+
+def corrupt(word: str, rng: random.Random) -> str:
+    """Introduce one typo: substitution, insertion, or deletion."""
+    pos = rng.randrange(len(word))
+    op = rng.random()
+    if op < 0.34:
+        return word[:pos] + rng.choice("abcdefghij") + word[pos + 1 :]
+    if op < 0.67:
+        return word[:pos] + rng.choice("abcdefghij") + word[pos:]
+    return word[:pos] + word[pos + 1 :] if len(word) > 2 else word + "x"
+
+
+def main() -> None:
+    rng = random.Random(7)
+    metric = EditDistance()
+
+    catalog = generate_words(1500, seed=42)
+    # The dirty feed: typo'd catalog entries mixed with unrelated records.
+    dirty = [corrupt(w, rng) for w in catalog[:300]] + generate_words(
+        700, seed=99
+    )
+
+    print(
+        f"Master catalog: {len(catalog)} names; dirty feed: {len(dirty)} "
+        "records (300 contain one typo each)."
+    )
+
+    # SJA requires both SPB-trees to share one pivot table and the Z-curve.
+    pivots = select_pivots(catalog, 5, metric, seed=7)
+    d_plus = metric.max_distance(catalog)
+    tree_dirty = SPBTree.build(
+        dirty, metric, pivots=pivots, d_plus=d_plus, curve="z"
+    )
+    tree_catalog = SPBTree.build(
+        catalog, metric, pivots=pivots, d_plus=d_plus, curve="z"
+    )
+
+    result = similarity_join(tree_dirty, tree_catalog, 1)
+    print(
+        f"\nSJA: {len(result.pairs)} candidate matches within edit "
+        f"distance 1\n  cost: {result.stats.distance_computations:,} "
+        f"distance computations, {result.stats.page_accesses} page "
+        f"accesses, {result.stats.elapsed_seconds:.2f}s\n"
+        f"  (a nested loop would need "
+        f"{len(dirty) * len(catalog):,} distance computations)"
+    )
+
+    qj = quickjoin(dirty, catalog, metric, 1, seed=7)
+    print(
+        f"QJA: {len(qj.pairs)} matches, "
+        f"{qj.stats.distance_computations:,} distance computations "
+        f"(in-memory, no index reuse)"
+    )
+    assert len(qj.pairs) == len(result.pairs)
+
+    print("\nSample matches (dirty record -> catalog name):")
+    for dirty_rec, master_rec in result.pairs[:5]:
+        print(f"  {dirty_rec!r} -> {master_rec!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Index lifecycle: persistence, updates, compaction, counting queries.
+
+A DBMS-flavoured tour of the operational features around the SPB-tree:
+build once, save to disk, reopen in a "new process", serve queries, absorb
+inserts and deletes, watch the tombstones accumulate, compact with
+rebuild(), and use counting queries for cheap selectivity checks.
+
+Run:  python examples/index_lifecycle.py
+"""
+
+import shutil
+import tempfile
+
+from repro import EditDistance, SPBTree, load_tree, save_tree
+from repro.datasets import generate_words
+
+
+def main() -> None:
+    words = generate_words(2500, seed=42)
+    metric = EditDistance()
+
+    print(f"Building an SPB-tree over {len(words)} words ...")
+    tree = SPBTree.build(words, metric, num_pivots=5, seed=7)
+    print(f"  storage: {tree.size_in_bytes / 1024:.0f} KB")
+
+    # --- persistence -----------------------------------------------------
+    directory = tempfile.mkdtemp(prefix="spb-index-")
+    try:
+        save_tree(tree, directory)
+        print(f"\nSaved to {directory}; reopening as a fresh process would:")
+        reopened = load_tree(directory, EditDistance())
+        query = words[500]
+        print(
+            f"  RQ({query!r}, 1) -> "
+            f"{sorted(reopened.range_query(query, 1))[:4]} ..."
+        )
+
+        # --- updates -----------------------------------------------------
+        print("\nApplying updates: 200 deletions, 50 insertions ...")
+        for w in words[:200]:
+            reopened.delete(w)
+        for i in range(50):
+            reopened.insert(f"brandnewterm{i:02d}")
+        print(
+            f"  live objects: {len(reopened)}  |  RAF still holds "
+            f"{reopened.raf.size_in_bytes / 1024:.0f} KB (tombstones included)"
+        )
+
+        # --- counting queries ---------------------------------------------
+        reopened.reset_counters()
+        reopened.flush_cache()
+        count = reopened.range_count(query, 2)
+        count_pa = reopened.page_accesses
+        reopened.reset_counters()
+        reopened.flush_cache()
+        results = reopened.range_query(query, 2)
+        full_pa = reopened.page_accesses
+        print(
+            f"\nSelectivity check: |RQ(q, 2)| = {count} "
+            f"(count: {count_pa} page accesses vs full query: {full_pa})"
+        )
+        assert count == len(results)
+
+        # --- compaction ----------------------------------------------------
+        compact = reopened.rebuild()
+        print(
+            f"\nRebuilt: {reopened.raf.size_in_bytes / 1024:.0f} KB -> "
+            f"{compact.raf.size_in_bytes / 1024:.0f} KB RAF "
+            f"({len(compact)} live objects, pivots reused)"
+        )
+        assert sorted(compact.range_query(query, 1)) == sorted(
+            reopened.range_query(query, 1)
+        )
+        print("Compacted index answers identically. Lifecycle complete.")
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Legacy setup shim.
+
+The benchmark environment has setuptools but no ``wheel`` package, so PEP 660
+editable installs (which build an editable wheel) fail.  Keeping a setup.py
+and omitting ``[build-system]`` from pyproject.toml makes ``pip install -e .``
+take the legacy ``setup.py develop`` path, which works offline.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "SPB-tree: efficient metric indexing for similarity search and "
+        "similarity joins (reproduction of Chen et al., ICDE 2015)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

@@ -1,0 +1,52 @@
+"""Competitor access methods used in the paper's evaluation (§6).
+
+Every baseline is implemented in full, not stubbed:
+
+* :class:`LinearScan` — brute force, the correctness oracle for tests;
+* :class:`MTree` — the classic compact-partitioning metric tree [2];
+* :class:`OmniRTree` — HF pivots + an R-tree over the pivot space [6];
+* :class:`MIndex` — the iDistance generalization for metric spaces [26];
+* :func:`quickjoin` — the improved Quickjoin algorithm (QJA) [42, 43];
+* :class:`EDIndex` — the eD-index and its bucket-local similarity join [17];
+* :class:`VPTree` — the vantage-point tree [8];
+* :class:`LAESA` — the linear pivot-table scan [7];
+* :class:`ListOfClusters` — the compact list-of-clusters partitioning [1];
+* :class:`BKTree` — the Burkhard-Keller tree for discrete metrics [5];
+* :class:`GHTree` — the generalized hyperplane tree [13];
+* :class:`PMTree` — the hyper-ring M-tree hybrid [24].
+
+All disk-resident structures use the same 4 KB page abstraction as the
+SPB-tree, so the page-access and storage numbers of Tables 6-7 and
+Figs. 12-13, 17 are directly comparable.
+"""
+
+from repro.baselines.linear import LinearScan
+from repro.baselines.mtree import MTree
+from repro.baselines.rtree import RTree
+from repro.baselines.omni import OmniRTree
+from repro.baselines.mindex import MIndex
+from repro.baselines.quickjoin import quickjoin, quickjoin_stats
+from repro.baselines.edindex import EDIndex
+from repro.baselines.vptree import VPTree
+from repro.baselines.bktree import BKTree
+from repro.baselines.ght import GHTree
+from repro.baselines.pmtree import PMTree
+from repro.baselines.laesa import LAESA
+from repro.baselines.listclusters import ListOfClusters
+
+__all__ = [
+    "LinearScan",
+    "MTree",
+    "RTree",
+    "OmniRTree",
+    "MIndex",
+    "quickjoin",
+    "quickjoin_stats",
+    "EDIndex",
+    "VPTree",
+    "LAESA",
+    "ListOfClusters",
+    "BKTree",
+    "GHTree",
+    "PMTree",
+]

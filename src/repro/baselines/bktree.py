@@ -1,0 +1,120 @@
+"""The BK-tree baseline (Burkhard & Keller, CACM 1973 [5]).
+
+The oldest metric index, for *discrete* metrics only: each node holds one
+object, with one child subtree per integer distance value; an object at
+distance d from the node goes into child d.  A range query at radius r
+visits, at each node, only the children whose keys lie in
+[d(q, node) − r, d(q, node) + r] — the triangle inequality in its simplest
+form.  In-memory (compdists is its cost measure), like its classic uses in
+spell checking.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.distance.base import CountingDistance, Metric
+
+
+@dataclass
+class _BKNode:
+    obj: Any
+    children: dict[int, "_BKNode"] = field(default_factory=dict)
+
+
+class BKTree:
+    """Burkhard-Keller tree over an integer-valued metric."""
+
+    def __init__(self, objects: Sequence[Any], metric: Metric) -> None:
+        if not metric.is_discrete:
+            raise ValueError(
+                "the BK-tree requires an integer-valued (discrete) metric"
+            )
+        self.distance = CountingDistance(metric)
+        self.object_count = 0
+        self._root: Optional[_BKNode] = None
+        for obj in objects:
+            self.insert(obj)
+
+    def insert(self, obj: Any) -> None:
+        self.object_count += 1
+        if self._root is None:
+            self._root = _BKNode(obj)
+            return
+        node = self._root
+        while True:
+            d = int(self.distance(obj, node.obj))
+            child = node.children.get(d)
+            if child is None:
+                node.children[d] = _BKNode(obj)
+                return
+            node = child
+
+    # -------------------------------------------------------------- queries
+
+    def range_query(self, query: Any, radius: float) -> list[Any]:
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        if self._root is None:
+            return []
+        results: list[Any] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            d = self.distance(query, node.obj)
+            if d <= radius:
+                results.append(node.obj)
+            lo = int(d - radius)
+            hi = int(d + radius)
+            for key, child in node.children.items():
+                if lo <= key <= hi:
+                    stack.append(child)
+        return results
+
+    def knn_query(self, query: Any, k: int) -> list[tuple[float, Any]]:
+        """Best-first kNN: children ordered by their distance-ring bound."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if self._root is None:
+            return []
+        counter = itertools.count()
+        result: list[tuple[float, int, Any]] = []
+
+        def cur_ndk() -> float:
+            return -result[0][0] if len(result) >= k else float("inf")
+
+        heap: list[tuple[float, int, _BKNode]] = [(0.0, next(counter), self._root)]
+        while heap:
+            bound, _, node = heapq.heappop(heap)
+            if bound >= cur_ndk():
+                break
+            d = self.distance(query, node.obj)
+            if len(result) < k:
+                heapq.heappush(result, (-d, next(counter), node.obj))
+            elif d < -result[0][0]:
+                heapq.heapreplace(result, (-d, next(counter), node.obj))
+            for key, child in node.children.items():
+                child_bound = max(0.0, abs(d - key))
+                if child_bound < cur_ndk():
+                    heapq.heappush(heap, (child_bound, next(counter), child))
+        ordered = sorted((-negd, tb, obj) for negd, tb, obj in result)
+        return [(d, obj) for d, _, obj in ordered]
+
+    # ------------------------------------------------------------ accessors
+
+    def __len__(self) -> int:
+        return self.object_count
+
+    @property
+    def distance_computations(self) -> int:
+        return self.distance.count
+
+    @property
+    def page_accesses(self) -> int:
+        return 0  # in-memory structure
+
+    def reset_counters(self) -> None:
+        self.distance.reset()

@@ -1,0 +1,147 @@
+"""The GHT baseline (Uhlmann's generalized hyperplane tree [13]).
+
+A binary metric tree that partitions by *relative* closeness instead of a
+radius: each node promotes two pivots; objects closer to the first go left,
+the rest right.  Search uses the hyperplane bound: an object on the left
+satisfies d(q, o) ≥ (d(q, p₁) − d(q, p₂)) / 2, so the left subtree can be
+skipped when (d(q,p₁) − d(q,p₂)) / 2 > r, and symmetrically for the right.
+In-memory, like the original proposal.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+from repro.distance.base import CountingDistance, Metric
+
+_LEAF_SIZE = 8
+
+
+@dataclass
+class _GHNode:
+    p1: Any
+    p2: Any
+    left: Optional["_GHNode"]
+    right: Optional["_GHNode"]
+    bucket: Optional[list[Any]]
+
+
+class GHTree:
+    """Generalized hyperplane tree."""
+
+    def __init__(self, objects: Sequence[Any], metric: Metric, seed: int = 7) -> None:
+        self.distance = CountingDistance(metric)
+        self._rng = random.Random(seed)
+        self.object_count = len(objects)
+        self._root = self._build(list(objects))
+
+    def _build(self, objects: list[Any]) -> Optional[_GHNode]:
+        if not objects:
+            return None
+        if len(objects) <= _LEAF_SIZE:
+            return _GHNode(None, None, None, None, objects)
+        i, j = self._rng.sample(range(len(objects)), 2)
+        p1, p2 = objects[i], objects[j]
+        rest = [o for idx, o in enumerate(objects) if idx not in (i, j)]
+        left, right = [], []
+        for o in rest:
+            if self.distance(o, p1) <= self.distance(o, p2):
+                left.append(o)
+            else:
+                right.append(o)
+        if not left or not right:
+            return _GHNode(None, None, None, None, objects)
+        return _GHNode(p1, p2, self._build(left), self._build(right), None)
+
+    # -------------------------------------------------------------- queries
+
+    def range_query(self, query: Any, radius: float) -> list[Any]:
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        results: list[Any] = []
+        self._range(self._root, query, radius, results)
+        return results
+
+    def _range(self, node, query, radius, results) -> None:
+        if node is None:
+            return
+        if node.bucket is not None:
+            results.extend(
+                o for o in node.bucket if self.distance(query, o) <= radius
+            )
+            return
+        d1 = self.distance(query, node.p1)
+        d2 = self.distance(query, node.p2)
+        if d1 <= radius:
+            results.append(node.p1)
+        if d2 <= radius:
+            results.append(node.p2)
+        # Hyperplane bounds (generalized): left holds objects with
+        # d(o,p1) <= d(o,p2), so d(q,left) >= (d1 - d2)/2 and vice versa.
+        if (d1 - d2) / 2.0 <= radius:
+            self._range(node.left, query, radius, results)
+        if (d2 - d1) / 2.0 <= radius:
+            self._range(node.right, query, radius, results)
+
+    def knn_query(self, query: Any, k: int) -> list[tuple[float, Any]]:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        counter = itertools.count()
+        result: list[tuple[float, int, Any]] = []
+
+        def cur_ndk() -> float:
+            return -result[0][0] if len(result) >= k else float("inf")
+
+        def offer(d: float, obj: Any) -> None:
+            if len(result) < k:
+                heapq.heappush(result, (-d, next(counter), obj))
+            elif d < -result[0][0]:
+                heapq.heapreplace(result, (-d, next(counter), obj))
+
+        heap: list[tuple[float, int, _GHNode]] = []
+        if self._root is not None:
+            heapq.heappush(heap, (0.0, next(counter), self._root))
+        while heap:
+            bound, _, node = heapq.heappop(heap)
+            if bound >= cur_ndk():
+                break
+            if node.bucket is not None:
+                for o in node.bucket:
+                    offer(self.distance(query, o), o)
+                continue
+            d1 = self.distance(query, node.p1)
+            d2 = self.distance(query, node.p2)
+            offer(d1, node.p1)
+            offer(d2, node.p2)
+            if node.left is not None:
+                left_bound = max(bound, (d1 - d2) / 2.0)
+                if left_bound < cur_ndk():
+                    heapq.heappush(heap, (left_bound, next(counter), node.left))
+            if node.right is not None:
+                right_bound = max(bound, (d2 - d1) / 2.0)
+                if right_bound < cur_ndk():
+                    heapq.heappush(
+                        heap, (right_bound, next(counter), node.right)
+                    )
+        ordered = sorted((-negd, tb, obj) for negd, tb, obj in result)
+        return [(d, obj) for d, _, obj in ordered]
+
+    # ------------------------------------------------------------ accessors
+
+    def __len__(self) -> int:
+        return self.object_count
+
+    @property
+    def distance_computations(self) -> int:
+        return self.distance.count
+
+    @property
+    def page_accesses(self) -> int:
+        return 0  # in-memory structure
+
+    def reset_counters(self) -> None:
+        self.distance.reset()

@@ -1,0 +1,246 @@
+"""A disk B+-tree over float keys with fixed-size payloads.
+
+The M-Index maps every object to a scalar key (cluster id × d+ + distance to
+the cluster's pivot) and needs a B+-tree over those keys whose leaf entries
+carry a fixed-size payload — the RAF pointer plus the object's full
+pivot-distance vector.  This tree provides exactly that: bulk loading from
+sorted runs, insertion with splits, and ascending range scans, all through
+the shared 4 KB page abstraction so M-Index storage and page accesses are
+comparable with the other access methods.
+"""
+
+from __future__ import annotations
+
+import bisect
+import struct
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.storage.pagefile import DEFAULT_PAGE_SIZE, PageFile
+
+_HEADER = struct.Struct("<BHq")  # type, count, next_leaf
+
+
+@dataclass
+class KeyLeafEntry:
+    key: float
+    payload: bytes
+
+
+@dataclass
+class KeyNodeEntry:
+    key: float
+    child: int
+
+
+@dataclass
+class KeyNode:
+    is_leaf: bool
+    entries: list = field(default_factory=list)
+    next_leaf: int = -1
+    page_id: int = -1
+
+    @property
+    def count(self) -> int:
+        return len(self.entries)
+
+
+class KeyBPlusTree:
+    """B+-tree keyed by floats, payloads of one fixed byte size."""
+
+    def __init__(
+        self,
+        payload_size: int,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        fill_factor: float = 1.0,
+    ) -> None:
+        if payload_size < 0:
+            raise ValueError("payload_size must be non-negative")
+        self.payload_size = payload_size
+        self.pagefile = PageFile(page_size=page_size)
+        self.fill_factor = fill_factor
+        usable = page_size - _HEADER.size
+        self.leaf_capacity = usable // (8 + payload_size)
+        self.node_capacity = usable // 16
+        if self.leaf_capacity < 2:
+            raise ValueError("payload too large for the page size")
+        self.root_page = -1
+        self.entry_count = 0
+        self.leaf_page_count = 0
+        self.height = 0
+
+    # ------------------------------------------------------------------- io
+
+    @property
+    def page_accesses(self) -> int:
+        return self.pagefile.counter.total
+
+    @property
+    def num_pages(self) -> int:
+        return self.pagefile.num_pages
+
+    @property
+    def size_in_bytes(self) -> int:
+        return self.pagefile.size_in_bytes
+
+    def _encode(self, node: KeyNode) -> bytes:
+        parts = [_HEADER.pack(0 if node.is_leaf else 1, node.count, node.next_leaf)]
+        if node.is_leaf:
+            for e in node.entries:
+                parts.append(struct.pack("<d", e.key))
+                parts.append(e.payload)
+        else:
+            for e in node.entries:
+                parts.append(struct.pack("<dq", e.key, e.child))
+        return b"".join(parts)
+
+    def _decode(self, data: bytes, page_id: int) -> KeyNode:
+        node_type, count, next_leaf = _HEADER.unpack_from(data, 0)
+        offset = _HEADER.size
+        if node_type == 0:
+            entries = []
+            for _ in range(count):
+                (key,) = struct.unpack_from("<d", data, offset)
+                offset += 8
+                payload = data[offset : offset + self.payload_size]
+                offset += self.payload_size
+                entries.append(KeyLeafEntry(key, payload))
+            return KeyNode(True, entries, next_leaf, page_id)
+        entries = []
+        for _ in range(count):
+            key, child = struct.unpack_from("<dq", data, offset)
+            offset += 16
+            entries.append(KeyNodeEntry(key, child))
+        return KeyNode(False, entries, -1, page_id)
+
+    def read_node(self, page_id: int) -> KeyNode:
+        return self._decode(self.pagefile.read_page(page_id), page_id)
+
+    def _write_node(self, node: KeyNode) -> None:
+        if node.page_id < 0:
+            node.page_id = self.pagefile.allocate()
+        self.pagefile.write_page(node.page_id, self._encode(node))
+
+    # ------------------------------------------------------------ bulk load
+
+    def bulk_load(self, items: Sequence[tuple[float, bytes]]) -> None:
+        if self.root_page != -1:
+            raise RuntimeError("tree already loaded")
+        for i in range(1, len(items)):
+            if items[i - 1][0] > items[i][0]:
+                raise ValueError("bulk_load requires items sorted by key")
+        self.entry_count = len(items)
+        if not items:
+            root = KeyNode(True)
+            self._write_node(root)
+            self.root_page = root.page_id
+            self.leaf_page_count = 1
+            self.height = 1
+            return
+        leaf_fill = max(2, int(self.leaf_capacity * self.fill_factor))
+        leaves = [
+            KeyNode(True, [KeyLeafEntry(k, p) for k, p in items[i : i + leaf_fill]])
+            for i in range(0, len(items), leaf_fill)
+        ]
+        for leaf in leaves:
+            leaf.page_id = self.pagefile.allocate()
+        for i, leaf in enumerate(leaves):
+            leaf.next_leaf = leaves[i + 1].page_id if i + 1 < len(leaves) else -1
+            self._write_node(leaf)
+        self.leaf_page_count = len(leaves)
+        level: list[KeyNode] = leaves
+        self.height = 1
+        node_fill = max(2, int(self.node_capacity * self.fill_factor))
+        while len(level) > 1:
+            parents = []
+            for i in range(0, len(level), node_fill):
+                children = level[i : i + node_fill]
+                parent = KeyNode(
+                    False,
+                    [KeyNodeEntry(c.entries[0].key, c.page_id) for c in children],
+                )
+                self._write_node(parent)
+                parents.append(parent)
+            level = parents
+            self.height += 1
+        self.root_page = level[0].page_id
+
+    # --------------------------------------------------------------- insert
+
+    def insert(self, key: float, payload: bytes) -> None:
+        if len(payload) != self.payload_size:
+            raise ValueError(
+                f"payload must be exactly {self.payload_size} bytes"
+            )
+        if self.root_page == -1:
+            self.bulk_load([(key, payload)])
+            return
+        split = self._insert_into(self.root_page, key, payload)
+        self.entry_count += 1
+        if split is not None:
+            old_root = self.read_node(self.root_page)
+            first_key = old_root.entries[0].key
+            new_root = KeyNode(
+                False, [KeyNodeEntry(first_key, self.root_page), split]
+            )
+            self._write_node(new_root)
+            self.root_page = new_root.page_id
+            self.height += 1
+
+    def _insert_into(self, page_id: int, key: float, payload: bytes):
+        node = self.read_node(page_id)
+        if node.is_leaf:
+            keys = [e.key for e in node.entries]
+            idx = bisect.bisect_right(keys, key)
+            node.entries.insert(idx, KeyLeafEntry(key, payload))
+            if node.count <= self.leaf_capacity:
+                self._write_node(node)
+                return None
+            mid = node.count // 2
+            sibling = KeyNode(True, node.entries[mid:], node.next_leaf)
+            node.entries = node.entries[:mid]
+            self._write_node(sibling)
+            node.next_leaf = sibling.page_id
+            self._write_node(node)
+            self.leaf_page_count += 1
+            return KeyNodeEntry(sibling.entries[0].key, sibling.page_id)
+        keys = [e.key for e in node.entries]
+        idx = max(0, bisect.bisect_right(keys, key) - 1)
+        split = self._insert_into(node.entries[idx].child, key, payload)
+        if split is not None:
+            node.entries.insert(idx + 1, split)
+        if node.count <= self.node_capacity:
+            self._write_node(node)
+            return None
+        mid = node.count // 2
+        sibling = KeyNode(False, node.entries[mid:])
+        node.entries = node.entries[:mid]
+        self._write_node(sibling)
+        self._write_node(node)
+        return KeyNodeEntry(sibling.entries[0].key, sibling.page_id)
+
+    # ----------------------------------------------------------------- scan
+
+    def range_scan(self, lo: float, hi: float) -> Iterator[KeyLeafEntry]:
+        """Yield leaf entries with lo <= key <= hi, ascending."""
+        if self.root_page == -1 or hi < lo:
+            return
+        node = self.read_node(self.root_page)
+        while not node.is_leaf:
+            keys = [e.key for e in node.entries]
+            # bisect_left: duplicates of ``lo`` may straddle children, so
+            # descend to the leftmost child that can hold them.
+            idx = max(0, bisect.bisect_left(keys, lo) - 1)
+            node = self.read_node(node.entries[idx].child)
+        while True:
+            for e in node.entries:
+                if e.key > hi:
+                    return
+                if e.key >= lo:
+                    yield e
+            if node.next_leaf == -1:
+                return
+            node = self.read_node(node.next_leaf)
+
+    def items(self) -> Iterator[KeyLeafEntry]:
+        yield from self.range_scan(float("-inf"), float("inf"))

@@ -1,0 +1,62 @@
+"""Brute-force linear scan: the correctness oracle.
+
+Computes every query answer exactly by evaluating the metric against every
+object.  Used throughout the test suite to validate the SPB-tree and every
+baseline, and available as the trivial lower bound on result quality (and
+upper bound on distance computations) in benchmarks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Iterable, Sequence
+
+from repro.distance.base import CountingDistance, Metric
+
+
+class LinearScan:
+    """Index-free exact similarity search."""
+
+    def __init__(self, objects: Sequence[Any], metric: Metric) -> None:
+        self.objects = list(objects)
+        self.distance = CountingDistance(metric)
+
+    def __len__(self) -> int:
+        return len(self.objects)
+
+    @property
+    def distance_computations(self) -> int:
+        return self.distance.count
+
+    @property
+    def page_accesses(self) -> int:
+        return 0  # in-memory
+
+    def range_query(self, query: Any, radius: float) -> list[Any]:
+        """RQ(q, O, r) by exhaustive scan."""
+        return [o for o in self.objects if self.distance(query, o) <= radius]
+
+    def knn_query(self, query: Any, k: int) -> list[tuple[float, Any]]:
+        """kNN(q, k) by exhaustive scan; (distance, object) pairs ascending."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        heap: list[tuple[float, int, Any]] = []
+        for i, o in enumerate(self.objects):
+            d = self.distance(query, o)
+            if len(heap) < k:
+                heapq.heappush(heap, (-d, i, o))
+            elif d < -heap[0][0]:
+                heapq.heapreplace(heap, (-d, i, o))
+        ordered = sorted((-negd, i, o) for negd, i, o in heap)
+        return [(d, o) for d, _, o in ordered]
+
+    def join(
+        self, others: Iterable[Any], epsilon: float
+    ) -> list[tuple[Any, Any]]:
+        """SJ(self.objects, others, ε) by nested loop."""
+        pairs = []
+        for q in self.objects:
+            for o in others:
+                if self.distance(q, o) <= epsilon:
+                    pairs.append((q, o))
+        return pairs

@@ -1,0 +1,192 @@
+"""The List of Clusters baseline (Chávez & Navarro [1]).
+
+A compact-partitioning method built for high intrinsic dimensionality: a
+*list* of (center, covering radius, bucket) triples, constructed by
+repeatedly taking a center and claiming its ``bucket_size`` closest
+remaining objects.  Construction order matters for search: a query scans
+the list in order; a cluster is examined when its ball intersects the query
+ball, and — the LC trick — the scan can *stop* as soon as the query ball
+lies entirely inside a cluster's ball, because later centers were chosen
+from objects outside it.
+
+Buckets are stored on disk pages (one cluster per page run), so LC reports
+page accesses like the paper's disk-resident competitors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+from repro.distance.base import CountingDistance, Metric
+from repro.storage.pagefile import DEFAULT_PAGE_SIZE, PageFile
+from repro.storage.serializers import Serializer, serializer_for
+import struct
+
+_RECORD = struct.Struct("<I")  # payload length
+
+
+@dataclass
+class _Cluster:
+    center: Any
+    radius: float
+    first_page: int
+    num_pages: int
+    count: int
+
+
+class ListOfClusters:
+    """Disk-backed List of Clusters."""
+
+    def __init__(
+        self,
+        objects: Sequence[Any],
+        metric: Metric,
+        bucket_size: int = 32,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        serializer: Optional[Serializer] = None,
+        seed: int = 7,
+    ) -> None:
+        if not objects:
+            raise ValueError("List of Clusters requires a non-empty dataset")
+        self.distance = CountingDistance(metric)
+        self.pagefile = PageFile(page_size=page_size)
+        self.page_size = page_size
+        self.serializer = serializer or serializer_for(objects[0])
+        self.bucket_size = bucket_size
+        self.object_count = len(objects)
+        self.clusters: list[_Cluster] = []
+        self._build(list(objects), seed)
+
+    def _build(self, remaining: list[Any], seed: int) -> None:
+        import random
+
+        rng = random.Random(seed)
+        while remaining:
+            # Heuristic of the original paper: next center is the object
+            # farthest from the previous center (outside all prior balls).
+            if self.clusters:
+                prev = self.clusters[-1].center
+                center_idx = max(
+                    range(len(remaining)),
+                    key=lambda i: self.distance(prev, remaining[i]),
+                )
+            else:
+                center_idx = rng.randrange(len(remaining))
+            center = remaining.pop(center_idx)
+            if remaining:
+                scored = sorted(
+                    (self.distance(center, o), i)
+                    for i, o in enumerate(remaining)
+                )
+                take = scored[: self.bucket_size]
+                radius = take[-1][0] if take else 0.0
+                taken_idx = {i for _, i in take}
+                bucket = [remaining[i] for _, i in take]
+                remaining = [
+                    o for i, o in enumerate(remaining) if i not in taken_idx
+                ]
+            else:
+                bucket, radius = [], 0.0
+            self.clusters.append(self._store(center, radius, bucket))
+
+    def _store(self, center: Any, radius: float, bucket: list[Any]) -> _Cluster:
+        blob = bytearray()
+        for obj in bucket:
+            payload = self.serializer.serialize(obj)
+            blob.extend(_RECORD.pack(len(payload)))
+            blob.extend(payload)
+        first_page = self.pagefile.num_pages
+        for start in range(0, max(len(blob), 1), self.page_size):
+            page_id = self.pagefile.allocate()
+            self.pagefile.write_page(
+                page_id, bytes(blob[start : start + self.page_size])
+            )
+        return _Cluster(
+            center, radius, first_page, self.pagefile.num_pages - first_page,
+            len(bucket),
+        )
+
+    def _load_bucket(self, cluster: _Cluster) -> list[Any]:
+        blob = b"".join(
+            self.pagefile.read_page(cluster.first_page + i)
+            for i in range(cluster.num_pages)
+        )
+        out = []
+        offset = 0
+        for _ in range(cluster.count):
+            (length,) = _RECORD.unpack_from(blob, offset)
+            offset += _RECORD.size
+            out.append(self.serializer.deserialize(blob[offset : offset + length]))
+            offset += length
+        return out
+
+    # -------------------------------------------------------------- queries
+
+    def range_query(self, query: Any, radius: float) -> list[Any]:
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        results: list[Any] = []
+        for cluster in self.clusters:
+            d = self.distance(query, cluster.center)
+            if d <= radius:
+                results.append(cluster.center)
+            if d <= cluster.radius + radius:  # ball intersection
+                for obj in self._load_bucket(cluster):
+                    if self.distance(query, obj) <= radius:
+                        results.append(obj)
+            if d + radius <= cluster.radius:
+                break  # query ball fully inside: later clusters can't match
+        return results
+
+    def knn_query(self, query: Any, k: int) -> list[tuple[float, Any]]:
+        """kNN by shrinking-radius list scan."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        import heapq
+
+        result: list[tuple[float, int, Any]] = []
+        tiebreak = 0
+
+        def cur_ndk() -> float:
+            return -result[0][0] if len(result) >= k else float("inf")
+
+        def offer(d: float, obj: Any) -> None:
+            nonlocal tiebreak
+            if len(result) < k:
+                heapq.heappush(result, (-d, tiebreak, obj))
+            elif d < -result[0][0]:
+                heapq.heapreplace(result, (-d, tiebreak, obj))
+            tiebreak += 1
+
+        for cluster in self.clusters:
+            d = self.distance(query, cluster.center)
+            offer(d, cluster.center)
+            if d <= cluster.radius + cur_ndk():
+                for obj in self._load_bucket(cluster):
+                    offer(self.distance(query, obj), obj)
+            if d + cur_ndk() <= cluster.radius:
+                break
+        ordered = sorted((-negd, tb, obj) for negd, tb, obj in result)
+        return [(d, obj) for d, _, obj in ordered]
+
+    # ------------------------------------------------------------ accessors
+
+    def __len__(self) -> int:
+        return self.object_count
+
+    @property
+    def distance_computations(self) -> int:
+        return self.distance.count
+
+    @property
+    def page_accesses(self) -> int:
+        return self.pagefile.counter.total
+
+    @property
+    def size_in_bytes(self) -> int:
+        return self.pagefile.size_in_bytes
+
+    def reset_counters(self) -> None:
+        self.distance.reset()
+        self.pagefile.counter.reset()

@@ -1,0 +1,442 @@
+"""The M-tree baseline (Ciaccia, Patella & Zezula, VLDB 1997 [2]).
+
+The classic compact-partitioning metric access method: a balanced tree of
+ball regions.  Routing entries hold a routing object, a covering radius, the
+distance to the parent routing object, and a child pointer; leaf entries
+hold the object and its distance to the leaf's routing object.  Unlike the
+SPB-tree, objects live *inside* the index nodes — the paper calls this out
+as the reason for the M-tree's larger storage footprint (Table 6).
+
+Nodes are serialized to 4 KB pages with variable-length entries (objects of
+any size), so fan-out honestly reflects object size.  Construction offers
+both one-by-one insertion (mM_RAD-style sampled split promotion) and the
+sampled recursive bulk-loading of Ciaccia & Patella, which the paper uses
+for Table 6.
+
+Query pruning is the standard M-tree double filter: first the parent-
+distance test |d(q, p) − d(oᵣ, p)| > r + r_cov (no distance computation),
+then the covering-radius test d(q, oᵣ) > r + r_cov.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.distance.base import CountingDistance, Metric
+from repro.storage.pagefile import DEFAULT_PAGE_SIZE, PageFile
+from repro.storage.serializers import Serializer, serializer_for
+
+_HEADER = struct.Struct("<BH")
+_LEAF_META = struct.Struct("<Id")  # object length, dist to parent
+_ROUTE_META = struct.Struct("<Iddq")  # length, radius, dist to parent, child
+
+
+@dataclass
+class MLeafEntry:
+    obj: Any
+    dist_to_parent: float
+
+
+@dataclass
+class MRoutingEntry:
+    obj: Any  # routing object
+    radius: float  # covering radius of the subtree
+    dist_to_parent: float
+    child: int
+
+
+@dataclass
+class MNode:
+    is_leaf: bool
+    entries: list = field(default_factory=list)
+    page_id: int = -1
+
+    @property
+    def count(self) -> int:
+        return len(self.entries)
+
+
+class MTree:
+    """Disk-based M-tree with sampled-split insertion and bulk loading."""
+
+    def __init__(
+        self,
+        metric: Metric,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        serializer: Optional[Serializer] = None,
+        seed: int = 7,
+    ) -> None:
+        self.distance = CountingDistance(metric)
+        self.pagefile = PageFile(page_size=page_size)
+        self.page_size = page_size
+        self.serializer = serializer
+        self.root_page = -1
+        self.object_count = 0
+        self._rng = random.Random(seed)
+
+    # ---------------------------------------------------------------- pages
+
+    def _ser(self, obj: Any) -> bytes:
+        if self.serializer is None:
+            self.serializer = serializer_for(obj)
+        return self.serializer.serialize(obj)
+
+    def _encode(self, node: MNode) -> bytes:
+        parts = [_HEADER.pack(0 if node.is_leaf else 1, node.count)]
+        if node.is_leaf:
+            for e in node.entries:
+                blob = self._ser(e.obj)
+                parts.append(_LEAF_META.pack(len(blob), e.dist_to_parent))
+                parts.append(blob)
+        else:
+            for e in node.entries:
+                blob = self._ser(e.obj)
+                parts.append(
+                    _ROUTE_META.pack(len(blob), e.radius, e.dist_to_parent, e.child)
+                )
+                parts.append(blob)
+        return b"".join(parts)
+
+    def _node_size(self, node: MNode) -> int:
+        size = _HEADER.size
+        for e in node.entries:
+            blob = self._ser(e.obj)
+            meta = _LEAF_META.size if node.is_leaf else _ROUTE_META.size
+            size += meta + len(blob)
+        return size
+
+    def _fits(self, node: MNode) -> bool:
+        return self._node_size(node) <= self.page_size
+
+    def _decode(self, data: bytes, page_id: int) -> MNode:
+        node_type, count = _HEADER.unpack_from(data, 0)
+        offset = _HEADER.size
+        assert self.serializer is not None
+        if node_type == 0:
+            entries = []
+            for _ in range(count):
+                length, pdist = _LEAF_META.unpack_from(data, offset)
+                offset += _LEAF_META.size
+                obj = self.serializer.deserialize(data[offset : offset + length])
+                offset += length
+                entries.append(MLeafEntry(obj, pdist))
+            return MNode(True, entries, page_id)
+        entries = []
+        for _ in range(count):
+            length, radius, pdist, child = _ROUTE_META.unpack_from(data, offset)
+            offset += _ROUTE_META.size
+            obj = self.serializer.deserialize(data[offset : offset + length])
+            offset += length
+            entries.append(MRoutingEntry(obj, radius, pdist, child))
+        return MNode(False, entries, page_id)
+
+    def read_node(self, page_id: int) -> MNode:
+        return self._decode(self.pagefile.read_page(page_id), page_id)
+
+    def _write_node(self, node: MNode) -> None:
+        if node.page_id < 0:
+            node.page_id = self.pagefile.allocate()
+        self.pagefile.write_page(node.page_id, self._encode(node))
+
+    # ------------------------------------------------------------ bulk load
+
+    @classmethod
+    def build(
+        cls,
+        objects: Sequence[Any],
+        metric: Metric,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        seed: int = 7,
+    ) -> "MTree":
+        """Sampled recursive bulk-loading (Ciaccia & Patella)."""
+        tree = cls(metric, page_size=page_size, seed=seed)
+        if not objects:
+            root = MNode(True)
+            tree._write_node(root)
+            tree.root_page = root.page_id
+            return tree
+        tree.serializer = serializer_for(objects[0])
+        root_entry = tree._bulk(list(objects))
+        tree.root_page = root_entry.child
+        tree.object_count = len(objects)
+        return tree
+
+    def _leaf_budget(self, objects: Sequence[Any]) -> int:
+        sample = objects[: min(len(objects), 20)]
+        avg = sum(
+            len(self._ser(o)) + _LEAF_META.size for o in sample
+        ) / len(sample)
+        return max(2, int((self.page_size - _HEADER.size) / avg))
+
+    def _bulk(self, objects: list[Any]) -> MRoutingEntry:
+        """Cluster ``objects`` into a subtree; returns its routing entry."""
+        budget = self._leaf_budget(objects)
+        if len(objects) <= budget:
+            routing = objects[0]
+            entries = [
+                MLeafEntry(o, self.distance(routing, o)) for o in objects
+            ]
+            node = MNode(True, entries)
+            if not self._fits(node) and len(objects) > 1:
+                # Variable-length objects overflowed the page estimate;
+                # halve and parent the halves instead.
+                mid = len(objects) // 2
+                return self._parent_of(
+                    [self._bulk(objects[:mid]), self._bulk(objects[mid:])]
+                )
+            self._write_node(node)
+            radius = max((e.dist_to_parent for e in entries), default=0.0)
+            return MRoutingEntry(routing, radius, 0.0, node.page_id)
+
+        # Sample seeds and partition by nearest seed.
+        num_seeds = max(2, min(self._route_budget(), -(-len(objects) // budget)))
+        seeds = self._rng.sample(objects, min(num_seeds, len(objects)))
+        groups: list[list[Any]] = [[] for _ in seeds]
+        for obj in objects:
+            best = min(
+                range(len(seeds)), key=lambda i: self.distance(obj, seeds[i])
+            )
+            groups[best].append(obj)
+        children = [self._bulk(group) for group in groups if group]
+        return self._parent_of(children)
+
+    def _route_budget(self) -> int:
+        return 8  # seeds per recursion level; keeps fan-out page-friendly
+
+    def _parent_of(self, children: list[MRoutingEntry]) -> MRoutingEntry:
+        """Assemble routing entries into one parent (splitting as needed)."""
+        if len(children) == 1:
+            return children[0]
+        routing = children[0].obj
+        node = MNode(False)
+        for entry in children:
+            entry.dist_to_parent = self.distance(routing, entry.obj)
+            node.entries.append(entry)
+        if self._fits(node):
+            self._write_node(node)
+            radius = max(e.dist_to_parent + e.radius for e in node.entries)
+            return MRoutingEntry(routing, radius, 0.0, node.page_id)
+        mid = len(children) // 2
+        left = self._parent_of(children[:mid])
+        right = self._parent_of(children[mid:])
+        return self._parent_of([left, right])
+
+    # --------------------------------------------------------------- insert
+
+    def insert(self, obj: Any) -> None:
+        if self.root_page == -1:
+            root = MNode(True, [MLeafEntry(obj, 0.0)])
+            self._write_node(root)
+            self.root_page = root.page_id
+            self.object_count = 1
+            return
+        split = self._insert_into(self.root_page, obj, None)
+        self.object_count += 1
+        if split is not None:
+            left, right = split
+            node = MNode(False, [left, right])
+            left.dist_to_parent = 0.0
+            right.dist_to_parent = self.distance(left.obj, right.obj)
+            self._write_node(node)
+            self.root_page = node.page_id
+
+    def _insert_into(
+        self, page_id: int, obj: Any, parent_routing: Optional[Any]
+    ) -> Optional[tuple[MRoutingEntry, MRoutingEntry]]:
+        node = self.read_node(page_id)
+        if node.is_leaf:
+            pdist = (
+                self.distance(parent_routing, obj)
+                if parent_routing is not None
+                else 0.0
+            )
+            node.entries.append(MLeafEntry(obj, pdist))
+            if self._fits(node):
+                self._write_node(node)
+                return None
+            return self._split(node)
+        # ChooseSubtree: prefer a region already covering obj (min distance),
+        # otherwise the one whose radius grows least.
+        best_idx, best_key = 0, None
+        distances = []
+        for i, entry in enumerate(node.entries):
+            d = self.distance(obj, entry.obj)
+            distances.append(d)
+            covered = d <= entry.radius
+            key = (0, d) if covered else (1, d - entry.radius)
+            if best_key is None or key < best_key:
+                best_idx, best_key = i, key
+        target = node.entries[best_idx]
+        if distances[best_idx] > target.radius:
+            target.radius = distances[best_idx]
+        split = self._insert_into(target.child, obj, target.obj)
+        if split is not None:
+            left, right = split
+            for e in (left, right):
+                e.dist_to_parent = (
+                    self.distance(parent_routing, e.obj)
+                    if parent_routing is not None
+                    else 0.0
+                )
+            node.entries[best_idx] = left
+            node.entries.append(right)
+            if not self._fits(node):
+                return self._split(node)
+        self._write_node(node)
+        return None
+
+    def _split(self, node: MNode):
+        """Sampled mM_RAD promotion + generalized-hyperplane partition."""
+        entries = node.entries
+
+        def obj_of(e):
+            return e.obj
+
+        best_pair, best_score = None, None
+        indices = list(range(len(entries)))
+        for _ in range(min(5, len(entries) * (len(entries) - 1) // 2)):
+            i, j = self._rng.sample(indices, 2)
+            o1, o2 = obj_of(entries[i]), obj_of(entries[j])
+            r1 = r2 = 0.0
+            for e in entries:
+                d1 = self.distance(e.obj, o1)
+                d2 = self.distance(e.obj, o2)
+                if d1 <= d2:
+                    r1 = max(r1, d1 + getattr(e, "radius", 0.0))
+                else:
+                    r2 = max(r2, d2 + getattr(e, "radius", 0.0))
+            score = max(r1, r2)
+            if best_score is None or score < best_score:
+                best_pair, best_score = (i, j), score
+        assert best_pair is not None
+        p1, p2 = obj_of(entries[best_pair[0]]), obj_of(entries[best_pair[1]])
+        group1, group2 = [], []
+        r1 = r2 = 0.0
+        for e in entries:
+            d1 = self.distance(e.obj, p1)
+            d2 = self.distance(e.obj, p2)
+            if d1 <= d2:
+                e.dist_to_parent = d1
+                group1.append(e)
+                r1 = max(r1, d1 + getattr(e, "radius", 0.0))
+            else:
+                e.dist_to_parent = d2
+                group2.append(e)
+                r2 = max(r2, d2 + getattr(e, "radius", 0.0))
+        if not group1 or not group2:
+            mid = len(entries) // 2
+            group1, group2 = entries[:mid], entries[mid:]
+        left_node = MNode(node.is_leaf, group1, node.page_id)
+        right_node = MNode(node.is_leaf, group2)
+        self._write_node(left_node)
+        self._write_node(right_node)
+        return (
+            MRoutingEntry(p1, r1, 0.0, left_node.page_id),
+            MRoutingEntry(p2, r2, 0.0, right_node.page_id),
+        )
+
+    # -------------------------------------------------------------- queries
+
+    def range_query(self, query: Any, radius: float) -> list[Any]:
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        if self.root_page == -1:
+            return []
+        results: list[Any] = []
+        self._range_visit(self.root_page, query, radius, None, results)
+        return results
+
+    def _range_visit(
+        self,
+        page_id: int,
+        query: Any,
+        radius: float,
+        d_parent: Optional[float],
+        results: list[Any],
+    ) -> None:
+        node = self.read_node(page_id)
+        for e in node.entries:
+            slack = radius + (0.0 if node.is_leaf else e.radius)
+            if d_parent is not None and abs(d_parent - e.dist_to_parent) > slack:
+                continue  # pruned without a distance computation
+            d = self.distance(query, e.obj)
+            if node.is_leaf:
+                if d <= radius:
+                    results.append(e.obj)
+            elif d <= radius + e.radius:
+                self._range_visit(e.child, query, radius, d, results)
+
+    def knn_query(self, query: Any, k: int) -> list[tuple[float, Any]]:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if self.root_page == -1:
+            return []
+        counter = itertools.count()
+        heap: list[tuple[float, int, int, float]] = []
+        result: list[tuple[float, int, Any]] = []
+
+        def cur_ndk() -> float:
+            return -result[0][0] if len(result) >= k else float("inf")
+
+        def offer(d: float, obj: Any) -> None:
+            if len(result) < k:
+                heapq.heappush(result, (-d, next(counter), obj))
+            elif d < -result[0][0]:
+                heapq.heapreplace(result, (-d, next(counter), obj))
+
+        heapq.heappush(heap, (0.0, next(counter), self.root_page, -1.0))
+        while heap:
+            dmin, _, page_id, d_parent_flag = heapq.heappop(heap)
+            if dmin >= cur_ndk():
+                break
+            node = self.read_node(page_id)
+            d_parent = None if d_parent_flag < 0 else d_parent_flag
+            for e in node.entries:
+                bound = cur_ndk()
+                slack = bound + (0.0 if node.is_leaf else e.radius)
+                if (
+                    d_parent is not None
+                    and bound < float("inf")
+                    and abs(d_parent - e.dist_to_parent) > slack
+                ):
+                    continue
+                d = self.distance(query, e.obj)
+                if node.is_leaf:
+                    offer(d, e.obj)
+                else:
+                    child_min = max(0.0, d - e.radius)
+                    if child_min < cur_ndk():
+                        heapq.heappush(
+                            heap, (child_min, next(counter), e.child, d)
+                        )
+        ordered = sorted((-negd, tb, obj) for negd, tb, obj in result)
+        return [(d, obj) for d, _, obj in ordered]
+
+    # ------------------------------------------------------------ accessors
+
+    def __len__(self) -> int:
+        return self.object_count
+
+    @property
+    def page_accesses(self) -> int:
+        return self.pagefile.counter.total
+
+    @property
+    def distance_computations(self) -> int:
+        return self.distance.count
+
+    @property
+    def size_in_bytes(self) -> int:
+        return self.pagefile.size_in_bytes
+
+    def flush_cache(self) -> None:
+        pass  # the M-tree reads nodes directly; no object cache
+
+    def reset_counters(self) -> None:
+        self.distance.reset()
+        self.pagefile.counter.reset()

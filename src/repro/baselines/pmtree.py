@@ -1,0 +1,396 @@
+"""The PM-tree baseline (Skopal, Pokorný & Snášel, ADBIS 2004 [24]).
+
+The hybrid the paper positions itself against (§2.1): an M-tree whose
+routing entries additionally carry *hyper-rings* — for each global pivot
+pᵢ, the interval [min, max] of d(o, pᵢ) over the subtree — and whose leaf
+entries carry the object's pivot distances.  Search combines the M-tree's
+ball pruning with the pivot filter: a subtree survives only if, for every
+pivot, [d(q,pᵢ) − r, d(q,pᵢ) + r] intersects its ring.
+
+Like our M-tree, objects are serialized *inside* the nodes on 4 KB pages;
+the rings make entries bigger, which is exactly the storage overhead the
+paper's hybrid-methods critique points at ("their space requirements to
+store all the pre-computed distances are high").
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.core.pivots import select_hf
+from repro.distance.base import CountingDistance, Metric
+from repro.storage.pagefile import DEFAULT_PAGE_SIZE, PageFile
+from repro.storage.serializers import Serializer, serializer_for
+
+_HEADER = struct.Struct("<BH")
+_LEAF_META = struct.Struct("<Id")  # object length, dist to parent
+_ROUTE_META = struct.Struct("<Iddq")  # length, radius, dist to parent, child
+
+
+@dataclass
+class PMLeafEntry:
+    obj: Any
+    dist_to_parent: float
+    pivot_dists: tuple[float, ...]
+
+
+@dataclass
+class PMRoutingEntry:
+    obj: Any
+    radius: float
+    dist_to_parent: float
+    child: int
+    rings: tuple[tuple[float, float], ...]  # per-pivot (min, max)
+
+
+@dataclass
+class PMNode:
+    is_leaf: bool
+    entries: list = field(default_factory=list)
+    page_id: int = -1
+
+    @property
+    def count(self) -> int:
+        return len(self.entries)
+
+
+def _merge_rings(ring_sets):
+    return tuple(
+        (min(r[i][0] for r in ring_sets), max(r[i][1] for r in ring_sets))
+        for i in range(len(ring_sets[0]))
+    )
+
+
+class PMTree:
+    """Disk-based PM-tree (bulk-loaded)."""
+
+    def __init__(
+        self,
+        metric: Metric,
+        pivots: Sequence[Any],
+        page_size: int = DEFAULT_PAGE_SIZE,
+        serializer: Optional[Serializer] = None,
+        seed: int = 7,
+    ) -> None:
+        if not pivots:
+            raise ValueError("the PM-tree requires at least one pivot")
+        self.distance = CountingDistance(metric)
+        self.pivots = list(pivots)
+        self.pagefile = PageFile(page_size=page_size)
+        self.page_size = page_size
+        self.serializer = serializer
+        self.root_page = -1
+        self.object_count = 0
+        self._rng = random.Random(seed)
+        self._pd_struct = struct.Struct(f"<{len(self.pivots)}d")
+        self._ring_struct = struct.Struct(f"<{2 * len(self.pivots)}d")
+
+    # ---------------------------------------------------------------- pages
+
+    def _ser(self, obj: Any) -> bytes:
+        if self.serializer is None:
+            self.serializer = serializer_for(obj)
+        return self.serializer.serialize(obj)
+
+    def _encode(self, node: PMNode) -> bytes:
+        parts = [_HEADER.pack(0 if node.is_leaf else 1, node.count)]
+        if node.is_leaf:
+            for e in node.entries:
+                blob = self._ser(e.obj)
+                parts.append(_LEAF_META.pack(len(blob), e.dist_to_parent))
+                parts.append(self._pd_struct.pack(*e.pivot_dists))
+                parts.append(blob)
+        else:
+            for e in node.entries:
+                blob = self._ser(e.obj)
+                parts.append(
+                    _ROUTE_META.pack(
+                        len(blob), e.radius, e.dist_to_parent, e.child
+                    )
+                )
+                flat = [v for ring in e.rings for v in ring]
+                parts.append(self._ring_struct.pack(*flat))
+                parts.append(blob)
+        return b"".join(parts)
+
+    def _node_size(self, node: PMNode) -> int:
+        size = _HEADER.size
+        for e in node.entries:
+            blob = self._ser(e.obj)
+            if node.is_leaf:
+                size += _LEAF_META.size + self._pd_struct.size + len(blob)
+            else:
+                size += _ROUTE_META.size + self._ring_struct.size + len(blob)
+        return size
+
+    def _fits(self, node: PMNode) -> bool:
+        return self._node_size(node) <= self.page_size
+
+    def _decode(self, data: bytes, page_id: int) -> PMNode:
+        node_type, count = _HEADER.unpack_from(data, 0)
+        offset = _HEADER.size
+        assert self.serializer is not None
+        entries: list = []
+        if node_type == 0:
+            for _ in range(count):
+                length, pdist = _LEAF_META.unpack_from(data, offset)
+                offset += _LEAF_META.size
+                pd = self._pd_struct.unpack_from(data, offset)
+                offset += self._pd_struct.size
+                obj = self.serializer.deserialize(data[offset : offset + length])
+                offset += length
+                entries.append(PMLeafEntry(obj, pdist, pd))
+            return PMNode(True, entries, page_id)
+        for _ in range(count):
+            length, radius, pdist, child = _ROUTE_META.unpack_from(data, offset)
+            offset += _ROUTE_META.size
+            flat = self._ring_struct.unpack_from(data, offset)
+            offset += self._ring_struct.size
+            rings = tuple(
+                (flat[2 * i], flat[2 * i + 1]) for i in range(len(self.pivots))
+            )
+            obj = self.serializer.deserialize(data[offset : offset + length])
+            offset += length
+            entries.append(PMRoutingEntry(obj, radius, pdist, child, rings))
+        return PMNode(False, entries, page_id)
+
+    def read_node(self, page_id: int) -> PMNode:
+        return self._decode(self.pagefile.read_page(page_id), page_id)
+
+    def _write_node(self, node: PMNode) -> None:
+        if node.page_id < 0:
+            node.page_id = self.pagefile.allocate()
+        self.pagefile.write_page(node.page_id, self._encode(node))
+
+    # ------------------------------------------------------------ bulk load
+
+    @classmethod
+    def build(
+        cls,
+        objects: Sequence[Any],
+        metric: Metric,
+        num_pivots: int = 4,
+        pivots: Optional[Sequence[Any]] = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        seed: int = 7,
+    ) -> "PMTree":
+        if not objects:
+            raise ValueError("cannot build an index over an empty dataset")
+        if pivots is None:
+            pivots = select_hf(objects, num_pivots, metric, seed=seed)
+        tree = cls(
+            metric,
+            pivots,
+            page_size=page_size,
+            serializer=serializer_for(objects[0]),
+            seed=seed,
+        )
+        annotated = [
+            (obj, tuple(tree.distance(obj, p) for p in tree.pivots))
+            for obj in objects
+        ]
+        root_entry = tree._bulk(annotated)
+        tree.root_page = root_entry.child
+        tree.object_count = len(objects)
+        return tree
+
+    def _leaf_budget(self, annotated) -> int:
+        sample = annotated[: min(len(annotated), 20)]
+        avg = sum(
+            len(self._ser(o)) + _LEAF_META.size + self._pd_struct.size
+            for o, _ in sample
+        ) / len(sample)
+        return max(2, int((self.page_size - _HEADER.size) / avg))
+
+    def _bulk(self, annotated: list) -> PMRoutingEntry:
+        budget = self._leaf_budget(annotated)
+        if len(annotated) <= budget:
+            routing, routing_pd = annotated[0]
+            entries = [
+                PMLeafEntry(o, self.distance(routing, o), pd)
+                for o, pd in annotated
+            ]
+            node = PMNode(True, entries)
+            if not self._fits(node) and len(annotated) > 1:
+                mid = len(annotated) // 2
+                return self._parent_of(
+                    [self._bulk(annotated[:mid]), self._bulk(annotated[mid:])]
+                )
+            self._write_node(node)
+            radius = max(e.dist_to_parent for e in entries)
+            rings = tuple(
+                (
+                    min(pd[i] for _, pd in annotated),
+                    max(pd[i] for _, pd in annotated),
+                )
+                for i in range(len(self.pivots))
+            )
+            return PMRoutingEntry(routing, radius, 0.0, node.page_id, rings)
+        num_seeds = max(2, min(8, -(-len(annotated) // budget)))
+        seeds = self._rng.sample(annotated, min(num_seeds, len(annotated)))
+        groups: list[list] = [[] for _ in seeds]
+        for item in annotated:
+            best = min(
+                range(len(seeds)),
+                key=lambda i: self.distance(item[0], seeds[i][0]),
+            )
+            groups[best].append(item)
+        children = [self._bulk(group) for group in groups if group]
+        return self._parent_of(children)
+
+    def _parent_of(self, children: list[PMRoutingEntry]) -> PMRoutingEntry:
+        if len(children) == 1:
+            return children[0]
+        routing = children[0].obj
+        node = PMNode(False)
+        for entry in children:
+            entry.dist_to_parent = self.distance(routing, entry.obj)
+            node.entries.append(entry)
+        if self._fits(node):
+            self._write_node(node)
+            radius = max(e.dist_to_parent + e.radius for e in node.entries)
+            rings = _merge_rings([e.rings for e in node.entries])
+            return PMRoutingEntry(routing, radius, 0.0, node.page_id, rings)
+        mid = len(children) // 2
+        left = self._parent_of(children[:mid])
+        right = self._parent_of(children[mid:])
+        return self._parent_of([left, right])
+
+    # -------------------------------------------------------------- queries
+
+    def _phi(self, query: Any) -> tuple[float, ...]:
+        return tuple(self.distance(query, p) for p in self.pivots)
+
+    @staticmethod
+    def _ring_prunes(phi_q, rings, radius: float) -> bool:
+        """True if some pivot's ring proves the subtree is out of range."""
+        for dq, (lo, hi) in zip(phi_q, rings):
+            if dq + radius < lo or dq - radius > hi:
+                return True
+        return False
+
+    def range_query(self, query: Any, radius: float) -> list[Any]:
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        if self.root_page == -1:
+            return []
+        phi_q = self._phi(query)
+        results: list[Any] = []
+        self._range_visit(self.root_page, query, phi_q, radius, None, results)
+        return results
+
+    def _range_visit(self, page_id, query, phi_q, radius, d_parent, results):
+        node = self.read_node(page_id)
+        for e in node.entries:
+            if node.is_leaf:
+                # Pivot filter on the stored distances (no computation).
+                if any(
+                    abs(dq - od) > radius
+                    for dq, od in zip(phi_q, e.pivot_dists)
+                ):
+                    continue
+                if (
+                    d_parent is not None
+                    and abs(d_parent - e.dist_to_parent) > radius
+                ):
+                    continue
+                if self.distance(query, e.obj) <= radius:
+                    results.append(e.obj)
+            else:
+                # Hyper-ring filter first: costs nothing.
+                if self._ring_prunes(phi_q, e.rings, radius):
+                    continue
+                if (
+                    d_parent is not None
+                    and abs(d_parent - e.dist_to_parent) > radius + e.radius
+                ):
+                    continue
+                d = self.distance(query, e.obj)
+                if d <= radius + e.radius:
+                    self._range_visit(
+                        e.child, query, phi_q, radius, d, results
+                    )
+
+    def knn_query(self, query: Any, k: int) -> list[tuple[float, Any]]:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if self.root_page == -1:
+            return []
+        phi_q = self._phi(query)
+        counter = itertools.count()
+        heap: list[tuple[float, int, int, float]] = []
+        result: list[tuple[float, int, Any]] = []
+
+        def cur_ndk() -> float:
+            return -result[0][0] if len(result) >= k else float("inf")
+
+        def offer(d: float, obj: Any) -> None:
+            if len(result) < k:
+                heapq.heappush(result, (-d, next(counter), obj))
+            elif d < -result[0][0]:
+                heapq.heapreplace(result, (-d, next(counter), obj))
+
+        def ring_bound(rings) -> float:
+            worst = 0.0
+            for dq, (lo, hi) in zip(phi_q, rings):
+                gap = max(0.0, lo - dq, dq - hi)
+                if gap > worst:
+                    worst = gap
+            return worst
+
+        heapq.heappush(heap, (0.0, next(counter), self.root_page, -1.0))
+        while heap:
+            dmin, _, page_id, _ = heapq.heappop(heap)
+            if dmin >= cur_ndk():
+                break
+            node = self.read_node(page_id)
+            for e in node.entries:
+                if node.is_leaf:
+                    lower = max(
+                        abs(dq - od)
+                        for dq, od in zip(phi_q, e.pivot_dists)
+                    )
+                    if lower >= cur_ndk():
+                        continue
+                    offer(self.distance(query, e.obj), e.obj)
+                else:
+                    bound = ring_bound(e.rings)
+                    if bound >= cur_ndk():
+                        continue
+                    d = self.distance(query, e.obj)
+                    child_min = max(bound, d - e.radius, 0.0)
+                    if child_min < cur_ndk():
+                        heapq.heappush(
+                            heap, (child_min, next(counter), e.child, d)
+                        )
+        ordered = sorted((-negd, tb, obj) for negd, tb, obj in result)
+        return [(d, obj) for d, _, obj in ordered]
+
+    # ------------------------------------------------------------ accessors
+
+    def __len__(self) -> int:
+        return self.object_count
+
+    @property
+    def distance_computations(self) -> int:
+        return self.distance.count
+
+    @property
+    def page_accesses(self) -> int:
+        return self.pagefile.counter.total
+
+    @property
+    def size_in_bytes(self) -> int:
+        return self.pagefile.size_in_bytes
+
+    def flush_cache(self) -> None:
+        pass  # nodes are read directly, like the M-tree
+
+    def reset_counters(self) -> None:
+        self.distance.reset()
+        self.pagefile.counter.reset()

@@ -1,0 +1,332 @@
+"""A disk-based R-tree over the pivot space, backing the OmniR-tree.
+
+The Omni-family indexes the pivot-space coordinates of every object in an
+R-tree ("OmniR-tree") and keeps the objects themselves in a separate random
+access file.  This R-tree stores float coordinates, supports STR
+bulk-loading, min-enlargement insertion with linear splits, box range
+queries, and best-first nearest-neighbour traversal under the L∞ metric —
+the metric of the mapped pivot space, where box distances lower-bound
+original metric distances.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import struct
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.storage.pagefile import DEFAULT_PAGE_SIZE, PageFile
+
+_HEADER = struct.Struct("<BH")
+
+Point = tuple[float, ...]
+
+
+@dataclass
+class RLeafEntry:
+    point: Point
+    ptr: int
+
+
+@dataclass
+class RNodeEntry:
+    lo: Point
+    hi: Point
+    child: int
+
+
+@dataclass
+class RNode:
+    is_leaf: bool
+    entries: list = field(default_factory=list)
+    page_id: int = -1
+
+    @property
+    def count(self) -> int:
+        return len(self.entries)
+
+
+def _mbr_of(entries: list, is_leaf: bool) -> tuple[Point, Point]:
+    if is_leaf:
+        points = [e.point for e in entries]
+        lo = tuple(min(vals) for vals in zip(*points))
+        hi = tuple(max(vals) for vals in zip(*points))
+    else:
+        lo = tuple(min(vals) for vals in zip(*(e.lo for e in entries)))
+        hi = tuple(max(vals) for vals in zip(*(e.hi for e in entries)))
+    return lo, hi
+
+
+def _boxes_overlap(lo_a: Point, hi_a: Point, lo_b: Point, hi_b: Point) -> bool:
+    return all(la <= hb and lb <= ha for la, ha, lb, hb in zip(lo_a, hi_a, lo_b, hi_b))
+
+
+def _point_in_box(p: Point, lo: Point, hi: Point) -> bool:
+    return all(l <= x <= h for x, l, h in zip(p, lo, hi))
+
+
+def _mind_linf(p: Point, lo: Point, hi: Point) -> float:
+    """L∞ distance from point to box (0 inside)."""
+    worst = 0.0
+    for x, l, h in zip(p, lo, hi):
+        gap = max(0.0, l - x, x - h)
+        if gap > worst:
+            worst = gap
+    return worst
+
+
+class RTree:
+    """Disk R-tree over fixed-dimension float points."""
+
+    def __init__(
+        self, dims: int, page_size: int = DEFAULT_PAGE_SIZE
+    ) -> None:
+        if dims < 1:
+            raise ValueError("dims must be >= 1")
+        self.dims = dims
+        self.pagefile = PageFile(page_size=page_size)
+        self._leaf_entry = struct.Struct(f"<{dims}dq")
+        self._node_entry = struct.Struct(f"<{2 * dims}dq")
+        usable = page_size - _HEADER.size
+        self.leaf_capacity = usable // self._leaf_entry.size
+        self.node_capacity = usable // self._node_entry.size
+        if self.leaf_capacity < 2 or self.node_capacity < 2:
+            raise ValueError("page too small for this dimensionality")
+        self.root_page = -1
+        self.height = 0
+        self.entry_count = 0
+
+    # ------------------------------------------------------------------- io
+
+    @property
+    def page_accesses(self) -> int:
+        return self.pagefile.counter.total
+
+    @property
+    def num_pages(self) -> int:
+        return self.pagefile.num_pages
+
+    @property
+    def size_in_bytes(self) -> int:
+        return self.pagefile.size_in_bytes
+
+    def _encode(self, node: RNode) -> bytes:
+        parts = [_HEADER.pack(0 if node.is_leaf else 1, node.count)]
+        if node.is_leaf:
+            for e in node.entries:
+                parts.append(self._leaf_entry.pack(*e.point, e.ptr))
+        else:
+            for e in node.entries:
+                parts.append(self._node_entry.pack(*e.lo, *e.hi, e.child))
+        return b"".join(parts)
+
+    def _decode(self, data: bytes, page_id: int) -> RNode:
+        node_type, count = _HEADER.unpack_from(data, 0)
+        offset = _HEADER.size
+        if node_type == 0:
+            entries = []
+            for _ in range(count):
+                *coords, ptr = self._leaf_entry.unpack_from(data, offset)
+                offset += self._leaf_entry.size
+                entries.append(RLeafEntry(tuple(coords), ptr))
+            return RNode(True, entries, page_id)
+        entries = []
+        for _ in range(count):
+            values = self._node_entry.unpack_from(data, offset)
+            offset += self._node_entry.size
+            lo = tuple(values[: self.dims])
+            hi = tuple(values[self.dims : 2 * self.dims])
+            entries.append(RNodeEntry(lo, hi, int(values[-1])))
+        return RNode(False, entries, page_id)
+
+    def read_node(self, page_id: int) -> RNode:
+        return self._decode(self.pagefile.read_page(page_id), page_id)
+
+    def _write_node(self, node: RNode) -> None:
+        if node.page_id < 0:
+            node.page_id = self.pagefile.allocate()
+        self.pagefile.write_page(node.page_id, self._encode(node))
+
+    # ------------------------------------------------------------ bulk load
+
+    def bulk_load(self, items: Sequence[tuple[Point, int]]) -> None:
+        """Sort-Tile-Recursive bulk loading."""
+        if self.root_page != -1:
+            raise RuntimeError("tree already loaded")
+        self.entry_count = len(items)
+        if not items:
+            root = RNode(True)
+            self._write_node(root)
+            self.root_page = root.page_id
+            self.height = 1
+            return
+        groups = self._str_partition(
+            [RLeafEntry(tuple(p), ptr) for p, ptr in items],
+            self.leaf_capacity,
+            key=lambda e: e.point,
+        )
+        level = []
+        for group in groups:
+            node = RNode(True, group)
+            self._write_node(node)
+            level.append(node)
+        self.height = 1
+        while len(level) > 1:
+            summaries = []
+            for node in level:
+                lo, hi = _mbr_of(node.entries, node.is_leaf)
+                summaries.append(RNodeEntry(lo, hi, node.page_id))
+            groups = self._str_partition(
+                summaries, self.node_capacity, key=lambda e: e.lo
+            )
+            level = []
+            for group in groups:
+                node = RNode(False, group)
+                self._write_node(node)
+                level.append(node)
+            self.height += 1
+        self.root_page = level[0].page_id
+
+    def _str_partition(self, entries: list, capacity: int, key) -> list[list]:
+        """Recursive STR tiling: slab by each dimension in turn."""
+
+        def tile(group: list, dim: int) -> list[list]:
+            if len(group) <= capacity:
+                return [group]
+            if dim >= self.dims - 1:
+                group = sorted(group, key=lambda e: key(e)[dim])
+                return [
+                    group[i : i + capacity]
+                    for i in range(0, len(group), capacity)
+                ]
+            num_groups = -(-len(group) // capacity)
+            remaining = self.dims - dim
+            slabs = max(1, round(num_groups ** (1.0 / remaining)))
+            slab_size = -(-len(group) // slabs)
+            group = sorted(group, key=lambda e: key(e)[dim])
+            result = []
+            for i in range(0, len(group), slab_size):
+                result.extend(tile(group[i : i + slab_size], dim + 1))
+            return result
+
+        return tile(list(entries), 0)
+
+    # --------------------------------------------------------------- insert
+
+    def insert(self, point: Point, ptr: int) -> None:
+        if self.root_page == -1:
+            self.bulk_load([(point, ptr)])
+            return
+        split = self._insert_into(self.root_page, RLeafEntry(tuple(point), ptr))
+        self.entry_count += 1
+        if split is not None:
+            old_root = self.read_node(self.root_page)
+            lo, hi = _mbr_of(old_root.entries, old_root.is_leaf)
+            new_root = RNode(
+                False, [RNodeEntry(lo, hi, old_root.page_id), split]
+            )
+            self._write_node(new_root)
+            self.root_page = new_root.page_id
+            self.height += 1
+
+    def _insert_into(self, page_id: int, leaf_entry: RLeafEntry):
+        node = self.read_node(page_id)
+        if node.is_leaf:
+            node.entries.append(leaf_entry)
+            if node.count <= self.leaf_capacity:
+                self._write_node(node)
+                return None
+            return self._split(node)
+        idx = self._choose_subtree(node, leaf_entry.point)
+        split = self._insert_into(node.entries[idx].child, leaf_entry)
+        child = self.read_node(node.entries[idx].child)
+        lo, hi = _mbr_of(child.entries, child.is_leaf)
+        node.entries[idx] = RNodeEntry(lo, hi, child.page_id)
+        if split is not None:
+            node.entries.append(split)
+        if node.count <= self.node_capacity:
+            self._write_node(node)
+            return None
+        return self._split(node)
+
+    def _choose_subtree(self, node: RNode, point: Point) -> int:
+        def enlargement(entry: RNodeEntry) -> tuple[float, float]:
+            grow = 0.0
+            extent = 0.0
+            for x, l, h in zip(point, entry.lo, entry.hi):
+                grow += max(0.0, l - x, x - h)
+                extent += h - l
+            return grow, extent
+
+        return min(range(node.count), key=lambda i: enlargement(node.entries[i]))
+
+    def _split(self, node: RNode) -> RNodeEntry:
+        """Linear split: halve along the axis with the largest spread."""
+        if node.is_leaf:
+            coord = lambda e: e.point  # noqa: E731
+        else:
+            coord = lambda e: e.lo  # noqa: E731
+        spreads = []
+        for dim in range(self.dims):
+            values = [coord(e)[dim] for e in node.entries]
+            spreads.append(max(values) - min(values))
+        axis = spreads.index(max(spreads))
+        node.entries.sort(key=lambda e: coord(e)[axis])
+        mid = node.count // 2
+        sibling = RNode(node.is_leaf, node.entries[mid:])
+        node.entries = node.entries[:mid]
+        self._write_node(sibling)
+        self._write_node(node)
+        lo, hi = _mbr_of(sibling.entries, sibling.is_leaf)
+        return RNodeEntry(lo, hi, sibling.page_id)
+
+    # -------------------------------------------------------------- queries
+
+    def box_query(self, lo: Point, hi: Point) -> list[RLeafEntry]:
+        """All leaf entries with point inside the inclusive box [lo, hi]."""
+        if self.root_page == -1:
+            return []
+        results: list[RLeafEntry] = []
+        stack = [self.root_page]
+        while stack:
+            node = self.read_node(stack.pop())
+            if node.is_leaf:
+                results.extend(
+                    e for e in node.entries if _point_in_box(e.point, lo, hi)
+                )
+            else:
+                stack.extend(
+                    e.child
+                    for e in node.entries
+                    if _boxes_overlap(lo, hi, e.lo, e.hi)
+                )
+        return results
+
+    def nearest_iter(self, point: Point) -> Iterator[tuple[float, RLeafEntry]]:
+        """Best-first traversal yielding (L∞ lower bound, leaf entry) in
+        ascending bound order — the driver for OmniR-tree kNN search."""
+        if self.root_page == -1:
+            return
+        counter = itertools.count()
+        heap: list[tuple[float, int, int, object]] = []
+        root = self.read_node(self.root_page)
+        self._push_children(root, point, heap, counter)
+        while heap:
+            bound, _, kind, payload = heapq.heappop(heap)
+            if kind == 0:
+                yield bound, payload  # type: ignore[misc]
+            else:
+                node = self.read_node(payload)  # type: ignore[arg-type]
+                self._push_children(node, point, heap, counter)
+
+    def _push_children(self, node: RNode, point: Point, heap, counter) -> None:
+        if node.is_leaf:
+            for e in node.entries:
+                bound = max(abs(a - b) for a, b in zip(e.point, point))
+                heapq.heappush(heap, (bound, next(counter), 0, e))
+        else:
+            for e in node.entries:
+                bound = _mind_linf(point, e.lo, e.hi)
+                heapq.heappush(heap, (bound, next(counter), 1, e.child))

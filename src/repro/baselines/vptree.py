@@ -1,0 +1,144 @@
+"""The VP-tree baseline (Yianilos, SODA 1993 [8]).
+
+The classic pivot-based binary metric tree: each node holds a *vantage
+point* and the median distance μ of the remaining objects to it; objects
+closer than μ go to the inside subtree, the rest outside.  Search prunes
+with the triangle inequality: the inside subtree can be skipped when
+d(q, v) − r > μ, the outside subtree when d(q, v) + r < μ.
+
+The paper discusses the VP-tree as related work (§2.1) rather than as an
+evaluated competitor, so this implementation is in-memory (compdists is its
+cost measure, like the paper's treatment of other memory-resident methods).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+import statistics
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+from repro.distance.base import CountingDistance, Metric
+
+_LEAF_SIZE = 8
+
+
+@dataclass
+class _VPNode:
+    vantage: Any
+    mu: float
+    inside: Optional["_VPNode"]
+    outside: Optional["_VPNode"]
+    bucket: Optional[list[Any]]  # leaf payload; None for internal nodes
+
+
+class VPTree:
+    """In-memory vantage-point tree."""
+
+    def __init__(self, objects: Sequence[Any], metric: Metric, seed: int = 7) -> None:
+        self.distance = CountingDistance(metric)
+        self._rng = random.Random(seed)
+        self.object_count = len(objects)
+        self._root = self._build(list(objects))
+
+    def _build(self, objects: list[Any]) -> Optional[_VPNode]:
+        if not objects:
+            return None
+        if len(objects) <= _LEAF_SIZE:
+            return _VPNode(objects[0], 0.0, None, None, objects)
+        vantage = objects.pop(self._rng.randrange(len(objects)))
+        distances = [self.distance(vantage, o) for o in objects]
+        mu = statistics.median(distances)
+        inside = [o for o, d in zip(objects, distances) if d < mu]
+        outside = [o for o, d in zip(objects, distances) if d >= mu]
+        if not inside or not outside:
+            # Degenerate split (many ties); fall back to a leaf.
+            return _VPNode(vantage, 0.0, None, None, [vantage] + objects)
+        return _VPNode(
+            vantage, mu, self._build(inside), self._build(outside), None
+        )
+
+    # -------------------------------------------------------------- queries
+
+    def range_query(self, query: Any, radius: float) -> list[Any]:
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        results: list[Any] = []
+        self._range(self._root, query, radius, results)
+        return results
+
+    def _range(self, node, query, radius, results) -> None:
+        if node is None:
+            return
+        if node.bucket is not None:
+            results.extend(
+                o for o in node.bucket if self.distance(query, o) <= radius
+            )
+            return
+        d = self.distance(query, node.vantage)
+        if d <= radius:
+            results.append(node.vantage)
+        if d - radius < node.mu:  # the inside ball may contain results
+            self._range(node.inside, query, radius, results)
+        if d + radius >= node.mu:  # the outside shell may contain results
+            self._range(node.outside, query, radius, results)
+
+    def knn_query(self, query: Any, k: int) -> list[tuple[float, Any]]:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        counter = itertools.count()
+        result: list[tuple[float, int, Any]] = []
+
+        def cur_ndk() -> float:
+            return -result[0][0] if len(result) >= k else float("inf")
+
+        def offer(d: float, obj: Any) -> None:
+            if len(result) < k:
+                heapq.heappush(result, (-d, next(counter), obj))
+            elif d < -result[0][0]:
+                heapq.heapreplace(result, (-d, next(counter), obj))
+
+        # Best-first over subtree lower bounds.
+        heap: list[tuple[float, int, _VPNode]] = []
+        if self._root is not None:
+            heapq.heappush(heap, (0.0, next(counter), self._root))
+        while heap:
+            bound, _, node = heapq.heappop(heap)
+            if bound >= cur_ndk():
+                break
+            if node.bucket is not None:
+                for o in node.bucket:
+                    offer(self.distance(query, o), o)
+                continue
+            d = self.distance(query, node.vantage)
+            offer(d, node.vantage)
+            if node.inside is not None:
+                inside_bound = max(0.0, d - node.mu)
+                if inside_bound < cur_ndk():
+                    heapq.heappush(heap, (inside_bound, next(counter), node.inside))
+            if node.outside is not None:
+                outside_bound = max(0.0, node.mu - d)
+                if outside_bound < cur_ndk():
+                    heapq.heappush(
+                        heap, (outside_bound, next(counter), node.outside)
+                    )
+        ordered = sorted((-negd, tb, obj) for negd, tb, obj in result)
+        return [(d, obj) for d, _, obj in ordered]
+
+    # ------------------------------------------------------------ accessors
+
+    def __len__(self) -> int:
+        return self.object_count
+
+    @property
+    def distance_computations(self) -> int:
+        return self.distance.count
+
+    @property
+    def page_accesses(self) -> int:
+        return 0  # in-memory structure
+
+    def reset_counters(self) -> None:
+        self.distance.reset()

@@ -1,0 +1,13 @@
+"""Disk-based B+-tree over SFC keys, with MBB-annotated non-leaf entries.
+
+This is the indexing backbone of the SPB-tree (§3.3): leaf entries hold
+``(SFC key, RAF pointer)``; non-leaf entries hold the minimum key of their
+subtree, the child page pointer, and the subtree's minimum bounding box in
+the mapped pivot space, stored — exactly as in the paper — as the two SFC
+values of the MBB's corner points.
+"""
+
+from repro.btree.node import LeafEntry, Node, NodeEntry
+from repro.btree.tree import BPlusTree
+
+__all__ = ["BPlusTree", "Node", "LeafEntry", "NodeEntry"]

@@ -1,0 +1,126 @@
+"""B+-tree node layout and page (de)serialization.
+
+Nodes are serialized to fixed-size pages with explicit byte layouts so that
+fan-out — and therefore tree height, page counts, and the storage sizes of
+Table 6 — follow from entry sizes, like they would in a real system.
+
+Layout (little-endian):
+
+* header: ``type`` (1 byte: 0 leaf / 1 non-leaf), ``count`` (2 bytes),
+  ``next_leaf`` (8 bytes signed; -1 when absent or non-leaf)
+* leaf entry: ``key`` (K bytes) + ``ptr`` (8 bytes, RAF byte offset)
+* non-leaf entry: ``key`` (K bytes) + ``child`` (8 bytes, page id)
+  + ``min_sfc`` (K bytes) + ``max_sfc`` (K bytes)
+
+``K`` is the key width in bytes, ``ceil(ndims * bits / 8)``; SFC keys can
+exceed 64 bits (e.g. 9 pivots at 16 bits each), so keys are stored as
+fixed-width unsigned big-endian integers.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import NamedTuple
+
+_HEADER = struct.Struct("<BHq")  # type, count, next_leaf
+
+
+class LeafEntry(NamedTuple):
+    """(SFC value, byte offset of the object in the RAF)."""
+
+    key: int
+    ptr: int
+
+
+class NodeEntry(NamedTuple):
+    """(min key of subtree, child page id, SFC values of MBB corners)."""
+
+    key: int
+    child: int
+    min_sfc: int
+    max_sfc: int
+
+
+@dataclass
+class Node:
+    """An in-memory image of one B+-tree page."""
+
+    is_leaf: bool
+    entries: list = field(default_factory=list)
+    next_leaf: int = -1
+    page_id: int = -1
+
+    @property
+    def count(self) -> int:
+        return len(self.entries)
+
+    def min_key(self) -> int:
+        return self.entries[0].key
+
+
+class NodeCodec:
+    """Serializes nodes to pages for a given key width and page size."""
+
+    def __init__(self, key_bytes: int, page_size: int) -> None:
+        self.key_bytes = key_bytes
+        self.page_size = page_size
+        self.leaf_entry_size = key_bytes + 8
+        self.node_entry_size = 3 * key_bytes + 8
+        usable = page_size - _HEADER.size
+        self.leaf_capacity = usable // self.leaf_entry_size
+        self.node_capacity = usable // self.node_entry_size
+        if self.leaf_capacity < 2 or self.node_capacity < 2:
+            raise ValueError(
+                f"page size {page_size} too small for key width {key_bytes}"
+            )
+
+    # -------------------------------------------------------------- encode
+
+    def encode(self, node: Node) -> bytes:
+        capacity = self.leaf_capacity if node.is_leaf else self.node_capacity
+        if node.count > capacity:
+            raise ValueError(
+                f"node with {node.count} entries exceeds capacity {capacity}"
+            )
+        parts = [_HEADER.pack(0 if node.is_leaf else 1, node.count, node.next_leaf)]
+        kb = self.key_bytes
+        if node.is_leaf:
+            for key, ptr in node.entries:
+                parts.append(key.to_bytes(kb, "big"))
+                parts.append(ptr.to_bytes(8, "little"))
+        else:
+            for key, child, min_sfc, max_sfc in node.entries:
+                parts.append(key.to_bytes(kb, "big"))
+                parts.append(child.to_bytes(8, "little"))
+                parts.append(min_sfc.to_bytes(kb, "big"))
+                parts.append(max_sfc.to_bytes(kb, "big"))
+        return b"".join(parts)
+
+    # -------------------------------------------------------------- decode
+
+    def decode(self, data: bytes, page_id: int) -> Node:
+        node_type, count, next_leaf = _HEADER.unpack_from(data, 0)
+        kb = self.key_bytes
+        offset = _HEADER.size
+        if node_type == 0:
+            entries: list = []
+            for _ in range(count):
+                key = int.from_bytes(data[offset : offset + kb], "big")
+                offset += kb
+                ptr = int.from_bytes(data[offset : offset + 8], "little")
+                offset += 8
+                entries.append(LeafEntry(key, ptr))
+            return Node(True, entries, next_leaf, page_id)
+        entries = []
+        for _ in range(count):
+            key = int.from_bytes(data[offset : offset + kb], "big")
+            offset += kb
+            child = int.from_bytes(data[offset : offset + 8], "little")
+            offset += 8
+            min_sfc = int.from_bytes(data[offset : offset + kb], "big")
+            offset += kb
+            max_sfc = int.from_bytes(data[offset : offset + kb], "big")
+            offset += kb
+            entries.append(NodeEntry(key, child, min_sfc, max_sfc))
+        return Node(False, entries, -1, page_id)

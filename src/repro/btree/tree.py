@@ -1,0 +1,344 @@
+"""Disk-based B+-tree over SFC keys with per-node MBB maintenance.
+
+The tree supports the three operations the paper highlights as the reason
+for choosing a B+-tree backbone (§3.1): cheap bulk-loading from sorted runs
+(Appendix B), and simple insertion/deletion (Appendix C).  Non-leaf entries
+carry the subtree MBB encoded as two SFC corner keys, which the similarity
+query algorithms decode back into pivot-space boxes for pruning.
+
+Duplicate keys are allowed: distinct objects may collide on one SFC value
+(always possible under δ-approximation), so deletion matches on
+``(key, ptr)`` pairs.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, Optional, Sequence
+
+from repro.btree.node import LeafEntry, Node, NodeCodec, NodeEntry
+from repro.sfc.base import SpaceFillingCurve
+from repro.storage.pagefile import DEFAULT_PAGE_SIZE, PageFile
+
+Box = tuple[tuple[int, ...], tuple[int, ...]]
+
+
+def _union_boxes(boxes: Sequence[Box]) -> Box:
+    los, his = zip(*boxes)
+    lo = tuple(min(vals) for vals in zip(*los))
+    hi = tuple(max(vals) for vals in zip(*his))
+    return lo, hi
+
+
+class BPlusTree:
+    """B+-tree keyed by SFC values, annotated with pivot-space MBBs."""
+
+    def __init__(
+        self,
+        curve: SpaceFillingCurve,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        fill_factor: float = 1.0,
+        path: Optional[str] = None,
+    ) -> None:
+        if not 0.1 <= fill_factor <= 1.0:
+            raise ValueError("fill_factor must be in [0.1, 1.0]")
+        self.curve = curve
+        key_bytes = max(1, (curve.ndims * curve.bits + 7) // 8)
+        self.codec = NodeCodec(key_bytes, page_size)
+        self.pagefile = PageFile(page_size=page_size, path=path)
+        self.fill_factor = fill_factor
+        self.root_page = -1
+        self.height = 0
+        self.entry_count = 0
+        self.leaf_page_count = 0
+
+    # ------------------------------------------------------------------ io
+
+    def read_node(self, page_id: int) -> Node:
+        """Fetch a node; one page access."""
+        return self.codec.decode(self.pagefile.read_page(page_id), page_id)
+
+    def _write_node(self, node: Node) -> None:
+        if node.page_id < 0:
+            node.page_id = self.pagefile.allocate()
+        self.pagefile.write_page(node.page_id, self.codec.encode(node))
+
+    @property
+    def page_accesses(self) -> int:
+        return self.pagefile.counter.total
+
+    @property
+    def num_pages(self) -> int:
+        return self.pagefile.num_pages
+
+    @property
+    def size_in_bytes(self) -> int:
+        return self.pagefile.size_in_bytes
+
+    # ----------------------------------------------------------------- MBB
+
+    def decode_box(self, entry: NodeEntry) -> Box:
+        """The MBB a non-leaf entry stores for its child subtree."""
+        return self.curve.decode(entry.min_sfc), self.curve.decode(entry.max_sfc)
+
+    def node_box(self, node: Node) -> Optional[Box]:
+        """Compute a node's MBB from its contents (None when empty)."""
+        if node.count == 0:
+            return None
+        if node.is_leaf:
+            coords = [self.curve.decode(entry.key) for entry in node.entries]
+            lo = tuple(min(vals) for vals in zip(*coords))
+            hi = tuple(max(vals) for vals in zip(*coords))
+            return lo, hi
+        return _union_boxes([self.decode_box(entry) for entry in node.entries])
+
+    def _entry_for_child(self, child: Node) -> NodeEntry:
+        box = self.node_box(child)
+        assert box is not None, "cannot summarize an empty child"
+        lo, hi = box
+        return NodeEntry(
+            key=child.min_key(),
+            child=child.page_id,
+            min_sfc=self.curve.encode(lo),
+            max_sfc=self.curve.encode(hi),
+        )
+
+    # ----------------------------------------------------------- bulk load
+
+    def bulk_load(self, items: Sequence[tuple[int, int]]) -> None:
+        """Build the tree from ``(key, ptr)`` pairs sorted by key.
+
+        Leaves are packed to ``fill_factor`` of capacity and written once;
+        upper levels are built bottom-up — the cheap construction path the
+        paper credits for the SPB-tree's low build cost (Table 6).
+        """
+        if self.root_page != -1:
+            raise RuntimeError("tree already loaded")
+        for i in range(1, len(items)):
+            if items[i - 1][0] > items[i][0]:
+                raise ValueError("bulk_load requires items sorted by key")
+        self.entry_count = len(items)
+        if not items:
+            root = Node(is_leaf=True)
+            self._write_node(root)
+            self.root_page = root.page_id
+            self.height = 1
+            self.leaf_page_count = 1
+            return
+        leaf_fill = max(2, int(self.codec.leaf_capacity * self.fill_factor))
+        leaves: list[Node] = []
+        for start in range(0, len(items), leaf_fill):
+            chunk = items[start : start + leaf_fill]
+            leaves.append(Node(True, [LeafEntry(k, p) for k, p in chunk]))
+        for leaf in leaves:
+            leaf.page_id = self.pagefile.allocate()
+        for i, leaf in enumerate(leaves):
+            leaf.next_leaf = leaves[i + 1].page_id if i + 1 < len(leaves) else -1
+            self._write_node(leaf)
+        self.leaf_page_count = len(leaves)
+
+        level: list[Node] = leaves
+        self.height = 1
+        node_fill = max(2, int(self.codec.node_capacity * self.fill_factor))
+        while len(level) > 1:
+            parents: list[Node] = []
+            for start in range(0, len(level), node_fill):
+                children = level[start : start + node_fill]
+                parent = Node(False, [self._entry_for_child(c) for c in children])
+                self._write_node(parent)
+                parents.append(parent)
+            level = parents
+            self.height += 1
+        self.root_page = level[0].page_id
+
+    # -------------------------------------------------------------- insert
+
+    def insert(self, key: int, ptr: int) -> None:
+        """Insert one ``(key, ptr)`` leaf entry."""
+        if self.root_page == -1:
+            self.bulk_load([(key, ptr)])
+            return
+        split = self._insert_into(self.root_page, key, ptr)
+        self.entry_count += 1
+        if split is not None:
+            old_root = self.read_node(self.root_page)
+            left_entry = self._entry_for_child(old_root)
+            new_root = Node(False, [left_entry, split])
+            self._write_node(new_root)
+            self.root_page = new_root.page_id
+            self.height += 1
+
+    def _insert_into(
+        self, page_id: int, key: int, ptr: int
+    ) -> Optional[NodeEntry]:
+        """Insert below ``page_id``; returns a new sibling entry on split."""
+        node = self.read_node(page_id)
+        if node.is_leaf:
+            keys = [entry.key for entry in node.entries]
+            idx = bisect.bisect_right(keys, key)
+            node.entries.insert(idx, LeafEntry(key, ptr))
+            if node.count <= self.codec.leaf_capacity:
+                self._write_node(node)
+                return None
+            return self._split_leaf(node)
+        idx = self._child_index(node, key)
+        child_entry = node.entries[idx]
+        split = self._insert_into(child_entry.child, key, ptr)
+        # Refresh the child's summary (its key range and MBB may have grown).
+        child = self.read_node(child_entry.child)
+        node.entries[idx] = self._entry_for_child(child)
+        if split is not None:
+            node.entries.insert(idx + 1, split)
+        if node.count <= self.codec.node_capacity:
+            self._write_node(node)
+            return None
+        return self._split_internal(node)
+
+    def _split_leaf(self, node: Node) -> NodeEntry:
+        mid = node.count // 2
+        sibling = Node(True, node.entries[mid:], node.next_leaf)
+        node.entries = node.entries[:mid]
+        self._write_node(sibling)
+        node.next_leaf = sibling.page_id
+        self._write_node(node)
+        self.leaf_page_count += 1
+        return self._entry_for_child(sibling)
+
+    def _split_internal(self, node: Node) -> NodeEntry:
+        mid = node.count // 2
+        sibling = Node(False, node.entries[mid:])
+        node.entries = node.entries[:mid]
+        self._write_node(sibling)
+        self._write_node(node)
+        return self._entry_for_child(sibling)
+
+    def _child_index(self, node: Node, key: int) -> int:
+        keys = [entry.key for entry in node.entries]
+        idx = bisect.bisect_right(keys, key) - 1
+        return max(idx, 0)
+
+    # -------------------------------------------------------------- delete
+
+    def delete(self, key: int, ptr: int) -> bool:
+        """Remove the leaf entry matching ``(key, ptr)``; True if found.
+
+        Underflowed nodes are not rebalanced — matching the lightweight
+        deletion of Appendix C — but emptied nodes are unlinked from their
+        parents so queries never descend into them.
+        """
+        if self.root_page == -1:
+            return False
+        found = self._delete_from(self.root_page, key, ptr)
+        if found:
+            self.entry_count -= 1
+            root = self.read_node(self.root_page)
+            # Collapse a root with a single child.
+            while not root.is_leaf and root.count == 1:
+                self.root_page = root.entries[0].child
+                self.height -= 1
+                root = self.read_node(self.root_page)
+        return found
+
+    def _delete_from(self, page_id: int, key: int, ptr: int) -> bool:
+        node = self.read_node(page_id)
+        if node.is_leaf:
+            for i, entry in enumerate(node.entries):
+                if entry.key == key and entry.ptr == ptr:
+                    del node.entries[i]
+                    self._write_node(node)
+                    return True
+                if entry.key > key:
+                    break
+            return False
+        # Duplicates may straddle children; try each child whose key range
+        # can contain ``key``, starting from the leftmost candidate.
+        keys = [entry.key for entry in node.entries]
+        start = max(0, bisect.bisect_left(keys, key) - 1)
+        for idx in range(start, node.count):
+            if node.entries[idx].key > key:
+                break
+            child_entry = node.entries[idx]
+            if self._delete_from(child_entry.child, key, ptr):
+                child = self.read_node(child_entry.child)
+                if child.count == 0:
+                    del node.entries[idx]
+                    if node.count == 0 and page_id != self.root_page:
+                        pass  # parent unlinks us in its own pass
+                else:
+                    node.entries[idx] = self._entry_for_child(child)
+                self._write_node(node)
+                return True
+        return False
+
+    # -------------------------------------------------------------- lookup
+
+    def find_entries(self, key: int) -> list[LeafEntry]:
+        """All leaf entries whose key equals ``key`` (duplicates included)."""
+        if self.root_page == -1:
+            return []
+        node = self.read_node(self.root_page)
+        while not node.is_leaf:
+            keys = [entry.key for entry in node.entries]
+            idx = max(0, bisect.bisect_left(keys, key) - 1)
+            node = self.read_node(node.entries[idx].child)
+        matches: list[LeafEntry] = []
+        while True:
+            for entry in node.entries:
+                if entry.key == key:
+                    matches.append(entry)
+                elif entry.key > key:
+                    return matches
+            if node.next_leaf == -1:
+                return matches
+            node = self.read_node(node.next_leaf)
+
+    # ---------------------------------------------------------------- scan
+
+    def first_leaf_page(self) -> int:
+        """Page id of the leftmost leaf (counts the descent's accesses)."""
+        if self.root_page == -1:
+            return -1
+        node = self.read_node(self.root_page)
+        while not node.is_leaf:
+            node = self.read_node(node.entries[0].child)
+        return node.page_id
+
+    def leaf_entries(self) -> Iterator[LeafEntry]:
+        """All leaf entries in ascending key order.
+
+        Costs exactly (height - 1) internal reads plus one read per leaf
+        page — the I/O model of the join cost formula (eq. 8).
+        """
+        if self.root_page == -1:
+            return
+        node = self.read_node(self.root_page)
+        while not node.is_leaf:
+            node = self.read_node(node.entries[0].child)
+        while True:
+            yield from node.entries
+            if node.next_leaf == -1:
+                return
+            node = self.read_node(node.next_leaf)
+
+    def items(self) -> list[tuple[int, int]]:
+        return [(e.key, e.ptr) for e in self.leaf_entries()]
+
+    # ------------------------------------------------------------- walking
+
+    def walk_nodes(self) -> Iterator[Node]:
+        """Depth-first traversal of every node (used by cost models/tests).
+
+        Does not count page accesses: cost-model evaluation inspects the
+        catalog, it does not execute queries.
+        """
+        if self.root_page == -1:
+            return
+        stack = [self.root_page]
+        counter = self.pagefile.counter
+        while stack:
+            saved_reads = counter.reads
+            node = self.read_node(stack.pop())
+            counter.reads = saved_reads
+            yield node
+            if not node.is_leaf:
+                stack.extend(entry.child for entry in node.entries)

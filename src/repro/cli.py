@@ -1,0 +1,235 @@
+"""Command-line interface for quick, interactive use of the library.
+
+    python -m repro.cli info      --dataset words --size 2000
+    python -m repro.cli range     --dataset words --query defoliate --radius 1
+    python -m repro.cli knn       --dataset color --k 8
+    python -m repro.cli join      --dataset words --epsilon-percent 4
+    python -m repro.cli compare   --dataset color --k 8
+
+``info`` prints dataset statistics (intrinsic dimensionality, d+, pivot-set
+precision); ``range``/``knn`` build an SPB-tree and run one query with cost
+reporting; ``join`` splits the dataset in half and runs SJA; ``compare``
+runs the same kNN query on all four access methods.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import time
+
+from repro.baselines import MIndex, MTree, OmniRTree
+from repro.core.costmodel import CostModel
+from repro.core.join import similarity_join
+from repro.core.pivots import (
+    intrinsic_dimensionality,
+    pivot_set_precision,
+    select_pivots,
+)
+from repro.core.spbtree import SPBTree
+from repro.datasets import DATASETS, load_dataset
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset", choices=sorted(DATASETS), default="words"
+    )
+    parser.add_argument("--size", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--pivots", type=int, default=5)
+
+
+def _build(args: argparse.Namespace):
+    dataset = load_dataset(args.dataset, size=args.size, seed=args.seed)
+    t0 = time.perf_counter()
+    tree = SPBTree.build(
+        dataset.objects,
+        dataset.metric,
+        num_pivots=args.pivots,
+        d_plus=dataset.d_plus,
+        seed=7,
+    )
+    elapsed = time.perf_counter() - t0
+    print(
+        f"built SPB-tree over {len(tree):,} {args.dataset} objects in "
+        f"{elapsed:.2f}s ({tree.size_in_bytes / 1024:.0f} KB, "
+        f"{tree.distance_computations:,} compdists)"
+    )
+    return dataset, tree
+
+
+def cmd_info(args: argparse.Namespace) -> None:
+    dataset = load_dataset(args.dataset, size=args.size, seed=args.seed)
+    rho = intrinsic_dimensionality(dataset.objects, dataset.metric)
+    pivots = select_pivots(
+        dataset.objects, args.pivots, dataset.metric, seed=7
+    )
+    rng = random.Random(0)
+    pairs = [
+        (rng.choice(dataset.objects), rng.choice(dataset.objects))
+        for _ in range(200)
+    ]
+    precision = pivot_set_precision(pivots, pairs, dataset.metric)
+    print(f"dataset            : {args.dataset} ({len(dataset.objects):,} objects)")
+    print(f"metric             : {dataset.metric.name}")
+    print(f"d+ (estimated)     : {dataset.d_plus:.4g}")
+    print(f"intrinsic dim. ρ   : {rho:.2f}")
+    print(f"precision({args.pivots} pivots): {precision:.3f}")
+
+
+def cmd_range(args: argparse.Namespace) -> None:
+    dataset, tree = _build(args)
+    query = args.query if args.query is not None else dataset.queries[0]
+    radius = args.radius
+    if radius is None:
+        radius = dataset.d_plus * args.radius_percent / 100.0
+        if dataset.metric.is_discrete:
+            radius = max(1.0, round(radius))
+    model = CostModel(tree)
+    estimate = model.estimate_range(query, radius)
+    tree.reset_counters()
+    tree.flush_cache()
+    t0 = time.perf_counter()
+    results = tree.range_query(query, radius)
+    elapsed = time.perf_counter() - t0
+    print(f"\nRQ(q, O, {radius:g}) -> {len(results)} results in {elapsed * 1000:.1f} ms")
+    print(
+        f"actual    : {tree.distance_computations} compdists, "
+        f"{tree.page_accesses} page accesses"
+    )
+    print(f"estimated : {estimate.edc:.0f} compdists, {estimate.epa:.0f} page accesses")
+    for obj in results[:10]:
+        print(f"  {obj!r}"[:100])
+    if len(results) > 10:
+        print(f"  ... and {len(results) - 10} more")
+
+
+def cmd_knn(args: argparse.Namespace) -> None:
+    dataset, tree = _build(args)
+    query = args.query if args.query is not None else dataset.queries[0]
+    model = CostModel(tree)
+    estimate = model.estimate_knn(query, args.k)
+    tree.reset_counters()
+    tree.flush_cache()
+    t0 = time.perf_counter()
+    results = tree.knn_query(query, args.k, traversal=args.traversal)
+    elapsed = time.perf_counter() - t0
+    print(f"\nkNN(q, {args.k}) in {elapsed * 1000:.1f} ms ({args.traversal}):")
+    print(
+        f"actual    : {tree.distance_computations} compdists, "
+        f"{tree.page_accesses} page accesses"
+    )
+    print(
+        f"estimated : {estimate.edc:.0f} compdists, "
+        f"{estimate.epa:.0f} page accesses (eND_k={estimate.radius:.4g})"
+    )
+    for dist, obj in results:
+        print(f"  d={dist:.4g}  {obj!r}"[:100])
+
+
+def cmd_join(args: argparse.Namespace) -> None:
+    dataset = load_dataset(args.dataset, size=args.size, seed=args.seed)
+    half = len(dataset.objects) // 2
+    set_q, set_o = dataset.objects[:half], dataset.objects[half:]
+    epsilon = dataset.d_plus * args.epsilon_percent / 100.0
+    if dataset.metric.is_discrete:
+        epsilon = max(1.0, round(epsilon))
+    pivots = select_pivots(set_o, args.pivots, dataset.metric, seed=7)
+    tree_q = SPBTree.build(
+        set_q, dataset.metric, pivots=pivots, d_plus=dataset.d_plus, curve="z"
+    )
+    tree_o = SPBTree.build(
+        set_o, dataset.metric, pivots=pivots, d_plus=dataset.d_plus, curve="z"
+    )
+    estimate = CostModel.estimate_join(tree_q, tree_o, epsilon)
+    result = similarity_join(tree_q, tree_o, epsilon)
+    print(
+        f"SJ(Q[{len(set_q)}], O[{len(set_o)}], {epsilon:g}) -> "
+        f"{len(result.pairs)} pairs in {result.stats.elapsed_seconds:.2f}s"
+    )
+    print(
+        f"actual    : {result.stats.distance_computations:,} compdists, "
+        f"{result.stats.page_accesses} page accesses"
+    )
+    print(
+        f"estimated : {estimate.edc:,.0f} compdists, "
+        f"{estimate.epa:,.0f} page accesses"
+    )
+
+
+def cmd_compare(args: argparse.Namespace) -> None:
+    dataset = load_dataset(args.dataset, size=args.size, seed=args.seed)
+    query = dataset.queries[0]
+    builders = {
+        "SPB-tree": lambda: SPBTree.build(
+            dataset.objects, dataset.metric, d_plus=dataset.d_plus, seed=7
+        ),
+        "M-tree": lambda: MTree.build(dataset.objects, dataset.metric, seed=7),
+        "OmniR-tree": lambda: OmniRTree.build(
+            dataset.objects, dataset.metric, seed=7
+        ),
+        "M-Index": lambda: MIndex.build(
+            dataset.objects, dataset.metric, d_plus=dataset.d_plus, seed=7
+        ),
+    }
+    print(f"{'method':12s} {'build(s)':>9s} {'storage(KB)':>12s} "
+          f"{'compdists':>10s} {'PA':>6s} {'query(ms)':>10s}")
+    for name, builder in builders.items():
+        t0 = time.perf_counter()
+        index = builder()
+        build_time = time.perf_counter() - t0
+        index.reset_counters()
+        if hasattr(index, "flush_cache"):
+            index.flush_cache()
+        t0 = time.perf_counter()
+        index.knn_query(query, args.k)
+        query_time = (time.perf_counter() - t0) * 1000
+        print(
+            f"{name:12s} {build_time:9.2f} {index.size_in_bytes / 1024:12.0f} "
+            f"{index.distance_computations:10d} {index.page_accesses:6d} "
+            f"{query_time:10.1f}"
+        )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SPB-tree demo CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="dataset statistics")
+    _add_common(p_info)
+    p_info.set_defaults(fn=cmd_info)
+
+    p_range = sub.add_parser("range", help="run one range query")
+    _add_common(p_range)
+    p_range.add_argument("--query", default=None)
+    p_range.add_argument("--radius", type=float, default=None)
+    p_range.add_argument("--radius-percent", type=float, default=8.0)
+    p_range.set_defaults(fn=cmd_range)
+
+    p_knn = sub.add_parser("knn", help="run one kNN query")
+    _add_common(p_knn)
+    p_knn.add_argument("--query", default=None)
+    p_knn.add_argument("--k", type=int, default=8)
+    p_knn.add_argument(
+        "--traversal", choices=["incremental", "greedy"], default="incremental"
+    )
+    p_knn.set_defaults(fn=cmd_knn)
+
+    p_join = sub.add_parser("join", help="self-split similarity join")
+    _add_common(p_join)
+    p_join.add_argument("--epsilon-percent", type=float, default=4.0)
+    p_join.set_defaults(fn=cmd_join)
+
+    p_cmp = sub.add_parser("compare", help="all four MAMs on one kNN query")
+    _add_common(p_cmp)
+    p_cmp.add_argument("--k", type=int, default=8)
+    p_cmp.set_defaults(fn=cmd_compare)
+
+    args = parser.parse_args()
+    args.fn(args)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""The SPB-tree and its query algorithms — the paper's core contribution."""
+
+from repro.core.costmodel import CostModel
+from repro.core.join import (
+    knn_join,
+    similarity_join,
+    similarity_join_stats,
+    similarity_self_join,
+)
+from repro.core.mapping import PivotSpace
+from repro.core.persist import load_tree, save_tree
+from repro.core.pivots import (
+    intrinsic_dimensionality,
+    pivot_set_precision,
+    select_fft,
+    select_hf,
+    select_hfi,
+    select_pca,
+    select_pivots,
+    select_random,
+    select_spacing,
+    select_sss,
+)
+from repro.core.spbtree import SPBTree
+
+__all__ = [
+    "SPBTree",
+    "PivotSpace",
+    "CostModel",
+    "similarity_join",
+    "similarity_join_stats",
+    "similarity_self_join",
+    "knn_join",
+    "save_tree",
+    "load_tree",
+    "select_pivots",
+    "select_hfi",
+    "select_hf",
+    "select_fft",
+    "select_sss",
+    "select_spacing",
+    "select_pca",
+    "select_random",
+    "pivot_set_precision",
+    "intrinsic_dimensionality",
+]

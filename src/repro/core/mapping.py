@@ -1,0 +1,142 @@
+"""Pivot mapping and δ-approximation (§3.1).
+
+Stage one of the SPB-tree's two-stage mapping: an object ``o`` becomes the
+point φ(o) = <d(o, p₁), …, d(o, pₙ)> in the pivot space (Rⁿ, L∞).  By the
+triangle inequality, D(φ(o_i), φ(o_j)) — the L∞ distance in the pivot
+space — is a *lower bound* on d(o_i, o_j), which is what every pruning lemma
+in the paper builds on.
+
+Stage two discretizes φ(o) to grid coordinates <⌊d(o,p₁)/δ⌋, …> so an SFC
+can map it to one integer.  For discrete metrics (edit distance, Hamming) the
+grid is exact (δ = 1); for continuous metrics a cell ``c`` only tells us
+d ∈ [cδ, (c+1)δ), and all bounds here round conservatively so pruning never
+produces false drops.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional, Sequence
+
+from repro.distance.base import CountingDistance, Metric
+
+GridPoint = tuple[int, ...]
+GridBox = tuple[GridPoint, GridPoint]
+
+
+class PivotSpace:
+    """The mapped vector space defined by a pivot set, d+ and δ."""
+
+    def __init__(
+        self,
+        pivots: Sequence[Any],
+        metric: Metric | CountingDistance,
+        d_plus: float,
+        delta: Optional[float] = None,
+    ) -> None:
+        if not pivots:
+            raise ValueError("at least one pivot is required")
+        if d_plus <= 0:
+            raise ValueError("d_plus must be positive")
+        self.pivots = list(pivots)
+        self.metric = metric
+        self.d_plus = float(d_plus)
+        if delta is None:
+            # Discrete metrics need no approximation (δ = 1); continuous
+            # metrics default to a 256-cell grid per dimension.
+            delta = 1.0 if metric.is_discrete else self.d_plus / 256.0
+        if delta <= 0:
+            raise ValueError("delta must be positive")
+        self.delta = float(delta)
+        #: Grid cells per dimension: distances lie in [0, d+].
+        self.cells = int(math.floor(self.d_plus / self.delta)) + 1
+        #: Bits per dimension for the space-filling curve.
+        self.bits = max(1, (self.cells - 1).bit_length())
+        #: Whether grid coordinates are exact distances (δ-free metrics).
+        self.exact = metric.is_discrete and self.delta == 1.0
+
+    @property
+    def num_pivots(self) -> int:
+        return len(self.pivots)
+
+    # -------------------------------------------------------------- mapping
+
+    def phi(self, obj: Any) -> tuple[float, ...]:
+        """φ(obj): distances to every pivot (costs |P| compdists)."""
+        return tuple(self.metric(obj, p) for p in self.pivots)
+
+    def grid_from_phi(self, phi: Sequence[float]) -> GridPoint:
+        """δ-approximate a φ vector to grid coordinates."""
+        top = self.cells - 1
+        return tuple(min(top, max(0, int(d // self.delta))) for d in phi)
+
+    def grid(self, obj: Any) -> GridPoint:
+        return self.grid_from_phi(self.phi(obj))
+
+    # ------------------------------------------------------------- regions
+
+    def range_region(self, phi_q: Sequence[float], radius: float) -> GridBox:
+        """RR(q, r) of Lemma 1, as an inclusive grid box.
+
+        Rounded outward: any object within distance ``radius`` of q maps to
+        a grid cell inside this box.
+        """
+        top = self.cells - 1
+        lo = tuple(
+            min(top, max(0, int((d - radius) // self.delta))) for d in phi_q
+        )
+        hi = tuple(
+            min(top, max(0, int((d + radius) // self.delta))) for d in phi_q
+        )
+        return lo, hi
+
+    # ------------------------------------------------------- lower bounds
+
+    def cell_interval(self, coord: int) -> tuple[float, float]:
+        """The distance interval a grid coordinate stands for."""
+        if self.exact:
+            return float(coord), float(coord)
+        return coord * self.delta, (coord + 1) * self.delta
+
+    def mind_to_cell(self, phi_q: Sequence[float], cell: Sequence[int]) -> float:
+        """Lower bound of d(q, o) given only o's grid cell (kNN ordering)."""
+        worst = 0.0
+        for dq, c in zip(phi_q, cell):
+            lo, hi = self.cell_interval(c)
+            gap = max(0.0, lo - dq, dq - hi)
+            if gap > worst:
+                worst = gap
+        return worst
+
+    def mind_to_box(
+        self, phi_q: Sequence[float], lo: Sequence[int], hi: Sequence[int]
+    ) -> float:
+        """Lower bound of d(q, o) over all cells of a node MBB (Lemma 3)."""
+        worst = 0.0
+        for dq, cl, ch in zip(phi_q, lo, hi):
+            lo_d, _ = self.cell_interval(cl)
+            _, hi_d = self.cell_interval(ch)
+            gap = max(0.0, lo_d - dq, dq - hi_d)
+            if gap > worst:
+                worst = gap
+        return worst
+
+    def lower_bound(self, grid_a: Sequence[int], grid_b: Sequence[int]) -> float:
+        """Lower bound of d(a, b) from the two grid cells alone."""
+        worst = 0.0
+        for ca, cb in zip(grid_a, grid_b):
+            lo_a, hi_a = self.cell_interval(ca)
+            lo_b, hi_b = self.cell_interval(cb)
+            gap = max(0.0, lo_a - hi_b, lo_b - hi_a)
+            if gap > worst:
+                worst = gap
+        return worst
+
+    def upper_bound_to_pivot(self, coord: int) -> float:
+        """Upper bound of d(o, pᵢ) from a grid coordinate (Lemma 2)."""
+        return self.cell_interval(coord)[1]
+
+
+def linf(phi_a: Sequence[float], phi_b: Sequence[float]) -> float:
+    """D(φ(a), φ(b)): the L∞ metric of the mapped vector space."""
+    return max(abs(x - y) for x, y in zip(phi_a, phi_b))

@@ -1,0 +1,180 @@
+"""Save/load SPB-trees to a directory on disk.
+
+The SPB-tree is a disk-based index, and its two page files round-trip
+naturally; this module adds the catalog metadata (pivot table, curve
+parameters, cost-model statistics) so that a tree can be reopened in a new
+process::
+
+    save_tree(tree, "index_dir")
+    tree = load_tree("index_dir", metric)     # same metric the tree used
+
+The metric itself is code, not data — like any DBMS with user-defined
+types, the caller must supply the same distance function when reopening.
+A fingerprint of the metric's name is stored and checked to catch obvious
+mismatches.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+from typing import Any
+
+from repro.core.spbtree import SPBTree
+from repro.distance.base import Metric
+from repro.storage.raf import RandomAccessFile
+from repro.storage.serializers import (
+    BytesSerializer,
+    PickleSerializer,
+    Serializer,
+    StringSerializer,
+    UInt8VectorSerializer,
+    VectorSerializer,
+)
+
+_META_FILE = "spbtree.json"
+_BTREE_FILE = "btree.pages"
+_RAF_FILE = "raf.pages"
+
+_SERIALIZERS: dict[str, type[Serializer]] = {
+    "string": StringSerializer,
+    "vector-f64": VectorSerializer,
+    "vector-u8": UInt8VectorSerializer,
+    "bytes": BytesSerializer,
+    "pickle": PickleSerializer,
+}
+
+
+def save_tree(tree: SPBTree, directory: str) -> None:
+    """Persist ``tree`` into ``directory`` (created if needed)."""
+    if tree.raf is None:
+        raise ValueError("cannot save an empty tree")
+    os.makedirs(directory, exist_ok=True)
+    _dump_pages(tree.btree.pagefile, os.path.join(directory, _BTREE_FILE))
+    _dump_pages(tree.raf.pagefile, os.path.join(directory, _RAF_FILE))
+    serializer = tree.raf.serializer
+    meta = {
+        "format_version": 1,
+        "metric_name": tree.distance.metric.name,
+        "serializer": serializer.name,
+        "curve": tree.curve.name,
+        "page_size": tree.btree.pagefile.page_size,
+        "cache_pages": tree._cache_pages,
+        "d_plus": tree.space.d_plus,
+        "delta": tree.space.delta,
+        "pivots": [
+            base64.b64encode(serializer.serialize(p)).decode("ascii")
+            for p in tree.space.pivots
+        ],
+        "object_count": tree.object_count,
+        "next_id": tree._next_id,
+        "btree": {
+            "root_page": tree.btree.root_page,
+            "height": tree.btree.height,
+            "entry_count": tree.btree.entry_count,
+            "leaf_page_count": tree.btree.leaf_page_count,
+        },
+        "raf": {
+            "end_offset": tree.raf._end_offset,
+            "tail_page_id": tree.raf._tail_page_id,
+            "tail": base64.b64encode(bytes(tree.raf._tail)).decode("ascii"),
+            "object_count": tree.raf.object_count,
+            "deleted": sorted(tree.raf._deleted),
+        },
+        "statistics": {
+            "grid_sample": [list(g) for g in tree.grid_sample],
+            "sampled_from": tree._sampled_from,
+            "pair_distances": tree.pair_distances,
+            "distance_exponent": tree.distance_exponent,
+            "precision_hint": tree.precision_hint,
+            "ndk_corrections": {
+                str(k): v for k, v in tree.ndk_corrections.items()
+            },
+        },
+    }
+    with open(os.path.join(directory, _META_FILE), "w") as fh:
+        json.dump(meta, fh)
+
+
+def load_tree(directory: str, metric: Metric) -> SPBTree:
+    """Reopen a tree saved with :func:`save_tree`.
+
+    ``metric`` must be the same distance function the tree was built with;
+    its name is checked against the stored fingerprint.
+    """
+    with open(os.path.join(directory, _META_FILE)) as fh:
+        meta = json.load(fh)
+    if meta["format_version"] != 1:
+        raise ValueError(f"unsupported format version {meta['format_version']}")
+    if meta["metric_name"] != metric.name:
+        raise ValueError(
+            f"index was built with metric {meta['metric_name']!r}, "
+            f"got {metric.name!r}"
+        )
+    serializer = _SERIALIZERS[meta["serializer"]]()
+    pivots = [
+        serializer.deserialize(base64.b64decode(blob))
+        for blob in meta["pivots"]
+    ]
+    curve = "hilbert" if meta["curve"] == "hilbert" else "z"
+    tree = SPBTree(
+        metric,
+        pivots,
+        meta["d_plus"],
+        curve=curve,
+        delta=meta["delta"],
+        page_size=meta["page_size"],
+        cache_pages=meta["cache_pages"],
+        serializer=serializer,
+    )
+    _load_pages(tree.btree.pagefile, os.path.join(directory, _BTREE_FILE))
+    tree.btree.root_page = meta["btree"]["root_page"]
+    tree.btree.height = meta["btree"]["height"]
+    tree.btree.entry_count = meta["btree"]["entry_count"]
+    tree.btree.leaf_page_count = meta["btree"]["leaf_page_count"]
+
+    raf = RandomAccessFile(
+        serializer,
+        page_size=meta["page_size"],
+        cache_pages=meta["cache_pages"],
+    )
+    _load_pages(raf.pagefile, os.path.join(directory, _RAF_FILE))
+    raf._end_offset = meta["raf"]["end_offset"]
+    raf._tail_page_id = meta["raf"]["tail_page_id"]
+    raf._tail = bytearray(base64.b64decode(meta["raf"]["tail"]))
+    raf.object_count = meta["raf"]["object_count"]
+    raf._deleted = set(meta["raf"]["deleted"])
+    tree.raf = raf
+
+    tree.object_count = meta["object_count"]
+    tree._next_id = meta["next_id"]
+    stats = meta["statistics"]
+    tree.grid_sample = [tuple(g) for g in stats["grid_sample"]]
+    tree._sampled_from = stats["sampled_from"]
+    tree.pair_distances = stats["pair_distances"]
+    tree.distance_exponent = stats["distance_exponent"]
+    tree.precision_hint = stats["precision_hint"]
+    tree.ndk_corrections = {
+        int(k): v for k, v in stats["ndk_corrections"].items()
+    }
+    tree.reset_counters()
+    return tree
+
+
+def _dump_pages(pagefile: Any, path: str) -> None:
+    with open(path, "wb") as fh:
+        for page_id in range(pagefile.num_pages):
+            fh.write(pagefile._pages[page_id])
+
+
+def _load_pages(pagefile: Any, path: str) -> None:
+    size = pagefile.page_size
+    with open(path, "rb") as fh:
+        while True:
+            chunk = fh.read(size)
+            if not chunk:
+                break
+            if len(chunk) != size:
+                raise ValueError(f"{path} is not page aligned")
+            pagefile._pages.append(chunk)

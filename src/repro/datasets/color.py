@@ -1,0 +1,35 @@
+"""Color-histogram generator (stand-in for the paper's Color dataset).
+
+The paper's Color dataset holds 112,682 sixteen-dimensional color histograms
+of Corel images, compared under the L5-norm, with intrinsic dimensionality
+around 2.9 — i.e. strongly clustered.  We reproduce that structure with a
+Gaussian mixture over the 16-d simplex: a handful of dominant "image themes"
+with small within-theme variance, normalized to unit mass like a histogram.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+DIMENSIONS = 16
+_NUM_CLUSTERS = 8
+_WITHIN_STD = 0.015
+
+
+def generate_color(n: int, seed: int = 42) -> list[np.ndarray]:
+    """Generate ``n`` 16-d histogram-like vectors (non-negative, sum 1)."""
+    rng = np.random.default_rng(seed)
+    centers = rng.dirichlet(np.ones(DIMENSIONS) * 0.5, size=_NUM_CLUSTERS)
+    weights = rng.dirichlet(np.ones(_NUM_CLUSTERS))
+    assignments = rng.choice(_NUM_CLUSTERS, size=n, p=weights)
+    vectors = []
+    for cluster in assignments:
+        v = centers[cluster] + rng.normal(0.0, _WITHIN_STD, size=DIMENSIONS)
+        v = np.clip(v, 0.0, None)
+        total = v.sum()
+        if total == 0.0:
+            v = np.full(DIMENSIONS, 1.0 / DIMENSIONS)
+        else:
+            v = v / total
+        vectors.append(v)
+    return vectors

@@ -1,0 +1,118 @@
+"""Uniform dataset access for the benchmark harness.
+
+Each entry bundles a generator with the metric the paper pairs it with
+(Table 2), plus the default cardinality used by our scaled-down harness.
+``load_dataset`` returns a :class:`Dataset` with the objects, the metric,
+the estimated d+, and a deterministic split of query objects — the paper
+takes "the first 500 objects in every dataset" as queries; we do the same
+with a harness-configurable count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.datasets.color import generate_color
+from repro.datasets.dna import generate_dna
+from repro.datasets.signature import generate_signature
+from repro.datasets.synthetic import generate_synthetic
+from repro.datasets.words import generate_words
+from repro.distance import (
+    EditDistance,
+    EuclideanDistance,
+    HammingDistance,
+    Metric,
+    MinkowskiDistance,
+    TriGramAngularDistance,
+)
+
+
+@dataclass
+class DatasetSpec:
+    """Generator + metric pairing, mirroring one row of Table 2."""
+
+    name: str
+    generator: Callable[..., Sequence[Any]]
+    metric_factory: Callable[[], Metric]
+    default_size: int
+    paper_cardinality: int
+    paper_metric: str
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    "words": DatasetSpec(
+        "words", generate_words, EditDistance, 4000, 611_756, "edit distance"
+    ),
+    "color": DatasetSpec(
+        "color",
+        generate_color,
+        lambda: MinkowskiDistance(5),
+        4000,
+        112_682,
+        "L5-norm",
+    ),
+    "dna": DatasetSpec(
+        "dna",
+        generate_dna,
+        TriGramAngularDistance,
+        2000,
+        1_000_000,
+        "cosine over tri-grams (as angular distance)",
+    ),
+    "signature": DatasetSpec(
+        "signature", generate_signature, HammingDistance, 3000, 49_740,
+        "Hamming distance",
+    ),
+    "synthetic": DatasetSpec(
+        "synthetic", generate_synthetic, EuclideanDistance, 4000, 1_000_000,
+        "L2-norm",
+    ),
+}
+
+
+@dataclass
+class Dataset:
+    """A loaded dataset: objects, queries, metric, and d+."""
+
+    name: str
+    objects: list[Any]
+    queries: list[Any]
+    metric: Metric
+    d_plus: float
+    spec: DatasetSpec = field(repr=False, default=None)  # type: ignore[assignment]
+
+
+def load_dataset(
+    name: str,
+    size: int | None = None,
+    num_queries: int = 50,
+    seed: int = 42,
+) -> Dataset:
+    """Load ``name`` at ``size`` objects (default: the spec's scaled size).
+
+    Following the paper's protocol, the query workload is the first
+    ``num_queries`` objects of the generated data; they are *also* part of
+    the indexed set, exactly as in the paper ("the first 500 objects in
+    every dataset").
+    """
+    try:
+        spec = DATASETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
+        ) from None
+    if size is None:
+        size = spec.default_size
+    objects = list(spec.generator(size, seed=seed))
+    metric = spec.metric_factory()
+    d_plus = metric.max_distance(objects[: min(len(objects), 300)])
+    queries = objects[: min(num_queries, len(objects))]
+    return Dataset(
+        name=name,
+        objects=objects,
+        queries=queries,
+        metric=metric,
+        d_plus=d_plus,
+        spec=spec,
+    )

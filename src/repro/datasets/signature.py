@@ -1,0 +1,35 @@
+"""Bit-signature generator (stand-in for the paper's Signature dataset).
+
+The paper's Signature dataset holds 49,740 sixty-four-dimensional signatures
+compared under Hamming distance, with high intrinsic dimensionality (14.8)
+and the lowest pivot-mapping precision of all datasets (0.424).  We
+reproduce that regime with families of near-duplicate signatures: a set of
+random 64-bit "master" signatures, each spawning variants with a
+binomially-distributed number of flipped positions.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+DIMENSIONS = 64
+_FAMILY_SIZE = 15
+_FLIP_PROBABILITY = 0.10
+
+
+def generate_signature(n: int, seed: int = 42) -> list[np.ndarray]:
+    """Generate ``n`` 64-d binary signatures as uint8 vectors."""
+    rng = random.Random(seed)
+    signatures: list[np.ndarray] = []
+    while len(signatures) < n:
+        master = [rng.randint(0, 1) for _ in range(DIMENSIONS)]
+        family = min(_FAMILY_SIZE, n - len(signatures))
+        for _ in range(family):
+            variant = list(master)
+            for pos in range(DIMENSIONS):
+                if rng.random() < _FLIP_PROBABILITY:
+                    variant[pos] ^= 1
+            signatures.append(np.array(variant, dtype=np.uint8))
+    return signatures

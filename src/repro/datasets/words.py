@@ -1,0 +1,72 @@
+"""Pseudo-English word generator (stand-in for the paper's Words dataset).
+
+The paper's Words dataset holds 611,756 English words compared under edit
+distance.  This generator produces pronounceable pseudo-English words with a
+Markov syllable chain, then densifies the neighbourhood structure the way a
+natural lexicon does — by deriving inflected variants (suffixes, single-edit
+mutations) from base stems — so that small-radius range queries return
+non-trivial result sets, as they do on real English.
+"""
+
+from __future__ import annotations
+
+import random
+
+_ONSETS = [
+    "b", "bl", "br", "c", "ch", "cl", "cr", "d", "dr", "f", "fl", "fr", "g",
+    "gl", "gr", "h", "j", "k", "l", "m", "n", "p", "pl", "pr", "qu", "r",
+    "s", "sc", "sh", "sl", "sp", "st", "str", "t", "th", "tr", "v", "w",
+]
+_VOWELS = ["a", "e", "i", "o", "u", "ai", "ea", "ee", "io", "ou"]
+_CODAS = ["", "", "b", "ck", "d", "g", "l", "ll", "m", "n", "nd", "ng",
+          "nt", "p", "r", "rd", "s", "ss", "st", "t", "x"]
+_SUFFIXES = ["s", "es", "ed", "ing", "er", "ers", "ion", "ions", "ly",
+             "ment", "ness", "able", "ate", "ates", "ated", "ating"]
+_ALPHABET = "abcdefghijklmnopqrstuvwxyz"
+
+
+def _stem(rng: random.Random) -> str:
+    syllables = rng.choice([1, 1, 2, 2, 3, 4, 5])
+    parts = []
+    for _ in range(syllables):
+        parts.append(rng.choice(_ONSETS))
+        parts.append(rng.choice(_VOWELS))
+        if rng.random() < 0.55:
+            parts.append(rng.choice(_CODAS))
+    return "".join(parts)
+
+
+def _mutate(word: str, rng: random.Random) -> str:
+    pos = rng.randrange(len(word))
+    op = rng.random()
+    if op < 0.4:  # substitution
+        return word[:pos] + rng.choice(_ALPHABET) + word[pos + 1 :]
+    if op < 0.7:  # insertion
+        return word[:pos] + rng.choice(_ALPHABET) + word[pos:]
+    if len(word) > 3:  # deletion
+        return word[:pos] + word[pos + 1 :]
+    return word + rng.choice(_ALPHABET)
+
+
+def generate_words(n: int, seed: int = 42) -> list[str]:
+    """Generate ``n`` distinct pseudo-English words."""
+    rng = random.Random(seed)
+    words: set[str] = set()
+    result: list[str] = []
+
+    def add(word: str) -> None:
+        if word and word not in words:
+            words.add(word)
+            result.append(word)
+
+    while len(result) < n:
+        stem = _stem(rng)
+        add(stem)
+        # Inflections and close variants cluster the lexicon, as English does.
+        for suffix in rng.sample(_SUFFIXES, rng.randint(2, 6)):
+            if len(result) >= n:
+                break
+            add(stem + suffix)
+        if rng.random() < 0.5 and len(result) < n:
+            add(_mutate(stem, rng))
+    return result[:n]

@@ -1,0 +1,42 @@
+"""Metric distance functions for generic metric spaces.
+
+Every function here satisfies the four metric-space properties the paper
+relies on (symmetry, non-negativity, identity, triangle inequality), so any
+of them can back an SPB-tree or one of the baseline access methods.
+
+The module exposes:
+
+* vector metrics — :class:`MinkowskiDistance` (L1, L2, L5, L-infinity),
+* string metrics — :class:`EditDistance`,
+* bit-signature metrics — :class:`HammingDistance`,
+* tri-gram metrics — :class:`TriGramAngularDistance` (the metric stand-in for
+  the paper's "cosine similarity under tri-gram counting space"),
+* :class:`CountingDistance`, the wrapper every index uses to report the
+  paper's *compdists* measure.
+"""
+
+from repro.distance.base import CountingDistance, Metric
+from repro.distance.sets import JaccardDistance, shingles, tokens
+from repro.distance.strings import EditDistance, TriGramAngularDistance
+from repro.distance.vectors import (
+    ChebyshevDistance,
+    EuclideanDistance,
+    HammingDistance,
+    ManhattanDistance,
+    MinkowskiDistance,
+)
+
+__all__ = [
+    "Metric",
+    "CountingDistance",
+    "MinkowskiDistance",
+    "ManhattanDistance",
+    "EuclideanDistance",
+    "ChebyshevDistance",
+    "HammingDistance",
+    "EditDistance",
+    "TriGramAngularDistance",
+    "JaccardDistance",
+    "tokens",
+    "shingles",
+]

@@ -1,0 +1,78 @@
+"""Vector-space metrics: Minkowski (Lp) norms and Hamming distance."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.distance.base import Metric
+
+
+class MinkowskiDistance(Metric):
+    """The Lp-norm metric for real vectors.
+
+    The paper uses L2 for the synthetic dataset, L5 for the Color dataset,
+    and L-infinity (as ``D()``) for the mapped pivot space.
+    """
+
+    def __init__(self, p: float) -> None:
+        if p < 1:
+            raise ValueError("Minkowski metrics require p >= 1")
+        self.p = float(p)
+        self.name = "Linf" if math.isinf(self.p) else f"L{p:g}"
+        self.is_discrete = False
+
+    def __call__(self, a: Sequence[float], b: Sequence[float]) -> float:
+        av = np.asarray(a, dtype=np.float64)
+        bv = np.asarray(b, dtype=np.float64)
+        if av.shape != bv.shape:
+            raise ValueError(f"shape mismatch: {av.shape} vs {bv.shape}")
+        diff = np.abs(av - bv)
+        if math.isinf(self.p):
+            return float(diff.max(initial=0.0))
+        if self.p == 1.0:
+            return float(diff.sum())
+        if self.p == 2.0:
+            return float(math.sqrt(float((diff * diff).sum())))
+        return float((diff**self.p).sum() ** (1.0 / self.p))
+
+
+class ManhattanDistance(MinkowskiDistance):
+    """L1-norm."""
+
+    def __init__(self) -> None:
+        super().__init__(1.0)
+
+
+class EuclideanDistance(MinkowskiDistance):
+    """L2-norm."""
+
+    def __init__(self) -> None:
+        super().__init__(2.0)
+
+
+class ChebyshevDistance(MinkowskiDistance):
+    """L-infinity norm; this is the D() metric of the mapped vector space."""
+
+    def __init__(self) -> None:
+        super().__init__(math.inf)
+
+
+class HammingDistance(Metric):
+    """Number of positions at which two equal-length sequences differ.
+
+    Used for the Signature dataset (64-dimensional signatures).  The range is
+    the integers 0..len, so the SPB-tree indexes it without δ-approximation.
+    """
+
+    name = "hamming"
+    is_discrete = True
+
+    def __call__(self, a: Sequence[int], b: Sequence[int]) -> float:
+        if len(a) != len(b):
+            raise ValueError("Hamming distance requires equal-length inputs")
+        if isinstance(a, np.ndarray) and isinstance(b, np.ndarray):
+            return float(np.count_nonzero(a != b))
+        return float(sum(1 for x, y in zip(a, b) if x != y))

@@ -1,0 +1,26 @@
+"""Benchmark harness: one module per table/figure of the paper's §6.
+
+Every module exposes ``run(...) -> list[ExperimentTable]`` plus a CLI
+(``python -m repro.experiments.<name> [--size N]``).  The mapping from
+paper artifact to module is recorded in DESIGN.md §2; measured-vs-paper
+outcomes are recorded in EXPERIMENTS.md.
+"""
+
+ALL_EXPERIMENTS = [
+    "table4_sfc",
+    "fig9_pivots",
+    "fig10_cache",
+    "table5_traversal",
+    "fig11_delta",
+    "table6_construction",
+    "table7_update",
+    "fig12_range",
+    "fig13_knn",
+    "fig14_scalability",
+    "fig15_range_costmodel",
+    "fig16_knn_costmodel",
+    "fig17_join",
+    "fig18_join_costmodel",
+    "ablation_lemmas",
+    "extended_mams",
+]

@@ -1,0 +1,256 @@
+"""Shared machinery for the benchmark harness.
+
+The paper's measurement protocol (§6): fixed 4 KB pages; per-experiment
+metrics are the number of page accesses (PA), the number of distance
+computations (compdists), and wall time; "each measurement we report is the
+average of 500 queries for the first 500 objects in every dataset", with the
+cache flushed before each query.  :func:`measure_queries` reproduces that
+protocol (with a scaled-down query count), and :class:`ExperimentTable`
+renders results the way the paper's tables do.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.core.spbtree import SPBTree
+from repro.datasets import Dataset, load_dataset
+from repro.stats import QueryStats
+
+
+@dataclass
+class ExperimentTable:
+    """A printable result table for one experiment."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    note: str = ""
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append(list(values))
+
+    def render(self) -> str:
+        def fmt(v: Any) -> str:
+            if isinstance(v, float):
+                if v == 0:
+                    return "0"
+                if abs(v) >= 1000:
+                    return f"{v:,.0f}"
+                if abs(v) >= 10:
+                    return f"{v:.1f}"
+                return f"{v:.4g}"
+            if isinstance(v, int) and abs(v) >= 1000:
+                return f"{v:,}"
+            return str(v)
+
+        cells = [[fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in cells))
+            if cells
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = [self.title]
+        lines.append(
+            "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        )
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if self.note:
+            lines.append(f"note: {self.note}")
+        return "\n".join(lines)
+
+
+def measure_queries(
+    index: Any,
+    queries: Sequence[Any],
+    query_fn: Callable[[Any, Any], Any],
+    flush: bool = True,
+) -> QueryStats:
+    """Average PA / compdists / time of ``query_fn(index, q)`` over queries.
+
+    Follows the paper's protocol: the cache "is flushed before each of the
+    500 queries", so every query pays its own cold I/O.
+    """
+    total = QueryStats()
+    for q in queries:
+        if flush and hasattr(index, "flush_cache"):
+            index.flush_cache()
+        pa0 = index.page_accesses
+        dc0 = index.distance_computations
+        t0 = time.perf_counter()
+        result = query_fn(index, q)
+        total.elapsed_seconds += time.perf_counter() - t0
+        total.page_accesses += index.page_accesses - pa0
+        total.distance_computations += index.distance_computations - dc0
+        try:
+            total.result_size += len(result)
+        except TypeError:
+            pass
+    return total.averaged(len(queries))
+
+
+def build_spb(
+    dataset: Dataset,
+    num_pivots: int = 5,
+    curve: str = "hilbert",
+    delta: Optional[float] = None,
+    cache_pages: int = 32,
+    pivot_method: str = "hfi",
+    seed: int = 7,
+) -> SPBTree:
+    """Build an SPB-tree over a loaded dataset with the paper's defaults."""
+    return SPBTree.build(
+        dataset.objects,
+        dataset.metric,
+        num_pivots=num_pivots,
+        curve=curve,
+        pivot_method=pivot_method,
+        delta=delta,
+        d_plus=dataset.d_plus,
+        cache_pages=cache_pages,
+        seed=seed,
+    )
+
+
+def radius_for(dataset: Dataset, percent: float) -> float:
+    """A search radius expressed as a percentage of d+ (the paper's r/ε
+    parameterization, Table 3)."""
+    radius = dataset.d_plus * percent / 100.0
+    if dataset.metric.is_discrete:
+        return max(1.0, round(radius))
+    return radius
+
+
+def build_timed(builder: Callable[[], Any]) -> tuple[Any, QueryStats]:
+    """Build an index, returning it with its construction cost."""
+    t0 = time.perf_counter()
+    index = builder()
+    elapsed = time.perf_counter() - t0
+    stats = QueryStats(
+        page_accesses=index.page_accesses,
+        distance_computations=index.distance_computations,
+        elapsed_seconds=elapsed,
+    )
+    return index, stats
+
+
+def standard_cli(description: str) -> argparse.Namespace:
+    """The --size/--queries/--seed CLI shared by all experiment modules."""
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument(
+        "--size",
+        type=int,
+        default=None,
+        help="dataset cardinality (default: each dataset's scaled default)",
+    )
+    parser.add_argument(
+        "--queries", type=int, default=30, help="number of measured queries"
+    )
+    parser.add_argument("--seed", type=int, default=42, help="dataset seed")
+    return parser.parse_args()
+
+
+def print_tables(tables: Sequence[ExperimentTable]) -> None:
+    for table in tables:
+        print(table.render())
+        print()
+
+
+def load(name: str, args: argparse.Namespace) -> Dataset:
+    return load_dataset(
+        name, size=args.size, num_queries=args.queries, seed=args.seed
+    )
+
+
+def table_to_csv(table: ExperimentTable, path: str) -> None:
+    """Write one experiment table as CSV (for external plotting)."""
+    import csv
+
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(table.columns)
+        writer.writerows(table.rows)
+
+
+def ascii_chart(
+    series: "dict[str, list[tuple[float, float]]]",
+    title: str = "",
+    width: int = 60,
+    height: int = 16,
+    log_y: bool = False,
+) -> str:
+    """Render line series as an ASCII chart (for terminal 'figures').
+
+    Each series is a list of (x, y) points; x positions are mapped linearly,
+    y optionally log-scaled (most of the paper's figures are log-scale).
+    """
+    import math
+
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return title
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    if log_y:
+        floor = min(y for y in ys if y > 0) if any(y > 0 for y in ys) else 1.0
+        transform = lambda y: math.log10(max(y, floor))  # noqa: E731
+    else:
+        transform = lambda y: y  # noqa: E731
+    ty = [transform(y) for y in ys]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ty), max(ty)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@%&"
+    legend = []
+    for idx, (label, pts) in enumerate(series.items()):
+        mark = markers[idx % len(markers)]
+        legend.append(f"{mark}={label}")
+        for x, y in pts:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = int((transform(y) - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = mark
+    lines = [title] if title else []
+    top = f"{(10 ** y_hi if log_y else y_hi):,.4g}"
+    bottom = f"{(10 ** y_lo if log_y else y_lo):,.4g}"
+    lines.append(f"{top:>10} +" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " |" + "".join(row))
+    lines.append(f"{bottom:>10} +" + "".join(grid[-1]))
+    lines.append(
+        " " * 12 + f"{x_lo:<10g}" + " " * max(0, width - 20) + f"{x_hi:>10g}"
+    )
+    lines.append(" " * 12 + "  ".join(legend))
+    return "\n".join(lines)
+
+
+def table_series(
+    table: ExperimentTable,
+    group_column: str,
+    x_column: str,
+    y_column: str,
+) -> "dict[str, list[tuple[float, float]]]":
+    """Extract {group: [(x, y), ...]} series from a table for ascii_chart."""
+    gi = table.columns.index(group_column)
+    xi = table.columns.index(x_column)
+    yi = table.columns.index(y_column)
+    series: dict[str, list[tuple[float, float]]] = {}
+    for row in table.rows:
+        try:
+            x = float(row[xi])
+            y = float(row[yi])
+        except (TypeError, ValueError):
+            continue  # non-numeric cell (e.g. QJA's "-" page accesses)
+        series.setdefault(str(row[gi]), []).append((x, y))
+    return series

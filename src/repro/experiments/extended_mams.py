@@ -1,0 +1,105 @@
+"""Extended MAM comparison (beyond the paper's Figs. 12-13).
+
+The paper compares against the M-tree, OmniR-tree and M-Index; its Related
+Work (§2.1) additionally discusses the VP-tree, (L)AESA and the List of
+Clusters.  This experiment runs 8NN queries over all seven access methods
+(plus the brute-force scan as the floor/ceiling reference), reporting the
+usual PA / compdists / time triplet.
+
+Expected shape: LAESA near-minimal in compdists (pure pivot filtering) but
+with no I/O story; compact-partitioning methods (M-tree, LC) cheaper in
+storage but weaker in compdists; SPB-tree the best PA with competitive
+compdists — the hybrid argument of §1.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import (
+    LAESA,
+    BKTree,
+    GHTree,
+    LinearScan,
+    ListOfClusters,
+    MIndex,
+    MTree,
+    OmniRTree,
+    PMTree,
+    VPTree,
+)
+from repro.core.spbtree import SPBTree
+from repro.datasets import load_dataset
+from repro.experiments.common import (
+    ExperimentTable,
+    measure_queries,
+    print_tables,
+    standard_cli,
+)
+
+DATASETS = ["words", "color"]
+K = 8
+
+
+def run(
+    size: int | None = None,
+    queries: int = 20,
+    seed: int = 42,
+    datasets: list[str] | None = None,
+):
+    tables = []
+    for name in datasets or DATASETS:
+        dataset = load_dataset(name, size=size, num_queries=queries, seed=seed)
+        indexes = {
+            "LinearScan": LinearScan(dataset.objects, dataset.metric),
+            "SPB-tree": SPBTree.build(
+                dataset.objects, dataset.metric, d_plus=dataset.d_plus, seed=7
+            ),
+            "M-tree": MTree.build(dataset.objects, dataset.metric, seed=7),
+            "OmniR-tree": OmniRTree.build(
+                dataset.objects, dataset.metric, seed=7
+            ),
+            "M-Index": MIndex.build(
+                dataset.objects, dataset.metric, d_plus=dataset.d_plus, seed=7
+            ),
+            "PM-tree": PMTree.build(dataset.objects, dataset.metric, seed=7),
+            "VP-tree": VPTree(dataset.objects, dataset.metric, seed=7),
+            "GHT": GHTree(dataset.objects, dataset.metric, seed=7),
+            "LAESA": LAESA(dataset.objects, dataset.metric, seed=7),
+            "ListOfClusters": ListOfClusters(
+                dataset.objects, dataset.metric, seed=7
+            ),
+        }
+        if dataset.metric.is_discrete:
+            indexes["BK-tree"] = BKTree(dataset.objects, dataset.metric)
+        table = ExperimentTable(
+            f"Extended MAM comparison on {name} (8NN queries)",
+            ["method", "PA", "compdists", "time(s)"],
+        )
+        for method, index in indexes.items():
+            if hasattr(index, "reset_counters"):
+                index.reset_counters()
+            else:
+                index.distance.reset()
+            stats = measure_queries(
+                index, dataset.queries, lambda idx, q: idx.knn_query(q, K)
+            )
+            table.add_row(
+                method,
+                stats.page_accesses,
+                stats.distance_computations,
+                stats.elapsed_seconds,
+            )
+        table.note = (
+            "LAESA/VP-tree/LC are in-memory or simpler structures; the "
+            "SPB-tree's claim is the PA column at comparable compdists"
+        )
+        tables.append(table)
+    return tables
+
+
+def main() -> None:
+    args = standard_cli(__doc__)
+    print_tables(run(size=args.size, queries=args.queries, seed=args.seed))
+
+
+if __name__ == "__main__":
+    main()

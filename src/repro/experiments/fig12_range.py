@@ -1,0 +1,85 @@
+"""Fig. 12 — range query performance of the four MAMs vs. radius.
+
+The search radius r sweeps {2, 4, 6, 8, 16, 32, 64}% of d+ (Table 3) over
+Signature and the real datasets, for the M-tree, OmniR-tree, M-Index and
+SPB-tree.  Expected shape: SPB-tree lowest PA at every radius, compdists
+better than or comparable to the best competitor, and costs growing with r
+for everyone.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import MIndex, MTree, OmniRTree
+from repro.core.spbtree import SPBTree
+from repro.datasets import load_dataset
+from repro.experiments.common import (
+    ExperimentTable,
+    measure_queries,
+    print_tables,
+    radius_for,
+    standard_cli,
+)
+
+DATASETS = ["signature", "color", "words", "dna"]
+RADII_PERCENT = [2, 4, 6, 8, 16, 32, 64]
+
+
+#: (group column, x column, y column, log-scale) for --plot rendering.
+CHART_SPEC = [("method", "r (% d+)", "PA", True), ("method", "r (% d+)", "compdists", True)]
+
+def _build_all(dataset):
+    return {
+        "M-tree": MTree.build(dataset.objects, dataset.metric, seed=7),
+        "OmniR-tree": OmniRTree.build(dataset.objects, dataset.metric, seed=7),
+        "M-Index": MIndex.build(
+            dataset.objects, dataset.metric, d_plus=dataset.d_plus, seed=7
+        ),
+        "SPB-tree": SPBTree.build(
+            dataset.objects, dataset.metric, d_plus=dataset.d_plus, seed=7
+        ),
+    }
+
+
+def run(
+    size: int | None = None,
+    queries: int = 20,
+    seed: int = 42,
+    datasets: list[str] | None = None,
+    radii_percent: list[int] | None = None,
+):
+    tables = []
+    for name in datasets or DATASETS:
+        dataset = load_dataset(name, size=size, num_queries=queries, seed=seed)
+        indexes = _build_all(dataset)
+        table = ExperimentTable(
+            f"Fig. 12: range query cost on {name}",
+            ["method", "r (% d+)", "PA", "compdists", "time(s)"],
+        )
+        for method, index in indexes.items():
+            for percent in radii_percent or RADII_PERCENT:
+                radius = radius_for(dataset, percent)
+                index.reset_counters()
+                stats = measure_queries(
+                    index,
+                    dataset.queries,
+                    lambda idx, q, r=radius: idx.range_query(q, r),
+                )
+                table.add_row(
+                    method,
+                    percent,
+                    stats.page_accesses,
+                    stats.distance_computations,
+                    stats.elapsed_seconds,
+                )
+        table.note = "paper: SPB-tree lowest PA; costs grow with r"
+        tables.append(table)
+    return tables
+
+
+def main() -> None:
+    args = standard_cli(__doc__)
+    print_tables(run(size=args.size, queries=args.queries, seed=args.seed))
+
+
+if __name__ == "__main__":
+    main()

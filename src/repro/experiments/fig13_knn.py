@@ -1,0 +1,71 @@
+"""Fig. 13 — kNN query performance of the four MAMs vs. k.
+
+k sweeps {1, 2, 4, 8, 16, 32} (Table 3) over Signature and the real
+datasets.  Expected shape mirrors Fig. 12: SPB-tree lowest PA, competitive
+or best compdists, all costs growing slowly with k.
+"""
+
+from __future__ import annotations
+
+from repro.datasets import load_dataset
+from repro.experiments.common import (
+    ExperimentTable,
+    measure_queries,
+    print_tables,
+    standard_cli,
+)
+from repro.experiments.fig12_range import _build_all
+
+DATASETS = ["signature", "color", "words", "dna"]
+K_VALUES = [1, 2, 4, 8, 16, 32]
+
+
+#: (group column, x column, y column, log-scale) for --plot rendering.
+CHART_SPEC = [("method", "k", "PA", True), ("method", "k", "compdists", True)]
+
+def run(
+    size: int | None = None,
+    queries: int = 20,
+    seed: int = 42,
+    datasets: list[str] | None = None,
+    k_values: list[int] | None = None,
+):
+    tables = []
+    for name in datasets or DATASETS:
+        dataset = load_dataset(name, size=size, num_queries=queries, seed=seed)
+        indexes = _build_all(dataset)
+        # Low-precision data uses the greedy traversal, as in §6.1.
+        greedy = name == "dna"
+        table = ExperimentTable(
+            f"Fig. 13: kNN query cost on {name}",
+            ["method", "k", "PA", "compdists", "time(s)"],
+        )
+        for method, index in indexes.items():
+            for k in k_values or K_VALUES:
+                index.reset_counters()
+                if method == "SPB-tree" and greedy:
+                    fn = lambda idx, q, kk=k: idx.knn_query(
+                        q, kk, traversal="greedy"
+                    )
+                else:
+                    fn = lambda idx, q, kk=k: idx.knn_query(q, kk)
+                stats = measure_queries(index, dataset.queries, fn)
+                table.add_row(
+                    method,
+                    k,
+                    stats.page_accesses,
+                    stats.distance_computations,
+                    stats.elapsed_seconds,
+                )
+        table.note = "paper: SPB-tree lowest PA; costs grow slowly with k"
+        tables.append(table)
+    return tables
+
+
+def main() -> None:
+    args = standard_cli(__doc__)
+    print_tables(run(size=args.size, queries=args.queries, seed=args.seed))
+
+
+if __name__ == "__main__":
+    main()

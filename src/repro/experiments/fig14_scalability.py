@@ -1,0 +1,74 @@
+"""Fig. 14 — scalability of SPB-tree similarity search vs. cardinality.
+
+The paper sweeps the Synthetic dataset over {200K … 1000K} objects and
+shows range and kNN costs (PA, compdists, time) growing linearly with
+cardinality.  Our sweep uses the same 1:5 span at harness scale.
+"""
+
+from __future__ import annotations
+
+from repro.datasets import load_dataset
+from repro.experiments.common import (
+    ExperimentTable,
+    build_spb,
+    measure_queries,
+    print_tables,
+    radius_for,
+    standard_cli,
+)
+
+#: Cardinality steps, as fractions of the largest size (paper: 200K..1000K).
+STEPS = [0.2, 0.4, 0.6, 0.8, 1.0]
+RADIUS_PERCENT = 8
+K = 8
+
+
+#: (group column, x column, y column, log-scale) for --plot rendering.
+CHART_SPEC = [("query", "cardinality", "compdists", False), ("query", "cardinality", "PA", False)]
+
+def run(size: int | None = None, queries: int = 20, seed: int = 42):
+    max_size = size or 5000
+    table = ExperimentTable(
+        "Fig. 14: SPB-tree similarity search scalability (synthetic)",
+        ["cardinality", "query", "PA", "compdists", "time(s)"],
+    )
+    for step in STEPS:
+        n = int(max_size * step)
+        dataset = load_dataset(
+            "synthetic", size=n, num_queries=queries, seed=seed
+        )
+        tree = build_spb(dataset)
+        radius = radius_for(dataset, RADIUS_PERCENT)
+        tree.reset_counters()
+        stats = measure_queries(
+            tree, dataset.queries, lambda t, q: t.range_query(q, radius)
+        )
+        table.add_row(
+            n,
+            f"range r={RADIUS_PERCENT}%",
+            stats.page_accesses,
+            stats.distance_computations,
+            stats.elapsed_seconds,
+        )
+        tree.reset_counters()
+        stats = measure_queries(
+            tree, dataset.queries, lambda t, q: t.knn_query(q, K)
+        )
+        table.add_row(
+            n,
+            f"kNN k={K}",
+            stats.page_accesses,
+            stats.distance_computations,
+            stats.elapsed_seconds,
+        )
+    table.note = "paper: all costs grow linearly with cardinality"
+    return [table]
+
+
+def main() -> None:
+    args = standard_cli(__doc__)
+    print_tables(run(size=args.size, queries=args.queries, seed=args.seed))
+
+
+if __name__ == "__main__":
+    main()

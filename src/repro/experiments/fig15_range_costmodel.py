@@ -1,0 +1,88 @@
+"""Fig. 15 — accuracy of the range-query cost model vs. radius.
+
+For every radius, the harness reports the measured PA/compdists, the
+estimates of eqs. 3-6, and the paper's accuracy score
+1 − |Actual − Estimated| / Actual, averaged over the query workload.
+The paper reports average accuracy above 80 %.
+"""
+
+from __future__ import annotations
+
+from repro.core.costmodel import CostModel
+from repro.datasets import load_dataset
+from repro.experiments.common import (
+    ExperimentTable,
+    build_spb,
+    print_tables,
+    radius_for,
+    standard_cli,
+)
+
+DATASETS = ["color", "words"]
+RADII_PERCENT = [2, 4, 6, 8, 16]
+
+
+def _accuracy(actual: float, estimated: float) -> float:
+    if actual == 0:
+        return 1.0 if estimated == 0 else 0.0
+    return max(0.0, 1.0 - abs(actual - estimated) / actual)
+
+
+def run(size: int | None = None, queries: int = 20, seed: int = 42):
+    tables = []
+    for name in DATASETS:
+        dataset = load_dataset(name, size=size, num_queries=queries, seed=seed)
+        tree = build_spb(dataset)
+        model = CostModel(tree)
+        table = ExperimentTable(
+            f"Fig. 15: range query cost model on {name}",
+            [
+                "r (% d+)",
+                "actual compdists",
+                "est. compdists",
+                "acc.",
+                "actual PA",
+                "est. PA",
+                "acc.",
+            ],
+        )
+        for percent in RADII_PERCENT:
+            radius = radius_for(dataset, percent)
+            act_dc = act_pa = est_dc = est_pa = 0.0
+            for q in dataset.queries:
+                estimate = model.estimate_range(q, radius)
+                est_dc += estimate.edc
+                est_pa += estimate.epa
+                tree.flush_cache()
+                pa0, dc0 = tree.page_accesses, tree.distance_computations
+                tree.range_query(q, radius)
+                act_pa += tree.page_accesses - pa0
+                act_dc += tree.distance_computations - dc0
+            n = len(dataset.queries)
+            act_dc, act_pa, est_dc, est_pa = (
+                act_dc / n,
+                act_pa / n,
+                est_dc / n,
+                est_pa / n,
+            )
+            table.add_row(
+                percent,
+                act_dc,
+                est_dc,
+                _accuracy(act_dc, est_dc),
+                act_pa,
+                est_pa,
+                _accuracy(act_pa, est_pa),
+            )
+        table.note = "paper: average accuracy above 80%"
+        tables.append(table)
+    return tables
+
+
+def main() -> None:
+    args = standard_cli(__doc__)
+    print_tables(run(size=args.size, queries=args.queries, seed=args.seed))
+
+
+if __name__ == "__main__":
+    main()

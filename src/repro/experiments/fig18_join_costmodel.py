@@ -1,0 +1,83 @@
+"""Fig. 18 — accuracy of the similarity-join cost model vs. ε.
+
+Measured SJA cost against the estimates of eq. 7 (EDC) and eq. 8 (EPA),
+with the paper's accuracy score.  The paper reports average accuracy above
+90 % — joins are easier to model than searches because SJA's I/O is one
+deterministic merge pass.
+"""
+
+from __future__ import annotations
+
+from repro.core.costmodel import CostModel
+from repro.core.join import similarity_join
+from repro.core.pivots import select_pivots
+from repro.core.spbtree import SPBTree
+from repro.datasets import load_dataset
+from repro.experiments.common import (
+    ExperimentTable,
+    print_tables,
+    radius_for,
+    standard_cli,
+)
+from repro.experiments.fig15_range_costmodel import _accuracy
+
+DATASETS = ["color", "words"]
+EPSILON_PERCENT = [2, 4, 6, 8, 10]
+
+
+def run(size: int | None = None, queries: int = 0, seed: int = 42):
+    tables = []
+    for name in DATASETS:
+        dataset = load_dataset(name, size=size, seed=seed)
+        half = len(dataset.objects) // 2
+        set_q, set_o = dataset.objects[:half], dataset.objects[half:]
+        pivots = select_pivots(set_o, 5, dataset.metric, seed=7)
+        tree_q = SPBTree.build(
+            set_q, dataset.metric, pivots=pivots, d_plus=dataset.d_plus,
+            curve="z",
+        )
+        tree_o = SPBTree.build(
+            set_o, dataset.metric, pivots=pivots, d_plus=dataset.d_plus,
+            curve="z",
+        )
+        table = ExperimentTable(
+            f"Fig. 18: similarity join cost model on {name}",
+            [
+                "ε (% d+)",
+                "actual compdists",
+                "est. compdists",
+                "acc.",
+                "actual PA",
+                "est. PA",
+                "acc.",
+            ],
+        )
+        for percent in EPSILON_PERCENT:
+            epsilon = radius_for(dataset, percent)
+            estimate = CostModel.estimate_join(tree_q, tree_o, epsilon)
+            tree_q.flush_cache()
+            tree_o.flush_cache()
+            result = similarity_join(tree_q, tree_o, epsilon)
+            act_dc = result.stats.distance_computations
+            act_pa = result.stats.page_accesses
+            table.add_row(
+                percent,
+                act_dc,
+                estimate.edc,
+                _accuracy(act_dc, estimate.edc),
+                act_pa,
+                estimate.epa,
+                _accuracy(act_pa, estimate.epa),
+            )
+        table.note = "paper: average accuracy above 90%"
+        tables.append(table)
+    return tables
+
+
+def main() -> None:
+    args = standard_cli(__doc__)
+    print_tables(run(size=args.size, seed=args.seed))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Fig. 9 — efficiency of pivot selection methods vs. |P|.
+
+The paper sweeps the number of pivots over {1, 3, 5, 7, 9} for four pivot
+selection algorithms — HFI (theirs), HF, Spacing and PCA — and measures 8NN
+query cost on the real datasets.  Expected shape: HFI lowest in compdists;
+compdists fall as |P| grows; PA and CPU time bottom out near the dataset's
+intrinsic dimensionality and then flatten or rise.
+"""
+
+from __future__ import annotations
+
+from repro.core.pivots import select_pivots
+from repro.core.spbtree import SPBTree
+from repro.datasets import load_dataset
+from repro.experiments.common import (
+    ExperimentTable,
+    measure_queries,
+    print_tables,
+    standard_cli,
+)
+
+DATASETS = ["words", "color", "dna"]
+METHODS = ["hfi", "hf", "spacing", "pca"]
+PIVOT_COUNTS = [1, 3, 5, 7, 9]
+K = 8
+
+
+#: (group column, x column, y column, log-scale) for --plot rendering.
+CHART_SPEC = [("method", "|P|", "compdists", False)]
+
+def run(
+    size: int | None = None,
+    queries: int = 20,
+    seed: int = 42,
+    datasets: list[str] | None = None,
+):
+    tables = []
+    for name in datasets or DATASETS:
+        dataset = load_dataset(name, size=size, num_queries=queries, seed=seed)
+        table = ExperimentTable(
+            f"Fig. 9: pivot selection methods on {name} (8NN queries)",
+            ["method", "|P|", "compdists", "PA", "time(s)"],
+        )
+        for method in METHODS:
+            for num_pivots in PIVOT_COUNTS:
+                pivots = select_pivots(
+                    dataset.objects,
+                    num_pivots,
+                    dataset.metric,
+                    method=method,
+                    seed=7,
+                )
+                tree = SPBTree.build(
+                    dataset.objects,
+                    dataset.metric,
+                    pivots=pivots,
+                    d_plus=dataset.d_plus,
+                )
+                tree.reset_counters()
+                stats = measure_queries(
+                    tree, dataset.queries, lambda t, q: t.knn_query(q, K)
+                )
+                table.add_row(
+                    method,
+                    num_pivots,
+                    stats.distance_computations,
+                    stats.page_accesses,
+                    stats.elapsed_seconds,
+                )
+        table.note = "paper: HFI lowest compdists; compdists fall as |P| grows"
+        tables.append(table)
+    return tables
+
+
+def main() -> None:
+    args = standard_cli(__doc__)
+    print_tables(run(size=args.size, queries=args.queries, seed=args.seed))
+
+
+if __name__ == "__main__":
+    main()

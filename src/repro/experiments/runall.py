@@ -1,0 +1,89 @@
+"""Run the full benchmark harness: every table and figure of §6.
+
+    python -m repro.experiments.runall [--size N] [--quick]
+
+``--quick`` runs each experiment at a reduced cardinality so the whole
+sweep finishes in a few minutes; without it, each dataset uses its default
+harness scale (see repro.datasets.registry).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import time
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.common import (
+    ascii_chart,
+    print_tables,
+    table_series,
+    table_to_csv,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=None)
+    parser.add_argument("--queries", type=int, default=20)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced cardinality everywhere"
+    )
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="render ASCII charts for experiments that declare a CHART_SPEC",
+    )
+    parser.add_argument(
+        "--csv",
+        default=None,
+        metavar="DIR",
+        help="also write each table as a CSV file into DIR",
+    )
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        default=None,
+        help="run only the named experiments (e.g. table4_sfc fig17_join)",
+    )
+    args = parser.parse_args()
+    size = 800 if args.quick else args.size
+    queries = 10 if args.quick else args.queries
+
+    names = args.only or ALL_EXPERIMENTS
+    for name in names:
+        module = importlib.import_module(f"repro.experiments.{name}")
+        start = time.perf_counter()
+        tables = module.run(size=size, queries=queries, seed=args.seed)
+        elapsed = time.perf_counter() - start
+        print(f"=== {name} ({elapsed:.1f}s) " + "=" * 30)
+        print_tables(tables)
+        if args.plot and hasattr(module, "CHART_SPEC"):
+            for table in tables:
+                for group, x, y, log in module.CHART_SPEC:
+                    try:
+                        series = table_series(table, group, x, y)
+                    except ValueError:
+                        continue
+                    if series:
+                        print(
+                            ascii_chart(
+                                series,
+                                title=f"{table.title} — {y}",
+                                log_y=log,
+                            )
+                        )
+                        print()
+        if args.csv:
+            import os
+
+            os.makedirs(args.csv, exist_ok=True)
+            for i, table in enumerate(tables):
+                table_to_csv(
+                    table, os.path.join(args.csv, f"{name}_{i}.csv")
+                )
+
+
+if __name__ == "__main__":
+    main()

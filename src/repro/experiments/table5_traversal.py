@@ -1,0 +1,67 @@
+"""Table 5 — kNN search with incremental vs. greedy traversal.
+
+The incremental paradigm (re-insert leaf entries into the heap) is optimal
+in distance computations (Lemma 4) but revisits RAF pages when the
+verification order scatters; the greedy paradigm (verify a whole leaf at
+once) is optimal in RAF page accesses at the cost of some extra distance
+computations.  The paper's headline case is DNA — the lowest-precision
+dataset — where greedy wins overall; on Color and Words incremental is fine.
+"""
+
+from __future__ import annotations
+
+from repro.datasets import load_dataset
+from repro.experiments.common import (
+    ExperimentTable,
+    build_spb,
+    measure_queries,
+    print_tables,
+    standard_cli,
+)
+
+DATASETS = ["color", "words", "dna"]
+K = 8
+
+#: The paper's 32-page cache sits against a ~130 MB DNA RAF (0.1 % of the
+#: working set); at harness scale the same 32 pages would hold half the
+#: file and mask the incremental strategy's re-access problem entirely, so
+#: this experiment scales the cache down with the data.
+CACHE_PAGES = 4
+
+
+def run(size: int | None = None, queries: int = 30, seed: int = 42):
+    table = ExperimentTable(
+        "Table 5: kNN search with different traversal strategies (k=8)",
+        ["dataset", "traversal", "PA", "compdists", "time(s)"],
+    )
+    for name in DATASETS:
+        dataset = load_dataset(name, size=size, num_queries=queries, seed=seed)
+        tree = build_spb(dataset, cache_pages=CACHE_PAGES)
+        for traversal in ("incremental", "greedy"):
+            tree.reset_counters()
+            stats = measure_queries(
+                tree,
+                dataset.queries,
+                lambda t, q, trav=traversal: t.knn_query(q, K, traversal=trav),
+            )
+            table.add_row(
+                name,
+                traversal,
+                stats.page_accesses,
+                stats.distance_computations,
+                stats.elapsed_seconds,
+            )
+    table.note = (
+        "paper: greedy cuts PA sharply on low-precision data (DNA) for a "
+        "small compdists overhead"
+    )
+    return [table]
+
+
+def main() -> None:
+    args = standard_cli(__doc__)
+    print_tables(run(size=args.size, queries=args.queries, seed=args.seed))
+
+
+if __name__ == "__main__":
+    main()

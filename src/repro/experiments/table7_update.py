@@ -1,0 +1,69 @@
+"""Table 7 — update (insertion) cost of the four MAMs on Words.
+
+The paper inserts 100 random objects into each prebuilt index and reports
+the average cost per insertion.  Expected shape: the SPB-tree needs exactly
+|P| distance computations per insert (mapping only) — the fewest of all
+methods and the fastest wall time — while its PA is comparable to the
+M-tree's because both a B+-tree path and an RAF page must be written.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.baselines import MIndex, MTree, OmniRTree
+from repro.core.spbtree import SPBTree
+from repro.datasets import generate_words, load_dataset
+from repro.experiments.common import ExperimentTable, print_tables, standard_cli
+
+NUM_INSERTS = 100
+
+
+def run(size: int | None = None, queries: int = 0, seed: int = 42):
+    dataset = load_dataset("words", size=size, seed=seed)
+    # Fresh objects, disjoint from the indexed set.
+    extra_pool = generate_words(len(dataset.objects) + NUM_INSERTS, seed=seed + 999)
+    existing = set(dataset.objects)
+    inserts = [w for w in extra_pool if w not in existing][:NUM_INSERTS]
+
+    table = ExperimentTable(
+        f"Table 7: average cost of {NUM_INSERTS} insertions (words)",
+        ["method", "PA", "compdists", "time(s)"],
+    )
+    builders = {
+        "M-tree": lambda: MTree.build(dataset.objects, dataset.metric, seed=7),
+        "OmniR-tree": lambda: OmniRTree.build(
+            dataset.objects, dataset.metric, seed=7
+        ),
+        "M-Index": lambda: MIndex.build(
+            dataset.objects, dataset.metric, d_plus=dataset.d_plus, seed=7
+        ),
+        "SPB-tree": lambda: SPBTree.build(
+            dataset.objects, dataset.metric, d_plus=dataset.d_plus, seed=7
+        ),
+    }
+    for method, builder in builders.items():
+        index = builder()
+        pa0 = index.page_accesses
+        dc0 = index.distance_computations
+        t0 = time.perf_counter()
+        for word in inserts:
+            index.insert(word)
+        elapsed = time.perf_counter() - t0
+        table.add_row(
+            method,
+            (index.page_accesses - pa0) / len(inserts),
+            (index.distance_computations - dc0) / len(inserts),
+            elapsed / len(inserts),
+        )
+    table.note = "paper: SPB-tree fewest compdists (=|P|) and lowest time"
+    return [table]
+
+
+def main() -> None:
+    args = standard_cli(__doc__)
+    print_tables(run(size=args.size, seed=args.seed))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Space-filling curves and grid-region helpers.
+
+The SPB-tree's second mapping stage (§3.1) turns a pivot-space vector into a
+single integer with a space-filling curve.  Any SFC works; the paper uses the
+Hilbert curve by default (better clustering) and the Z-order curve for
+similarity joins, whose merge algorithm needs the Z-curve's per-dimension
+monotonicity (Lemma 6).
+"""
+
+from repro.sfc.base import SpaceFillingCurve
+from repro.sfc.hilbert import HilbertCurve
+from repro.sfc.region import (
+    box_cell_count,
+    box_intersection,
+    boxes_intersect,
+    cells_in_box,
+    mind_point_to_box,
+    sfc_values_in_box,
+)
+from repro.sfc.zorder import ZCurve
+
+__all__ = [
+    "SpaceFillingCurve",
+    "HilbertCurve",
+    "ZCurve",
+    "cells_in_box",
+    "sfc_values_in_box",
+    "box_cell_count",
+    "box_intersection",
+    "boxes_intersect",
+    "mind_point_to_box",
+]

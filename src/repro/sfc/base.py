@@ -1,0 +1,74 @@
+"""Common interface for space-filling curves."""
+
+from __future__ import annotations
+
+import functools
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+
+class SpaceFillingCurve(ABC):
+    """A bijection between an n-dimensional integer grid and [0, 2^(n*bits)).
+
+    ``ndims`` is the number of pivots |P|; ``bits`` is the per-dimension
+    resolution, chosen so that 2^bits > d+/δ (every grid coordinate fits).
+
+    Both directions are memoized per instance: query processing decodes the
+    same leaf keys and MBB corners over and over (the paper counts this
+    "transformation between SFC values and vectors" as real CPU cost, §6.1),
+    and the mapping is pure, so an LRU cache is safe and considerably
+    cheaper.
+    """
+
+    def __init__(self, ndims: int, bits: int) -> None:
+        if ndims < 1:
+            raise ValueError("ndims must be >= 1")
+        if bits < 1:
+            raise ValueError("bits must be >= 1")
+        self.ndims = ndims
+        self.bits = bits
+        self.decode = functools.lru_cache(maxsize=1 << 16)(self.decode)  # type: ignore[method-assign]
+
+    #: Whether the curve value is monotone in every grid coordinate
+    #: (true for the Z-order curve — the property Lemma 6 relies on —
+    #: false for the Hilbert curve).
+    is_monotone: bool = False
+
+    name: str = "sfc"
+
+    @property
+    def side(self) -> int:
+        """Grid extent per dimension."""
+        return 1 << self.bits
+
+    @property
+    def max_value(self) -> int:
+        """Exclusive upper bound of curve values."""
+        return 1 << (self.ndims * self.bits)
+
+    @abstractmethod
+    def encode(self, coords: Sequence[int]) -> int:
+        """Map grid coordinates to the curve value."""
+
+    @abstractmethod
+    def decode(self, value: int) -> tuple[int, ...]:
+        """Map a curve value back to grid coordinates."""
+
+    def _check_coords(self, coords: Sequence[int]) -> None:
+        if len(coords) != self.ndims:
+            raise ValueError(
+                f"expected {self.ndims} coordinates, got {len(coords)}"
+            )
+        side = self.side
+        for c in coords:
+            if not 0 <= c < side:
+                raise ValueError(
+                    f"coordinate {c} out of range [0, {side}) "
+                    f"for {self.bits}-bit curve"
+                )
+
+    def _check_value(self, value: int) -> None:
+        if not 0 <= value < self.max_value:
+            raise ValueError(
+                f"curve value {value} out of range [0, {self.max_value})"
+            )

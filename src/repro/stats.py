@@ -1,0 +1,95 @@
+"""Shared performance counters.
+
+The paper reports three metrics for every experiment: the number of page
+accesses (*PA*), the number of distance computations (*compdists*), and CPU
+(wall) time.  Every disk-resident structure in this library routes its reads
+and writes through a :class:`PageAccessCounter`, and every metric-space index
+wraps its distance function in a counting wrapper (see
+:mod:`repro.distance.base`), so the three metrics can be read off uniformly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PageAccessCounter:
+    """Counts logical page reads and writes.
+
+    A "page access" is counted the way the paper counts it: one unit per page
+    fetched from (or flushed to) the underlying file.  Reads served from a
+    buffer pool (see :class:`repro.storage.buffer.BufferPool`) do not reach
+    this counter, which is precisely what the cache-size experiment (Fig. 10)
+    measures.
+    """
+
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.reads + self.writes
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.writes = 0
+
+
+@dataclass
+class QueryStats:
+    """Aggregated metrics for one query or one batch of queries."""
+
+    page_accesses: int = 0
+    distance_computations: int = 0
+    elapsed_seconds: float = 0.0
+    result_size: int = 0
+
+    def add(self, other: "QueryStats") -> None:
+        self.page_accesses += other.page_accesses
+        self.distance_computations += other.distance_computations
+        self.elapsed_seconds += other.elapsed_seconds
+        self.result_size += other.result_size
+
+    def averaged(self, n: int) -> "QueryStats":
+        """Return per-query averages over ``n`` queries."""
+        if n <= 0:
+            raise ValueError("n must be positive")
+        return QueryStats(
+            page_accesses=self.page_accesses / n,
+            distance_computations=self.distance_computations / n,
+            elapsed_seconds=self.elapsed_seconds / n,
+            result_size=self.result_size / n,
+        )
+
+
+@dataclass
+class StatsSession:
+    """Snapshot-based measurement of an index's counters.
+
+    Usage::
+
+        with StatsSession(index) as session:
+            index.range_query(q, r)
+        stats = session.stats
+    """
+
+    index: object
+    stats: QueryStats = field(default_factory=QueryStats)
+    _pa_before: int = 0
+    _dc_before: int = 0
+    _t_before: float = 0.0
+
+    def __enter__(self) -> "StatsSession":
+        self._pa_before = self.index.page_accesses
+        self._dc_before = self.index.distance_computations
+        self._t_before = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stats.elapsed_seconds = time.perf_counter() - self._t_before
+        self.stats.page_accesses = self.index.page_accesses - self._pa_before
+        self.stats.distance_computations = (
+            self.index.distance_computations - self._dc_before
+        )

@@ -1,0 +1,35 @@
+"""Disk storage substrate: page file, LRU buffer pool, object serializers,
+and the random access file (RAF) that stores the actual metric objects.
+
+All access methods in this library (the SPB-tree and every baseline) persist
+their nodes and objects through :class:`PageFile`, so the page-access and
+storage-size numbers the benchmark harness reports are comparable across
+methods — the property Table 6 of the paper depends on.
+"""
+
+from repro.storage.buffer import BufferPool
+from repro.storage.pagefile import DEFAULT_PAGE_SIZE, PageFile
+from repro.storage.raf import RandomAccessFile
+from repro.storage.serializers import (
+    BytesSerializer,
+    PickleSerializer,
+    Serializer,
+    StringSerializer,
+    UInt8VectorSerializer,
+    VectorSerializer,
+    serializer_for,
+)
+
+__all__ = [
+    "PageFile",
+    "BufferPool",
+    "RandomAccessFile",
+    "DEFAULT_PAGE_SIZE",
+    "Serializer",
+    "StringSerializer",
+    "VectorSerializer",
+    "UInt8VectorSerializer",
+    "BytesSerializer",
+    "PickleSerializer",
+    "serializer_for",
+]

@@ -1,0 +1,65 @@
+"""LRU buffer pool over a :class:`~repro.storage.pagefile.PageFile`.
+
+The paper studies the effect of a small per-query cache on RAF page accesses
+(Fig. 10): the cache "aims to improve the I/O efficiency of a single query"
+and "is flushed before each of the 500 queries".  A read served from the pool
+costs no page access; a miss costs exactly one.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.storage.pagefile import PageFile
+
+
+class BufferPool:
+    """A least-recently-used page cache.
+
+    ``capacity`` is the number of pages held; a capacity of 0 disables
+    caching entirely (every read is a page access), which is the leftmost
+    point of Fig. 10.
+    """
+
+    def __init__(self, pagefile: PageFile, capacity: int = 32) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.pagefile = pagefile
+        self.capacity = capacity
+        self._cache: OrderedDict[int, bytes] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def read_page(self, page_id: int) -> bytes:
+        """Read through the cache; only misses reach the page file."""
+        if self.capacity and page_id in self._cache:
+            self._cache.move_to_end(page_id)
+            self.hits += 1
+            return self._cache[page_id]
+        data = self.pagefile.read_page(page_id)
+        self.misses += 1
+        if self.capacity:
+            self._cache[page_id] = data
+            if len(self._cache) > self.capacity:
+                self._cache.popitem(last=False)
+        return data
+
+    def write_page(self, page_id: int, data: bytes) -> None:
+        """Write-through: the page file is updated and the cache refreshed."""
+        self.pagefile.write_page(page_id, data)
+        if self.capacity:
+            page_size = self.pagefile.page_size
+            if len(data) < page_size:
+                data = data + bytes(page_size - len(data))
+            self._cache[page_id] = data
+            self._cache.move_to_end(page_id)
+            if len(self._cache) > self.capacity:
+                self._cache.popitem(last=False)
+
+    def flush(self) -> None:
+        """Empty the pool (called before each query in Fig. 10's protocol)."""
+        self._cache.clear()
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0

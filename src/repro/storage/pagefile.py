@@ -1,0 +1,116 @@
+"""Fixed-size page file with page-access accounting.
+
+The paper fixes the disk page size of every access method at 4 KB (§6) and
+reports the number of page accesses (*PA*) as the I/O-cost metric.  This
+module provides that abstraction: a flat array of fixed-size pages, where
+every read and write of a page increments a counter.
+
+The backing store is an in-memory list of ``bytes`` by default — the paper's
+PA metric is a *logical* count, independent of the physical medium — but a
+file-system path may be supplied to persist pages, which the integration
+tests use to prove indexes survive a round trip to real disk.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.stats import PageAccessCounter
+
+DEFAULT_PAGE_SIZE = 4096
+
+
+class PageFile:
+    """A flat collection of fixed-size pages addressed by page id."""
+
+    def __init__(
+        self,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        path: Optional[str] = None,
+    ) -> None:
+        if page_size <= 0:
+            raise ValueError("page_size must be positive")
+        self.page_size = page_size
+        self.path = path
+        self.counter = PageAccessCounter()
+        self._pages: list[bytes] = []
+        self._file = None
+        if path is not None:
+            # "r+b" honours seeks (append mode would force writes to the
+            # end); create the file first if it does not exist yet.
+            mode = "r+b" if os.path.exists(path) else "w+b"
+            self._file = open(path, mode)
+            self._file.seek(0, os.SEEK_END)
+            size = self._file.tell()
+            if size % page_size:
+                raise ValueError(
+                    f"existing file {path!r} is not page aligned "
+                    f"({size} bytes, page size {page_size})"
+                )
+            self._load_existing(size // page_size)
+
+    def _load_existing(self, num_pages: int) -> None:
+        assert self._file is not None
+        self._file.seek(0)
+        for _ in range(num_pages):
+            self._pages.append(self._file.read(self.page_size))
+
+    # ------------------------------------------------------------------ API
+
+    @property
+    def num_pages(self) -> int:
+        return len(self._pages)
+
+    @property
+    def size_in_bytes(self) -> int:
+        """Total storage footprint (the Storage column of Table 6)."""
+        return self.num_pages * self.page_size
+
+    def allocate(self) -> int:
+        """Allocate a fresh, zero-filled page; returns its page id.
+
+        Allocation itself is not a page access; the subsequent write is.
+        """
+        self._pages.append(bytes(self.page_size))
+        if self._file is not None:
+            self._file.seek(0, os.SEEK_END)
+            self._file.write(bytes(self.page_size))
+        return len(self._pages) - 1
+
+    def read_page(self, page_id: int) -> bytes:
+        """Read one page, counting one page access."""
+        self._check(page_id)
+        self.counter.reads += 1
+        return self._pages[page_id]
+
+    def write_page(self, page_id: int, data: bytes) -> None:
+        """Write one page, counting one page access."""
+        self._check(page_id)
+        if len(data) > self.page_size:
+            raise ValueError(
+                f"data of {len(data)} bytes exceeds page size {self.page_size}"
+            )
+        self.counter.writes += 1
+        padded = data if len(data) == self.page_size else data + bytes(
+            self.page_size - len(data)
+        )
+        self._pages[page_id] = padded
+        if self._file is not None:
+            self._file.seek(page_id * self.page_size)
+            self._file.write(padded)
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "PageFile":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _check(self, page_id: int) -> None:
+        if not 0 <= page_id < len(self._pages):
+            raise IndexError(f"page {page_id} out of range (have {len(self._pages)})")

@@ -1,0 +1,187 @@
+"""The random access file (RAF) that stores the actual metric objects.
+
+Per §3.3, the SPB-tree "utilizes an RAF to store objects separately" from the
+index, "in ascending order of their SFC values", and each RAF entry records
+(1) an object identifier ``id``, (2) the length ``len`` of the object, and
+(3) the real object ``obj``.  Variable-length objects (words, DNA strings)
+are why ``len`` is stored explicitly.
+
+Records are packed contiguously and may span page boundaries; reads fetch
+exactly the pages a record overlaps, through an LRU buffer pool, which is
+what makes the clustering property of the space-filling curve pay off:
+records that are close in SFC order share pages, so nearby reads are cache
+hits.
+
+Two write modes exist:
+
+* *bulk mode* (``append(..., flush=False)``) — records accumulate in memory
+  and full pages are written once, used while bulk-loading in SFC order;
+* *durable mode* (the default) — each append write-throughs the partial
+  last page, which is what a single-object insertion (Appendix C / Table 7)
+  costs.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Iterator, Optional
+
+from repro.storage.buffer import BufferPool
+from repro.storage.pagefile import DEFAULT_PAGE_SIZE, PageFile
+from repro.storage.serializers import Serializer
+
+_HEADER = struct.Struct("<qI")  # (object id: int64, payload length: uint32)
+
+
+class RandomAccessFile:
+    """Sequential-append, random-read object store."""
+
+    def __init__(
+        self,
+        serializer: Serializer,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        cache_pages: int = 32,
+        path: Optional[str] = None,
+    ) -> None:
+        self.serializer = serializer
+        self.pagefile = PageFile(page_size=page_size, path=path)
+        self.buffer_pool = BufferPool(self.pagefile, capacity=cache_pages)
+        self._tail = bytearray()  # bytes of the (partial) last page
+        self._tail_page_id: Optional[int] = None  # where the tail lives on disk
+        self._end_offset = 0  # logical end of data (bytes)
+        self.object_count = 0
+        self._deleted: set[int] = set()
+
+    # ---------------------------------------------------------------- write
+
+    def append(self, obj_id: int, obj: Any, flush: bool = True) -> int:
+        """Append one record; returns its byte offset (the B+-tree's ptr).
+
+        With ``flush=False`` (bulk loading) only full pages are written;
+        call :meth:`finalize` afterwards.  With ``flush=True`` the partial
+        last page is written through immediately.
+        """
+        payload = self.serializer.serialize(obj)
+        record = _HEADER.pack(obj_id, len(payload)) + payload
+        offset = self._end_offset
+        self._tail.extend(record)
+        self._end_offset += len(record)
+        page_size = self.pagefile.page_size
+        while len(self._tail) >= page_size:
+            page_id = self._take_tail_page()
+            self.buffer_pool.write_page(page_id, bytes(self._tail[:page_size]))
+            del self._tail[:page_size]
+            self._tail_page_id = None
+        if flush:
+            self._flush_partial()
+        self.object_count += 1
+        return offset
+
+    def finalize(self) -> None:
+        """Flush the partial last page (call once after bulk loading)."""
+        self._flush_partial()
+
+    def _take_tail_page(self) -> int:
+        if self._tail_page_id is not None:
+            return self._tail_page_id
+        return self.pagefile.allocate()
+
+    def _flush_partial(self) -> None:
+        if not self._tail:
+            return
+        page_id = self._take_tail_page()
+        self.buffer_pool.write_page(page_id, bytes(self._tail))
+        self._tail_page_id = page_id
+
+    def mark_deleted(self, offset: int) -> None:
+        """Tombstone a record; space is reclaimed on the next rebuild."""
+        self._deleted.add(offset)
+        self.object_count -= 1
+
+    def is_deleted(self, offset: int) -> bool:
+        return offset in self._deleted
+
+    # ----------------------------------------------------------------- read
+
+    def read(self, offset: int) -> tuple[int, Any]:
+        """Read the record at ``offset``; returns ``(object id, object)``.
+
+        Every page the record overlaps is fetched through the buffer pool,
+        so the page-access count reflects both record size and cache state.
+        """
+        header = self._read_bytes(offset, _HEADER.size)
+        obj_id, length = _HEADER.unpack(header)
+        payload = self._read_bytes(offset + _HEADER.size, length)
+        return obj_id, self.serializer.deserialize(payload)
+
+    def read_object(self, offset: int) -> Any:
+        return self.read(offset)[1]
+
+    def _read_bytes(self, offset: int, length: int) -> bytes:
+        if length == 0:
+            return b""
+        end = offset + length
+        if end > self._end_offset:
+            raise IndexError(
+                f"read of [{offset}, {end}) beyond end {self._end_offset}"
+            )
+        page_size = self.pagefile.page_size
+        # Bytes at or beyond ``mem_start`` are only in the in-memory tail
+        # (bulk loading in progress); everything below it is on a page.
+        if self._tail and self._tail_page_id is None:
+            mem_start = self._end_offset - len(self._tail)
+        else:
+            mem_start = self._end_offset
+        parts: list[bytes] = []
+        disk_end = min(end, mem_start)
+        if offset < disk_end:
+            first_page = offset // page_size
+            last_page = (disk_end - 1) // page_size
+            chunks = [
+                self.buffer_pool.read_page(page_id)
+                for page_id in range(first_page, last_page + 1)
+            ]
+            data = b"".join(chunks)
+            start = offset - first_page * page_size
+            parts.append(data[start : start + (disk_end - offset)])
+        if end > mem_start:
+            tail_origin = self._end_offset - len(self._tail)
+            lo = max(offset, mem_start) - tail_origin
+            hi = end - tail_origin
+            parts.append(bytes(self._tail[lo:hi]))
+        return b"".join(parts)
+
+    # ------------------------------------------------------------- metadata
+
+    @property
+    def page_accesses(self) -> int:
+        return self.pagefile.counter.total
+
+    @property
+    def num_pages(self) -> int:
+        return self.pagefile.num_pages
+
+    @property
+    def size_in_bytes(self) -> int:
+        return self.pagefile.size_in_bytes
+
+    @property
+    def objects_per_page(self) -> float:
+        """The f of eq. (6): average number of objects per RAF page."""
+        if self.num_pages == 0:
+            return 1.0
+        return max(1.0, self.object_count / self.num_pages)
+
+    def scan(self) -> Iterator[tuple[int, int, Any]]:
+        """Yield ``(offset, object id, object)`` for all live records."""
+        offset = 0
+        while offset < self._end_offset:
+            header = self._read_bytes(offset, _HEADER.size)
+            obj_id, length = _HEADER.unpack(header)
+            if offset not in self._deleted:
+                payload = self._read_bytes(offset + _HEADER.size, length)
+                yield offset, obj_id, self.serializer.deserialize(payload)
+            offset += _HEADER.size + length
+
+    def flush_cache(self) -> None:
+        self.buffer_pool.flush()

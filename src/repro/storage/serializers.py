@@ -1,0 +1,107 @@
+"""Object serializers for the random access file.
+
+The SPB-tree "makes use of a separate random access file to support a broad
+range of data" (§1): the index never interprets the stored objects, it only
+needs them as bytes of a known length.  A :class:`Serializer` provides that
+bytes round trip per data type; :func:`serializer_for` picks the right one
+for a dataset's objects automatically.
+"""
+
+from __future__ import annotations
+
+import pickle
+from abc import ABC, abstractmethod
+from typing import Any
+
+import numpy as np
+
+
+class Serializer(ABC):
+    """Converts objects of one data type to/from bytes."""
+
+    name: str = "serializer"
+
+    @abstractmethod
+    def serialize(self, obj: Any) -> bytes:
+        """Encode ``obj`` as bytes."""
+
+    @abstractmethod
+    def deserialize(self, data: bytes) -> Any:
+        """Decode bytes produced by :meth:`serialize`."""
+
+
+class StringSerializer(Serializer):
+    """UTF-8 strings (words, DNA sequences)."""
+
+    name = "string"
+
+    def serialize(self, obj: str) -> bytes:
+        return obj.encode("utf-8")
+
+    def deserialize(self, data: bytes) -> str:
+        return data.decode("utf-8")
+
+
+class VectorSerializer(Serializer):
+    """Fixed-precision float64 vectors (color histograms, synthetic data)."""
+
+    name = "vector-f64"
+
+    def serialize(self, obj: Any) -> bytes:
+        return np.asarray(obj, dtype=np.float64).tobytes()
+
+    def deserialize(self, data: bytes) -> np.ndarray:
+        return np.frombuffer(data, dtype=np.float64).copy()
+
+
+class UInt8VectorSerializer(Serializer):
+    """Small-integer vectors (bit signatures); one byte per dimension."""
+
+    name = "vector-u8"
+
+    def serialize(self, obj: Any) -> bytes:
+        return np.asarray(obj, dtype=np.uint8).tobytes()
+
+    def deserialize(self, data: bytes) -> np.ndarray:
+        return np.frombuffer(data, dtype=np.uint8).copy()
+
+
+class BytesSerializer(Serializer):
+    """Raw bytes pass-through."""
+
+    name = "bytes"
+
+    def serialize(self, obj: bytes) -> bytes:
+        return bytes(obj)
+
+    def deserialize(self, data: bytes) -> bytes:
+        return data
+
+
+class PickleSerializer(Serializer):
+    """Fallback for arbitrary Python objects (used by tests, not benchmarks)."""
+
+    name = "pickle"
+
+    def serialize(self, obj: Any) -> bytes:
+        return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def deserialize(self, data: bytes) -> Any:
+        return pickle.loads(data)
+
+
+def serializer_for(example: Any) -> Serializer:
+    """Choose a serializer matching the type of ``example``."""
+    if isinstance(example, str):
+        return StringSerializer()
+    if isinstance(example, bytes):
+        return BytesSerializer()
+    if isinstance(example, np.ndarray):
+        if example.dtype == np.uint8:
+            return UInt8VectorSerializer()
+        return VectorSerializer()
+    if isinstance(example, (list, tuple)) and example and isinstance(
+        example[0], (int, float, np.integer, np.floating)
+    ):
+        return VectorSerializer()
+    return PickleSerializer()

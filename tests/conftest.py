@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+# Allow running the tests without installing the package.
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np
+import pytest
+
+from repro.distance import EditDistance, EuclideanDistance
+from repro.datasets import generate_words
+
+
+@pytest.fixture(scope="session")
+def small_vectors() -> list[np.ndarray]:
+    """400 clustered 4-d vectors (deterministic)."""
+    rng = np.random.default_rng(1234)
+    centers = rng.normal(size=(5, 4))
+    out = []
+    for i in range(400):
+        out.append(centers[i % 5] + rng.normal(scale=0.3, size=4))
+    return out
+
+
+@pytest.fixture(scope="session")
+def small_words() -> list[str]:
+    """400 pseudo-English words (deterministic)."""
+    return generate_words(400, seed=99)
+
+
+@pytest.fixture(scope="session")
+def l2() -> EuclideanDistance:
+    return EuclideanDistance()
+
+
+@pytest.fixture(scope="session")
+def edit() -> EditDistance:
+    return EditDistance()

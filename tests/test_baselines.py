@@ -1,0 +1,124 @@
+"""Correctness tests for the metric access method baselines against the
+brute-force oracle: M-tree, OmniR-tree, M-Index."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import LinearScan, MIndex, MTree, OmniRTree
+from repro.datasets import generate_color, generate_words
+from repro.distance import EditDistance, EuclideanDistance, MinkowskiDistance
+
+
+@pytest.fixture(scope="module")
+def vectors():
+    rng = np.random.default_rng(7)
+    centers = rng.normal(size=(4, 4))
+    data = [centers[i % 4] + rng.normal(scale=0.4, size=4) for i in range(400)]
+    metric = EuclideanDistance()
+    return data, metric, LinearScan(data, metric)
+
+
+@pytest.fixture(scope="module")
+def words():
+    data = generate_words(300, seed=17)
+    metric = EditDistance()
+    return data, metric, LinearScan(data, metric)
+
+
+BUILDERS = {
+    "mtree": lambda data, metric: MTree.build(data, metric, seed=7),
+    "omni": lambda data, metric: OmniRTree.build(data, metric, seed=7),
+    "mindex": lambda data, metric: MIndex.build(
+        data, metric, num_pivots=8, seed=7
+    ),
+}
+
+
+@pytest.mark.parametrize("name", list(BUILDERS))
+class TestVectorCorrectness:
+    def test_range_queries(self, name, vectors):
+        data, metric, oracle = vectors
+        index = BUILDERS[name](data, metric)
+        rng = np.random.default_rng(1)
+        for _ in range(4):
+            q = rng.normal(size=4)
+            for r in (0.3, 1.0, 2.5):
+                got = index.range_query(q, r)
+                expected = oracle.range_query(q, r)
+                assert len(got) == len(expected), (name, r)
+                assert {g.tobytes() for g in got} == {
+                    e.tobytes() for e in expected
+                }
+
+    def test_knn_queries(self, name, vectors):
+        data, metric, oracle = vectors
+        index = BUILDERS[name](data, metric)
+        rng = np.random.default_rng(2)
+        for _ in range(4):
+            q = rng.normal(size=4)
+            for k in (1, 4, 16):
+                got = index.knn_query(q, k)
+                expected = oracle.knn_query(q, k)
+                assert len(got) == k
+                assert [d for d, _ in got] == pytest.approx(
+                    [d for d, _ in expected]
+                )
+
+    def test_insert_then_find(self, name, vectors):
+        data, metric, _ = vectors
+        index = BUILDERS[name](data, metric)
+        rng = np.random.default_rng(3)
+        fresh = rng.normal(size=4) + 10.0
+        index.insert(fresh)
+        results = index.range_query(fresh, 1e-9)
+        assert any(np.array_equal(fresh, o) for o in results)
+
+    def test_counters(self, name, vectors):
+        data, metric, _ = vectors
+        index = BUILDERS[name](data, metric)
+        index.reset_counters()
+        assert index.distance_computations == 0
+        index.range_query(data[0], 0.5)
+        assert index.distance_computations > 0
+        assert index.size_in_bytes > 0
+
+
+@pytest.mark.parametrize("name", list(BUILDERS))
+class TestStringCorrectness:
+    def test_range_queries(self, name, words):
+        data, metric, oracle = words
+        index = BUILDERS[name](data, metric)
+        for q in data[:3]:
+            for r in (1, 2, 4):
+                assert sorted(index.range_query(q, r)) == sorted(
+                    oracle.range_query(q, r)
+                ), (name, q, r)
+
+    def test_knn_queries(self, name, words):
+        data, metric, oracle = words
+        index = BUILDERS[name](data, metric)
+        for q in data[:3]:
+            got = index.knn_query(q, 5)
+            expected = oracle.knn_query(q, 5)
+            assert [d for d, _ in got] == [d for d, _ in expected]
+
+
+class TestStorageShape:
+    def test_mindex_stores_more_than_spb(self):
+        """Table 6's storage ordering: M-Index >> SPB-tree."""
+        from repro.core.spbtree import SPBTree
+
+        data = generate_color(400, seed=5)
+        metric = MinkowskiDistance(5)
+        mindex = MIndex.build(data, metric, num_pivots=20, seed=7)
+        spb = SPBTree.build(data, metric, num_pivots=5, seed=7)
+        assert mindex.size_in_bytes > spb.size_in_bytes
+
+    def test_mtree_build_costs_more_distances_than_spb(self):
+        from repro.core.spbtree import SPBTree
+
+        data = generate_color(400, seed=5)
+        metric = MinkowskiDistance(5)
+        mtree = MTree.build(data, metric, seed=7)
+        spb = SPBTree.build(data, metric, num_pivots=5, seed=7)
+        assert mtree.distance_computations > spb.distance_computations

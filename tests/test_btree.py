@@ -1,0 +1,195 @@
+"""Unit tests for the disk B+-tree with MBB entries."""
+
+import random
+
+import pytest
+
+from repro.btree import BPlusTree
+from repro.sfc import ZCurve
+
+
+def make_tree(page_size=256, bits=8):
+    return BPlusTree(ZCurve(2, bits), page_size=page_size)
+
+
+def keyed_items(n, bits=8, seed=0):
+    rng = random.Random(seed)
+    curve = ZCurve(2, bits)
+    items = []
+    for i in range(n):
+        coords = (rng.randrange(curve.side), rng.randrange(curve.side))
+        items.append((curve.encode(coords), i * 16))
+    items.sort()
+    return items
+
+
+class TestBulkLoad:
+    def test_round_trip(self):
+        tree = make_tree()
+        items = keyed_items(500)
+        tree.bulk_load(items)
+        assert tree.items() == items
+        assert tree.entry_count == 500
+
+    def test_empty(self):
+        tree = make_tree()
+        tree.bulk_load([])
+        assert tree.items() == []
+        assert tree.height == 1
+
+    def test_requires_sorted(self):
+        tree = make_tree()
+        with pytest.raises(ValueError):
+            tree.bulk_load([(5, 0), (3, 1)])
+
+    def test_rejects_double_load(self):
+        tree = make_tree()
+        tree.bulk_load([(1, 0)])
+        with pytest.raises(RuntimeError):
+            tree.bulk_load([(2, 0)])
+
+    def test_duplicate_keys_allowed(self):
+        tree = make_tree()
+        items = [(5, i) for i in range(100)]
+        tree.bulk_load(items)
+        assert tree.items() == items
+        assert len(tree.find_entries(5)) == 100
+
+    def test_height_grows_with_size(self):
+        small = make_tree()
+        small.bulk_load(keyed_items(10))
+        large = make_tree()
+        large.bulk_load(keyed_items(2000))
+        assert large.height > small.height
+
+
+class TestMBB:
+    def test_node_boxes_cover_entries(self):
+        tree = make_tree()
+        tree.bulk_load(keyed_items(800))
+        curve = tree.curve
+        for node in tree.walk_nodes():
+            if node.is_leaf:
+                continue
+            for entry in node.entries:
+                lo, hi = tree.decode_box(entry)
+                child = tree.read_node(entry.child)
+                box = tree.node_box(child)
+                assert box is not None
+                clo, chi = box
+                assert all(l <= c for l, c in zip(lo, clo))
+                assert all(h >= c for h, c in zip(hi, chi))
+                # Every key in the child decodes inside the stored MBB.
+                if child.is_leaf:
+                    for e in child.entries:
+                        cell = curve.decode(e.key)
+                        assert all(
+                            l <= c <= h for c, l, h in zip(cell, lo, hi)
+                        )
+
+    def test_mbb_updated_on_insert(self):
+        tree = make_tree()
+        curve = tree.curve
+        items = sorted((curve.encode((i % 8, i % 8)), i) for i in range(50))
+        tree.bulk_load(items)
+        new_key = curve.encode((255, 255))
+        tree.insert(new_key, 9999)
+        root = tree.read_node(tree.root_page)
+        box = tree.node_box(root)
+        assert box is not None
+        assert box[1] == (255, 255)
+
+
+class TestInsertDelete:
+    def test_insert_preserves_order(self):
+        tree = make_tree()
+        tree.bulk_load(keyed_items(200))
+        rng = random.Random(7)
+        extra = []
+        for i in range(300):
+            key = rng.randrange(tree.curve.max_value)
+            tree.insert(key, 100_000 + i)
+            extra.append((key, 100_000 + i))
+        result = tree.items()
+        keys = [k for k, _ in result]
+        assert keys == sorted(keys)
+        assert len(result) == 500
+
+    def test_insert_into_empty(self):
+        tree = make_tree()
+        tree.insert(42, 0)
+        assert tree.items() == [(42, 0)]
+
+    def test_delete_exact_match(self):
+        tree = make_tree()
+        items = keyed_items(300)
+        tree.bulk_load(items)
+        key, ptr = items[150]
+        assert tree.delete(key, ptr)
+        assert (key, ptr) not in tree.items()
+        assert tree.entry_count == 299
+
+    def test_delete_missing_returns_false(self):
+        tree = make_tree()
+        tree.bulk_load(keyed_items(50))
+        assert not tree.delete(10**9, 0)
+        assert not tree.delete(keyed_items(50)[0][0], 10**9)
+
+    def test_delete_among_duplicates(self):
+        tree = make_tree(page_size=128)
+        items = [(7, i) for i in range(200)]
+        tree.bulk_load(items)
+        assert tree.delete(7, 100)
+        remaining = tree.items()
+        assert len(remaining) == 199
+        assert (7, 100) not in remaining
+
+    def test_delete_all(self):
+        tree = make_tree()
+        items = keyed_items(120)
+        tree.bulk_load(items)
+        for key, ptr in items:
+            assert tree.delete(key, ptr)
+        assert tree.items() == []
+
+
+class TestLookupAndScan:
+    def test_find_entries(self):
+        tree = make_tree()
+        items = keyed_items(400)
+        tree.bulk_load(items)
+        key = items[37][0]
+        expected = [ptr for k, ptr in items if k == key]
+        assert sorted(e.ptr for e in tree.find_entries(key)) == sorted(expected)
+
+    def test_find_entries_absent_key(self):
+        tree = make_tree()
+        tree.bulk_load([(2, 0), (4, 1)])
+        assert tree.find_entries(3) == []
+
+    def test_leaf_chain_covers_everything(self):
+        tree = make_tree(page_size=128)
+        items = keyed_items(1000)
+        tree.bulk_load(items)
+        assert [(e.key, e.ptr) for e in tree.leaf_entries()] == items
+
+
+class TestAccounting:
+    def test_reads_counted(self):
+        tree = make_tree()
+        tree.bulk_load(keyed_items(500))
+        before = tree.page_accesses
+        tree.find_entries(12345)
+        assert tree.page_accesses > before
+
+    def test_walk_nodes_not_counted(self):
+        tree = make_tree()
+        tree.bulk_load(keyed_items(500))
+        before = tree.page_accesses
+        list(tree.walk_nodes())
+        assert tree.page_accesses == before
+
+    def test_bulk_load_writes_each_page_once(self):
+        tree = make_tree()
+        tree.bulk_load(keyed_items(500))
+        assert tree.pagefile.counter.writes == tree.num_pages

@@ -1,0 +1,75 @@
+"""Property-based tests: the B+-tree must behave like a sorted multiset."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.btree import BPlusTree
+from repro.sfc import ZCurve
+
+keys = st.integers(0, 255 * 256 + 255)  # any 2x8-bit Z value
+
+
+@st.composite
+def operations(draw):
+    """A bulk load followed by a mixed insert/delete sequence."""
+    initial = sorted(
+        zip(
+            draw(st.lists(keys, max_size=60)),
+            range(1000),
+        )
+    )
+    ops = draw(
+        st.lists(
+            st.tuples(st.sampled_from(["insert", "delete"]), keys),
+            max_size=40,
+        )
+    )
+    return initial, ops
+
+
+class TestAgainstModel:
+    @given(operations())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_sorted_list_model(self, scenario):
+        initial, ops = scenario
+        tree = BPlusTree(ZCurve(2, 8), page_size=128)
+        tree.bulk_load(initial)
+        model = list(initial)
+        next_ptr = 10_000
+        for op, key in ops:
+            if op == "insert":
+                tree.insert(key, next_ptr)
+                model.append((key, next_ptr))
+                next_ptr += 1
+            else:
+                candidates = [p for k, p in model if k == key]
+                if candidates:
+                    assert tree.delete(key, candidates[0])
+                    model.remove((key, candidates[0]))
+                else:
+                    assert not tree.delete(key, 0)
+        model.sort(key=lambda kv: kv[0])
+        got = tree.items()
+        assert [k for k, _ in got] == [k for k, _ in model]
+        assert sorted(got) == sorted(model)
+
+    @given(st.lists(keys, min_size=1, max_size=80))
+    @settings(max_examples=60, deadline=None)
+    def test_insert_only_construction_equals_bulk_load(self, raw_keys):
+        items = sorted((k, i) for i, k in enumerate(raw_keys))
+        bulk = BPlusTree(ZCurve(2, 8), page_size=128)
+        bulk.bulk_load(items)
+        incremental = BPlusTree(ZCurve(2, 8), page_size=128)
+        for i, k in enumerate(raw_keys):
+            incremental.insert(k, i)
+        assert [k for k, _ in incremental.items()] == [k for k, _ in bulk.items()]
+        assert sorted(incremental.items()) == sorted(bulk.items())
+
+    @given(st.lists(keys, min_size=1, max_size=80), keys)
+    @settings(max_examples=60, deadline=None)
+    def test_find_entries_complete(self, raw_keys, probe):
+        items = sorted((k, i) for i, k in enumerate(raw_keys))
+        tree = BPlusTree(ZCurve(2, 8), page_size=128)
+        tree.bulk_load(items)
+        expected = sorted(p for k, p in items if k == probe)
+        assert sorted(e.ptr for e in tree.find_entries(probe)) == expected

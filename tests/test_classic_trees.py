@@ -1,0 +1,137 @@
+"""Correctness tests for the classic-tree baselines: BK-tree, GHT, PM-tree."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BKTree, GHTree, LinearScan, MTree, PMTree
+from repro.datasets import generate_signature, generate_words
+from repro.distance import EditDistance, EuclideanDistance, HammingDistance
+
+
+@pytest.fixture(scope="module")
+def words():
+    data = generate_words(300, seed=17)
+    metric = EditDistance()
+    return data, metric, LinearScan(data, metric)
+
+
+@pytest.fixture(scope="module")
+def vectors():
+    rng = np.random.default_rng(7)
+    centers = rng.normal(size=(4, 4))
+    data = [centers[i % 4] + rng.normal(scale=0.4, size=4) for i in range(350)]
+    metric = EuclideanDistance()
+    return data, metric, LinearScan(data, metric)
+
+
+class TestBKTree:
+    def test_range_matches_oracle(self, words):
+        data, metric, oracle = words
+        tree = BKTree(data, metric)
+        for q in data[:4]:
+            for r in (0, 1, 3):
+                assert sorted(tree.range_query(q, r)) == sorted(
+                    oracle.range_query(q, r)
+                )
+
+    def test_knn_matches_oracle(self, words):
+        data, metric, oracle = words
+        tree = BKTree(data, metric)
+        for q in data[:4]:
+            got = tree.knn_query(q, 6)
+            expected = oracle.knn_query(q, 6)
+            assert [d for d, _ in got] == [d for d, _ in expected]
+
+    def test_hamming_signatures(self):
+        data = [tuple(int(v) for v in s) for s in generate_signature(150, seed=3)]
+        metric = HammingDistance()
+        tree = BKTree(data, metric)
+        oracle = LinearScan(data, metric)
+        q = data[0]
+        for r in (2, 8):
+            assert len(tree.range_query(q, r)) == len(oracle.range_query(q, r))
+
+    def test_rejects_continuous_metric(self, vectors):
+        data, metric, _ = vectors
+        with pytest.raises(ValueError, match="discrete"):
+            BKTree(data, metric)
+
+    def test_prunes_versus_linear(self, words):
+        data, metric, oracle = words
+        tree = BKTree(data, metric)
+        tree.reset_counters()
+        oracle.distance.reset()
+        tree.range_query(data[0], 1)
+        oracle.range_query(data[0], 1)
+        assert tree.distance_computations < oracle.distance_computations
+
+
+class TestGHTree:
+    @pytest.mark.parametrize("fixture", ["words", "vectors"])
+    def test_range_matches_oracle(self, fixture, request):
+        data, metric, oracle = request.getfixturevalue(fixture)
+        tree = GHTree(data, metric, seed=7)
+        q = data[0]
+        radii = (1, 3) if metric.is_discrete else (0.5, 1.5)
+        for r in radii:
+            got = tree.range_query(q, r)
+            expected = oracle.range_query(q, r)
+            assert len(got) == len(expected)
+
+    def test_knn_matches_oracle(self, words):
+        data, metric, oracle = words
+        tree = GHTree(data, metric, seed=7)
+        for q in data[:4]:
+            got = tree.knn_query(q, 6)
+            expected = oracle.knn_query(q, 6)
+            assert [d for d, _ in got] == [d for d, _ in expected]
+
+
+class TestPMTree:
+    @pytest.mark.parametrize("fixture", ["words", "vectors"])
+    def test_range_matches_oracle(self, fixture, request):
+        data, metric, oracle = request.getfixturevalue(fixture)
+        tree = PMTree.build(data, metric, seed=7)
+        q = data[0]
+        radii = (1, 2, 4) if metric.is_discrete else (0.5, 1.5, 3.0)
+        for r in radii:
+            got = tree.range_query(q, r)
+            expected = oracle.range_query(q, r)
+            assert len(got) == len(expected)
+
+    def test_knn_matches_oracle(self, vectors):
+        data, metric, oracle = vectors
+        tree = PMTree.build(data, metric, seed=7)
+        rng = np.random.default_rng(2)
+        for _ in range(4):
+            q = rng.normal(size=4)
+            got = tree.knn_query(q, 8)
+            expected = oracle.knn_query(q, 8)
+            assert [d for d, _ in got] == pytest.approx(
+                [d for d, _ in expected]
+            )
+
+    def test_rings_beat_plain_mtree(self, vectors):
+        """The hybrid's selling point: strictly fewer distance
+        computations than the plain M-tree on the same workload."""
+        data, metric, _ = vectors
+        pm = PMTree.build(data, metric, seed=7)
+        mt = MTree.build(data, metric, seed=7)
+        pm.reset_counters()
+        mt.reset_counters()
+        for q in data[:10]:
+            pm.range_query(q, 0.8)
+            mt.range_query(q, 0.8)
+        assert pm.distance_computations < mt.distance_computations
+
+    def test_rings_cost_storage(self, vectors):
+        """...and its price: a bigger index than the plain M-tree."""
+        data, metric, _ = vectors
+        pm = PMTree.build(data, metric, num_pivots=8, seed=7)
+        mt = MTree.build(data, metric, seed=7)
+        assert pm.size_in_bytes >= mt.size_in_bytes
+
+    def test_empty_rejected(self, vectors):
+        _, metric, _ = vectors
+        with pytest.raises(ValueError):
+            PMTree.build([], metric)

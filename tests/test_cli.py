@@ -1,0 +1,55 @@
+"""Smoke tests for the demo CLI (python -m repro.cli)."""
+
+import subprocess
+import sys
+
+import pytest
+
+
+def run_cli(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+
+
+@pytest.mark.slow
+class TestCli:
+    def test_info(self):
+        result = run_cli("info", "--dataset", "words", "--size", "300")
+        assert result.returncode == 0, result.stderr
+        assert "intrinsic dim" in result.stdout
+
+    def test_range(self):
+        result = run_cli(
+            "range", "--dataset", "words", "--size", "300",
+            "--query", "defoliate", "--radius", "2",
+        )
+        assert result.returncode == 0, result.stderr
+        assert "RQ(q, O, 2)" in result.stdout
+        assert "actual" in result.stdout
+
+    def test_knn(self):
+        result = run_cli(
+            "knn", "--dataset", "color", "--size", "300", "--k", "4"
+        )
+        assert result.returncode == 0, result.stderr
+        assert "kNN(q, 4)" in result.stdout
+
+    def test_join(self):
+        result = run_cli(
+            "join", "--dataset", "words", "--size", "300",
+            "--epsilon-percent", "4",
+        )
+        assert result.returncode == 0, result.stderr
+        assert "pairs" in result.stdout
+
+    def test_compare(self):
+        result = run_cli(
+            "compare", "--dataset", "color", "--size", "300", "--k", "4"
+        )
+        assert result.returncode == 0, result.stderr
+        for method in ("SPB-tree", "M-tree", "OmniR-tree", "M-Index"):
+            assert method in result.stdout

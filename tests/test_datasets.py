@@ -1,0 +1,104 @@
+"""Tests for the dataset generators and registry."""
+
+import numpy as np
+import pytest
+
+from repro.core.pivots import intrinsic_dimensionality
+from repro.datasets import (
+    DATASETS,
+    generate_color,
+    generate_dna,
+    generate_signature,
+    generate_synthetic,
+    generate_words,
+    load_dataset,
+)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize(
+        "generator",
+        [
+            generate_words,
+            generate_color,
+            generate_dna,
+            generate_signature,
+            generate_synthetic,
+        ],
+    )
+    def test_cardinality_and_determinism(self, generator):
+        a = generator(150, seed=5)
+        b = generator(150, seed=5)
+        c = generator(150, seed=6)
+        assert len(a) == 150
+        if isinstance(a[0], np.ndarray):
+            assert all(np.array_equal(x, y) for x, y in zip(a, b))
+            assert any(not np.array_equal(x, y) for x, y in zip(a, c))
+        else:
+            assert a == b
+            assert a != c
+
+    def test_words_are_distinct(self):
+        words = generate_words(500, seed=1)
+        assert len(set(words)) == 500
+        assert all(w.isalpha() for w in words)
+
+    def test_dna_alphabet_and_length(self):
+        reads = generate_dna(100, seed=1)
+        assert all(len(r) == 108 for r in reads)
+        assert all(set(r) <= set("ACGT") for r in reads)
+        assert len(set(reads)) == 100
+
+    def test_color_histograms_normalized(self):
+        vectors = generate_color(100, seed=1)
+        for v in vectors:
+            assert v.shape == (16,)
+            assert v.min() >= 0.0
+            assert v.sum() == pytest.approx(1.0)
+
+    def test_signatures_binary(self):
+        sigs = generate_signature(100, seed=1)
+        for s in sigs:
+            assert s.shape == (64,)
+            assert set(np.unique(s)) <= {0, 1}
+
+    def test_synthetic_in_unit_cube(self):
+        data = generate_synthetic(100, seed=1)
+        for v in data:
+            assert v.shape == (20,)
+            assert v.min() >= 0.0 and v.max() <= 1.0
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_load_dataset(self, name):
+        ds = load_dataset(name, size=120, num_queries=10)
+        assert len(ds.objects) == 120
+        assert len(ds.queries) == 10
+        assert ds.queries == ds.objects[:10]  # the paper's protocol
+        assert ds.d_plus > 0
+        d = ds.metric(ds.objects[0], ds.objects[1])
+        assert d >= 0
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            load_dataset("corel")
+
+    @pytest.mark.parametrize(
+        "name,band",
+        [
+            ("words", (3.0, 7.5)),
+            ("color", (1.0, 4.5)),
+            ("dna", (4.0, 10.0)),
+            ("signature", (10.0, 22.0)),
+            ("synthetic", (3.0, 8.0)),
+        ],
+    )
+    def test_intrinsic_dimensionality_bands(self, name, band):
+        """Each stand-in must stay in the neighbourhood of its paper value
+        (Table 2): words 4.9, color 2.9, dna 6.9, signature 14.8,
+        synthetic 4.76."""
+        ds = load_dataset(name, size=500)
+        rho = intrinsic_dimensionality(ds.objects, ds.metric, num_pairs=700)
+        lo, hi = band
+        assert lo <= rho <= hi, f"{name}: rho={rho:.2f} outside {band}"

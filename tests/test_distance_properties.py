@@ -1,0 +1,124 @@
+"""Property-based tests: every metric must satisfy the metric axioms.
+
+The SPB-tree's pruning lemmas all derive from the triangle inequality
+(§2.3), so these properties are the foundation the whole system rests on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distance import (
+    CountingDistance,
+    EditDistance,
+    EuclideanDistance,
+    HammingDistance,
+    ManhattanDistance,
+    MinkowskiDistance,
+    TriGramAngularDistance,
+)
+
+finite_floats = st.floats(
+    min_value=-100, max_value=100, allow_nan=False, allow_infinity=False
+)
+vectors = st.lists(finite_floats, min_size=4, max_size=4).map(np.array)
+words = st.text(alphabet="abcdef", max_size=12)
+dna = st.text(alphabet="ACGT", min_size=1, max_size=20)
+bits = st.lists(st.integers(0, 1), min_size=8, max_size=8)
+
+VECTOR_METRICS = [
+    EuclideanDistance(),
+    ManhattanDistance(),
+    MinkowskiDistance(5),
+]
+
+
+@pytest.mark.parametrize("metric", VECTOR_METRICS, ids=lambda m: m.name)
+class TestVectorMetricAxioms:
+    @given(a=vectors, b=vectors)
+    @settings(max_examples=50)
+    def test_symmetry_and_nonnegativity(self, metric, a, b):
+        d = metric(a, b)
+        assert d >= 0
+        assert d == pytest.approx(metric(b, a))
+
+    @given(a=vectors)
+    @settings(max_examples=25)
+    def test_identity(self, metric, a):
+        assert metric(a, a) == 0.0
+
+    @given(a=vectors, b=vectors, c=vectors)
+    @settings(max_examples=50)
+    def test_triangle_inequality(self, metric, a, b, c):
+        assert metric(a, c) <= metric(a, b) + metric(b, c) + 1e-7
+
+
+class TestEditDistanceAxioms:
+    @given(a=words, b=words)
+    @settings(max_examples=80)
+    def test_symmetry(self, a, b):
+        ed = EditDistance()
+        assert ed(a, b) == ed(b, a)
+
+    @given(a=words, b=words)
+    @settings(max_examples=80)
+    def test_identity_of_indiscernibles(self, a, b):
+        ed = EditDistance()
+        assert (ed(a, b) == 0) == (a == b)
+
+    @given(a=words, b=words, c=words)
+    @settings(max_examples=80)
+    def test_triangle_inequality(self, a, b, c):
+        ed = EditDistance()
+        assert ed(a, c) <= ed(a, b) + ed(b, c)
+
+    @given(a=words, b=words)
+    @settings(max_examples=50)
+    def test_bounded_by_longer_length(self, a, b):
+        ed = EditDistance()
+        assert ed(a, b) <= max(len(a), len(b))
+        assert ed(a, b) >= abs(len(a) - len(b))
+
+
+class TestTriGramAngularAxioms:
+    @given(a=dna, b=dna, c=dna)
+    @settings(max_examples=60)
+    def test_triangle_inequality(self, a, b, c):
+        tga = TriGramAngularDistance()
+        assert tga(a, c) <= tga(a, b) + tga(b, c) + 1e-9
+
+    @given(a=dna, b=dna)
+    @settings(max_examples=40)
+    def test_symmetry(self, a, b):
+        tga = TriGramAngularDistance()
+        assert tga(a, b) == pytest.approx(tga(b, a))
+
+
+class TestHammingAxioms:
+    @given(a=bits, b=bits, c=bits)
+    @settings(max_examples=60)
+    def test_triangle_inequality(self, a, b, c):
+        h = HammingDistance()
+        assert h(a, c) <= h(a, b) + h(b, c)
+
+
+class TestCountingDistance:
+    def test_counts_every_call(self):
+        counting = CountingDistance(EuclideanDistance())
+        a, b = np.zeros(3), np.ones(3)
+        for i in range(5):
+            counting(a, b)
+        assert counting.count == 5
+        counting.reset()
+        assert counting.count == 0
+
+    def test_delegates_attributes(self):
+        counting = CountingDistance(EditDistance())
+        assert counting.is_discrete
+        assert counting.name == "edit"
+
+    def test_max_distance_not_counted(self):
+        counting = CountingDistance(EuclideanDistance())
+        counting.max_distance([np.zeros(2), np.ones(2)])
+        assert counting.count == 0

@@ -1,0 +1,110 @@
+"""Unit tests for string metrics."""
+
+import math
+
+import pytest
+
+from repro.distance import EditDistance, TriGramAngularDistance
+from repro.distance.strings import trigram_counts
+
+
+class TestEditDistance:
+    @pytest.fixture(scope="class")
+    def ed(self):
+        return EditDistance()
+
+    def test_paper_example(self, ed):
+        # §4.1: RQ("defoliate", O, 1) = {"defoliates", "defoliated"}.
+        assert ed("defoliate", "defoliates") == 1.0
+        assert ed("defoliate", "defoliated") == 1.0
+        assert ed("defoliate", "defoliation") == 3.0
+        assert ed("defoliate", "citrate") > 1.0
+
+    def test_classic(self, ed):
+        assert ed("kitten", "sitting") == 3.0
+        assert ed("flaw", "lawn") == 2.0
+        assert ed("", "abc") == 3.0
+        assert ed("abc", "") == 3.0
+        assert ed("", "") == 0.0
+
+    def test_identity(self, ed):
+        assert ed("word", "word") == 0.0
+
+    def test_symmetry(self, ed):
+        assert ed("abcdef", "azced") == ed("azced", "abcdef")
+
+    def test_single_edits(self, ed):
+        assert ed("word", "ward") == 1.0  # substitution
+        assert ed("word", "words") == 1.0  # insertion
+        assert ed("word", "wod") == 1.0  # deletion
+
+    def test_common_affixes_fast_path(self, ed):
+        # Shared prefix/suffix must not change results.
+        assert ed("prefixAsuffix", "prefixBsuffix") == 1.0
+        assert ed("xxab", "xxba") == 2.0
+
+    def test_is_discrete(self, ed):
+        assert ed.is_discrete
+
+    def test_exhaustive_small(self, ed):
+        # Compare with a reference DP on short strings.
+        def reference(a, b):
+            dp = [[0] * (len(b) + 1) for _ in range(len(a) + 1)]
+            for i in range(len(a) + 1):
+                dp[i][0] = i
+            for j in range(len(b) + 1):
+                dp[0][j] = j
+            for i in range(1, len(a) + 1):
+                for j in range(1, len(b) + 1):
+                    dp[i][j] = min(
+                        dp[i - 1][j] + 1,
+                        dp[i][j - 1] + 1,
+                        dp[i - 1][j - 1] + (a[i - 1] != b[j - 1]),
+                    )
+            return dp[-1][-1]
+
+        words = ["", "a", "ab", "ba", "abc", "cab", "abcd", "acbd", "aabb"]
+        for a in words:
+            for b in words:
+                assert ed(a, b) == reference(a, b), (a, b)
+
+
+class TestTriGramAngular:
+    @pytest.fixture(scope="class")
+    def tga(self):
+        return TriGramAngularDistance()
+
+    def test_identity(self, tga):
+        assert tga("ACGTACGT", "ACGTACGT") == 0.0
+
+    def test_range(self, tga):
+        d = tga("AAAAAA", "CCCCCC")
+        assert 0.0 < d <= math.pi / 2 + 1e-9
+
+    def test_symmetry(self, tga):
+        a, b = "ACGTACGTAC", "ACGTTCGTAC"
+        assert tga(a, b) == pytest.approx(tga(b, a))
+
+    def test_similar_strings_are_close(self, tga):
+        base = "ACGT" * 10
+        mutated = base[:17] + "T" + base[18:]
+        different = "GTCA" * 10
+        assert tga(base, mutated) < tga(base, different)
+
+    def test_triangle_inequality_sampled(self, tga):
+        import random
+
+        rng = random.Random(3)
+        strings = [
+            "".join(rng.choice("ACGT") for _ in range(20)) for _ in range(15)
+        ]
+        for a in strings:
+            for b in strings:
+                for c in strings:
+                    assert tga(a, c) <= tga(a, b) + tga(b, c) + 1e-9
+
+    def test_trigram_counts_padding(self):
+        counts = trigram_counts("ab")
+        # "##ab##" has tri-grams ##a, #ab, ab#, b##
+        assert sum(counts.values()) == 4
+        assert counts["#ab"] == 1

@@ -1,0 +1,99 @@
+"""Unit tests for vector metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distance import (
+    ChebyshevDistance,
+    EuclideanDistance,
+    HammingDistance,
+    ManhattanDistance,
+    MinkowskiDistance,
+)
+
+
+class TestMinkowski:
+    def test_l2_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        metric = EuclideanDistance()
+        for _ in range(20):
+            a, b = rng.normal(size=8), rng.normal(size=8)
+            assert metric(a, b) == pytest.approx(np.linalg.norm(a - b))
+
+    def test_l1(self):
+        metric = ManhattanDistance()
+        assert metric([0, 0], [3, 4]) == pytest.approx(7.0)
+
+    def test_l5(self):
+        metric = MinkowskiDistance(5)
+        a, b = np.array([1.0, 2.0]), np.array([4.0, 6.0])
+        expected = (3.0**5 + 4.0**5) ** 0.2
+        assert metric(a, b) == pytest.approx(expected)
+
+    def test_linf(self):
+        metric = ChebyshevDistance()
+        assert metric([1, 5, 2], [2, 1, 2]) == pytest.approx(4.0)
+        assert math.isinf(metric.p)
+
+    def test_identity(self):
+        metric = EuclideanDistance()
+        v = np.array([1.0, 2.0, 3.0])
+        assert metric(v, v) == 0.0
+
+    def test_symmetry(self):
+        metric = MinkowskiDistance(3)
+        a, b = np.array([0.0, 1.0]), np.array([2.0, 5.0])
+        assert metric(a, b) == pytest.approx(metric(b, a))
+
+    def test_rejects_p_below_one(self):
+        with pytest.raises(ValueError):
+            MinkowskiDistance(0.5)
+
+    def test_rejects_shape_mismatch(self):
+        metric = EuclideanDistance()
+        with pytest.raises(ValueError):
+            metric([1.0, 2.0], [1.0, 2.0, 3.0])
+
+    def test_name(self):
+        assert MinkowskiDistance(5).name == "L5"
+        assert ChebyshevDistance().name == "Linf"
+
+
+class TestHamming:
+    def test_basic(self):
+        metric = HammingDistance()
+        assert metric([0, 1, 0, 1], [0, 0, 0, 1]) == 1.0
+        assert metric([1, 1], [0, 0]) == 2.0
+
+    def test_numpy_arrays(self):
+        metric = HammingDistance()
+        a = np.array([1, 0, 1, 0], dtype=np.uint8)
+        b = np.array([1, 1, 1, 1], dtype=np.uint8)
+        assert metric(a, b) == 2.0
+
+    def test_is_discrete(self):
+        assert HammingDistance().is_discrete
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            HammingDistance()([1, 0], [1, 0, 1])
+
+
+class TestMaxDistance:
+    def test_overestimates_for_continuous(self):
+        rng = np.random.default_rng(1)
+        metric = EuclideanDistance()
+        data = [rng.normal(size=3) for _ in range(50)]
+        d_plus = metric.max_distance(data)
+        true_max = max(
+            metric(a, b) for i, a in enumerate(data) for b in data[i + 1 :]
+        )
+        # Padded estimate from a full scan at this size.
+        assert d_plus >= true_max
+
+    def test_trivial_inputs(self):
+        metric = EuclideanDistance()
+        assert metric.max_distance([np.zeros(2)]) == 1.0
+        assert metric.max_distance([]) == 1.0

@@ -1,0 +1,122 @@
+"""Smoke tests: every experiment module runs end-to-end at tiny scale and
+produces the table structure its paper artifact requires."""
+
+import importlib
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.common import ExperimentTable, radius_for
+from repro.datasets import load_dataset
+
+TINY = dict(size=150, queries=3, seed=42)
+
+
+@pytest.mark.parametrize("name", ALL_EXPERIMENTS)
+def test_experiment_runs_and_renders(name):
+    module = importlib.import_module(f"repro.experiments.{name}")
+    tables = module.run(**TINY)
+    assert tables, name
+    for table in tables:
+        assert isinstance(table, ExperimentTable)
+        assert table.rows, f"{name} produced an empty table"
+        for row in table.rows:
+            assert len(row) == len(table.columns)
+        rendered = table.render()
+        assert table.title in rendered
+
+
+class TestExperimentContent:
+    def test_table4_covers_both_curves(self):
+        from repro.experiments import table4_sfc
+
+        (table,) = table4_sfc.run(**TINY)
+        curves = {row[1] for row in table.rows}
+        assert curves == {"hilbert", "z"}
+
+    def test_table6_covers_all_mams(self):
+        from repro.experiments import table6_construction
+
+        (table,) = table6_construction.run(size=150, seed=42)
+        methods = {row[1] for row in table.rows}
+        assert methods == {"M-tree", "OmniR-tree", "M-Index", "SPB-tree"}
+
+    def test_table7_spb_compdists_equals_pivots(self):
+        from repro.experiments import table7_update
+
+        (table,) = table7_update.run(size=150, seed=42)
+        spb_row = next(r for r in table.rows if r[0] == "SPB-tree")
+        assert spb_row[2] == 5  # |P| distance computations per insert
+
+    def test_fig17_sja_finds_same_pairs_as_qja(self):
+        from repro.experiments import fig17_join
+
+        tables = fig17_join.run(size=200, seed=42, datasets=["words"])
+        rows = tables[0].rows
+        by_eps = {}
+        for method, eps, *_rest, pairs in rows:
+            by_eps.setdefault(eps, {})[method] = pairs
+        for eps, methods in by_eps.items():
+            counts = set(methods.values())
+            assert len(counts) == 1, f"pair counts disagree at ε={eps}%"
+
+
+class TestCommonHelpers:
+    def test_radius_for_discrete_is_integer(self):
+        ds = load_dataset("words", size=100)
+        r = radius_for(ds, 8)
+        assert r == int(r) and r >= 1
+
+    def test_radius_for_continuous(self):
+        ds = load_dataset("color", size=100)
+        assert radius_for(ds, 10) == pytest.approx(ds.d_plus * 0.1)
+
+    def test_table_rejects_bad_row(self):
+        t = ExperimentTable("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+
+class TestHarnessHelpers:
+    def test_table_to_csv(self, tmp_path):
+        from repro.experiments.common import ExperimentTable, table_to_csv
+
+        t = ExperimentTable("t", ["a", "b"])
+        t.add_row(1, 2.5)
+        t.add_row("x", "-")
+        path = tmp_path / "out.csv"
+        table_to_csv(t, str(path))
+        lines = path.read_text().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2.5"
+
+    def test_ascii_chart_renders_all_series(self):
+        from repro.experiments.common import ascii_chart
+
+        chart = ascii_chart(
+            {"up": [(1, 1), (2, 4)], "down": [(1, 4), (2, 1)]},
+            title="demo",
+            width=20,
+            height=6,
+        )
+        assert "demo" in chart
+        assert "o=up" in chart and "x=down" in chart
+
+    def test_ascii_chart_log_scale_and_empty(self):
+        from repro.experiments.common import ascii_chart
+
+        assert ascii_chart({}, title="empty") == "empty"
+        chart = ascii_chart(
+            {"s": [(1, 10), (2, 10000)]}, log_y=True, width=20, height=6
+        )
+        assert "10,000" in chart or "1e+04" in chart
+
+    def test_table_series_skips_non_numeric(self):
+        from repro.experiments.common import ExperimentTable, table_series
+
+        t = ExperimentTable("t", ["m", "k", "PA"])
+        t.add_row("a", 1, 5)
+        t.add_row("a", 2, "-")
+        t.add_row("b", 1, 7)
+        series = table_series(t, "m", "k", "PA")
+        assert series == {"a": [(1.0, 5.0)], "b": [(1.0, 7.0)]}

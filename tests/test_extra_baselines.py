@@ -1,0 +1,130 @@
+"""Correctness tests for the related-work baselines: VP-tree, LAESA, and
+List of Clusters (§2.1 of the paper)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import LAESA, LinearScan, ListOfClusters, VPTree
+from repro.datasets import generate_words
+from repro.distance import EditDistance, EuclideanDistance
+
+
+@pytest.fixture(scope="module")
+def vectors():
+    rng = np.random.default_rng(31)
+    centers = rng.normal(size=(4, 4))
+    data = [centers[i % 4] + rng.normal(scale=0.4, size=4) for i in range(350)]
+    metric = EuclideanDistance()
+    return data, metric, LinearScan(data, metric)
+
+
+@pytest.fixture(scope="module")
+def words():
+    data = generate_words(300, seed=37)
+    metric = EditDistance()
+    return data, metric, LinearScan(data, metric)
+
+
+BUILDERS = {
+    "vptree": lambda data, metric: VPTree(data, metric, seed=7),
+    "laesa": lambda data, metric: LAESA(data, metric, num_pivots=4, seed=7),
+    "lc": lambda data, metric: ListOfClusters(data, metric, seed=7),
+}
+
+
+@pytest.mark.parametrize("name", list(BUILDERS))
+class TestVectors:
+    def test_range_queries(self, name, vectors):
+        data, metric, oracle = vectors
+        index = BUILDERS[name](data, metric)
+        rng = np.random.default_rng(1)
+        for _ in range(4):
+            q = rng.normal(size=4)
+            for r in (0.3, 1.0, 2.5):
+                got = index.range_query(q, r)
+                expected = oracle.range_query(q, r)
+                assert len(got) == len(expected), (name, r)
+                assert {g.tobytes() for g in got} == {
+                    e.tobytes() for e in expected
+                }
+
+    def test_knn_queries(self, name, vectors):
+        data, metric, oracle = vectors
+        index = BUILDERS[name](data, metric)
+        rng = np.random.default_rng(2)
+        for _ in range(4):
+            q = rng.normal(size=4)
+            for k in (1, 4, 16):
+                got = index.knn_query(q, k)
+                expected = oracle.knn_query(q, k)
+                assert len(got) == k
+                assert [d for d, _ in got] == pytest.approx(
+                    [d for d, _ in expected]
+                )
+
+
+@pytest.mark.parametrize("name", list(BUILDERS))
+class TestWords:
+    def test_range_queries(self, name, words):
+        data, metric, oracle = words
+        index = BUILDERS[name](data, metric)
+        for q in data[:3]:
+            for r in (1, 2, 4):
+                assert sorted(index.range_query(q, r)) == sorted(
+                    oracle.range_query(q, r)
+                ), (name, q, r)
+
+    def test_knn_distances(self, name, words):
+        data, metric, oracle = words
+        index = BUILDERS[name](data, metric)
+        for q in data[:3]:
+            got = index.knn_query(q, 5)
+            expected = oracle.knn_query(q, 5)
+            assert [d for d, _ in got] == [d for d, _ in expected]
+
+
+class TestPruningPower:
+    def test_laesa_beats_linear_scan(self, vectors):
+        data, metric, oracle = vectors
+        laesa = LAESA(data, metric, num_pivots=4, seed=7)
+        laesa.reset_counters()
+        oracle.distance.reset()
+        q = data[0]
+        laesa.range_query(q, 0.4)
+        oracle.range_query(q, 0.4)
+        assert laesa.distance_computations < oracle.distance_computations
+
+    def test_vptree_beats_linear_scan(self, vectors):
+        data, metric, oracle = vectors
+        tree = VPTree(data, metric, seed=7)
+        tree.reset_counters()
+        oracle.distance.reset()
+        q = data[0]
+        tree.range_query(q, 0.4)
+        oracle.range_query(q, 0.4)
+        assert tree.distance_computations < oracle.distance_computations
+
+    def test_lc_counts_page_accesses(self, vectors):
+        data, metric, _ = vectors
+        lc = ListOfClusters(data, metric, seed=7)
+        lc.reset_counters()
+        lc.range_query(data[0], 0.5)
+        assert lc.page_accesses > 0
+        assert lc.size_in_bytes > 0
+
+
+class TestValidation:
+    def test_empty_rejected(self, vectors):
+        _, metric, _ = vectors
+        with pytest.raises(ValueError):
+            LAESA([], metric)
+        with pytest.raises(ValueError):
+            ListOfClusters([], metric)
+
+    def test_invalid_parameters(self, vectors):
+        data, metric, _ = vectors
+        tree = VPTree(data[:50], metric, seed=7)
+        with pytest.raises(ValueError):
+            tree.range_query(data[0], -1)
+        with pytest.raises(ValueError):
+            tree.knn_query(data[0], 0)

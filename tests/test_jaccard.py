@@ -1,0 +1,59 @@
+"""Tests for the Jaccard set metric and its use in the SPB-tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import LinearScan
+from repro.core.spbtree import SPBTree
+from repro.distance import JaccardDistance, shingles, tokens
+
+sets = st.frozensets(st.integers(0, 30), max_size=12)
+
+
+class TestJaccard:
+    def test_basics(self):
+        j = JaccardDistance()
+        assert j(frozenset("ab"), frozenset("ab")) == 0.0
+        assert j(frozenset("ab"), frozenset("cd")) == 1.0
+        assert j(frozenset("abc"), frozenset("bcd")) == pytest.approx(0.5)
+        assert j(frozenset(), frozenset()) == 0.0
+
+    def test_accepts_iterables(self):
+        j = JaccardDistance()
+        assert j(["a", "b"], ("b", "a")) == 0.0
+
+    @given(a=sets, b=sets, c=sets)
+    @settings(max_examples=100)
+    def test_triangle_inequality(self, a, b, c):
+        j = JaccardDistance()
+        assert j(a, c) <= j(a, b) + j(b, c) + 1e-12
+
+    @given(a=sets, b=sets)
+    @settings(max_examples=60)
+    def test_symmetry_and_range(self, a, b):
+        j = JaccardDistance()
+        assert j(a, b) == j(b, a)
+        assert 0.0 <= j(a, b) <= 1.0
+
+    def test_tokens_and_shingles(self):
+        assert tokens("a b a") == frozenset({"a", "b"})
+        assert shingles("abcd", 3) == frozenset({"abc", "bcd"})
+        assert shingles("ab", 3) == frozenset({"ab"})
+
+
+class TestJaccardIndexing:
+    def test_spbtree_over_shingle_sets(self):
+        words = [f"record-{i:03d}-{i % 7}" for i in range(150)]
+        objects = [shingles(w) for w in words]
+        metric = JaccardDistance()
+        tree = SPBTree.build(objects, metric, num_pivots=3, seed=1)
+        oracle = LinearScan(objects, metric)
+        q = objects[5]
+        for r in (0.1, 0.4, 0.8):
+            assert len(tree.range_query(q, r)) == len(
+                oracle.range_query(q, r)
+            )
+        got = tree.knn_query(q, 5)
+        expected = oracle.knn_query(q, 5)
+        assert [d for d, _ in got] == pytest.approx([d for d, _ in expected])

@@ -1,0 +1,142 @@
+"""Tests for the SJA similarity join (Algorithm 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.join import similarity_join
+from repro.core.pivots import select_pivots
+from repro.core.spbtree import SPBTree
+from repro.datasets import generate_words
+from repro.distance import EditDistance, EuclideanDistance
+
+
+def build_pair(set_q, set_o, metric, num_pivots=3, delta=None):
+    pivots = select_pivots(set_o, num_pivots, metric, seed=3)
+    d_plus = metric.max_distance(list(set_q) + list(set_o))
+    tree_q = SPBTree.build(
+        set_q, metric, pivots=pivots, d_plus=d_plus, curve="z", delta=delta
+    )
+    tree_o = SPBTree.build(
+        set_o, metric, pivots=pivots, d_plus=d_plus, curve="z", delta=delta
+    )
+    return tree_q, tree_o
+
+
+def brute_force(set_q, set_o, metric, eps):
+    return sum(1 for a in set_q for b in set_o if metric(a, b) <= eps)
+
+
+class TestVectors:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        rng = np.random.default_rng(11)
+        metric = EuclideanDistance()
+        set_q = [rng.normal(size=4) for _ in range(150)]
+        set_o = [rng.normal(size=4) for _ in range(200)]
+        trees = build_pair(set_q, set_o, metric)
+        return set_q, set_o, metric, trees
+
+    @pytest.mark.parametrize("eps", [0.0, 0.3, 0.8, 1.5])
+    def test_matches_brute_force(self, setup, eps):
+        set_q, set_o, metric, (tree_q, tree_o) = setup
+        result = similarity_join(tree_q, tree_o, eps)
+        assert len(result.pairs) == brute_force(set_q, set_o, metric, eps)
+
+    def test_no_duplicate_pairs(self, setup):
+        """Lemma 7: no missing and no duplicated answer pairs."""
+        set_q, set_o, metric, (tree_q, tree_o) = setup
+        result = similarity_join(tree_q, tree_o, 1.0)
+        keys = {(a.tobytes(), b.tobytes()) for a, b in result.pairs}
+        assert len(keys) == len(result.pairs)
+
+    def test_pairs_ordered_q_then_o(self, setup):
+        set_q, set_o, metric, (tree_q, tree_o) = setup
+        q_keys = {a.tobytes() for a in set_q}
+        result = similarity_join(tree_q, tree_o, 0.8)
+        for a, b in result.pairs:
+            assert a.tobytes() in q_keys
+
+    def test_saves_distance_computations(self, setup):
+        set_q, set_o, metric, (tree_q, tree_o) = setup
+        result = similarity_join(tree_q, tree_o, 0.5)
+        assert result.stats.distance_computations < len(set_q) * len(set_o)
+
+    def test_negative_epsilon_rejected(self, setup):
+        _, _, _, (tree_q, tree_o) = setup
+        with pytest.raises(ValueError):
+            similarity_join(tree_q, tree_o, -0.1)
+
+
+class TestWords:
+    def test_paper_example(self):
+        """§5.1: SJ(Q, O, 1) = {<defoliate, defoliated>}."""
+        metric = EditDistance()
+        set_q = ["defoliate", "defoliates", "defoliation"] + [
+            f"filler{i:03d}" for i in range(60)
+        ]
+        set_o = ["citrate", "defoliated", "defoliating"] + [
+            f"pad{i:04d}xx" for i in range(60)
+        ]
+        tree_q, tree_o = build_pair(set_q, set_o, metric, num_pivots=2)
+        result = similarity_join(tree_q, tree_o, 1)
+        assert ("defoliate", "defoliated") in result.pairs
+        assert len(result.pairs) == brute_force(set_q, set_o, metric, 1)
+
+    @pytest.mark.parametrize("eps", [0, 1, 2, 4])
+    def test_matches_brute_force(self, eps):
+        metric = EditDistance()
+        set_q = generate_words(120, seed=21)
+        set_o = generate_words(150, seed=22)
+        tree_q, tree_o = build_pair(set_q, set_o, metric)
+        result = similarity_join(tree_q, tree_o, eps)
+        assert len(result.pairs) == brute_force(set_q, set_o, metric, eps)
+
+
+class TestValidation:
+    def test_requires_z_curve(self):
+        metric = EditDistance()
+        words = generate_words(80, seed=5)
+        pivots = select_pivots(words, 2, metric, seed=3)
+        d_plus = metric.max_distance(words)
+        hilbert = SPBTree.build(
+            words, metric, pivots=pivots, d_plus=d_plus, curve="hilbert"
+        )
+        zorder = SPBTree.build(
+            words, metric, pivots=pivots, d_plus=d_plus, curve="z"
+        )
+        with pytest.raises(ValueError, match="Z-order"):
+            similarity_join(hilbert, zorder, 1)
+
+    def test_requires_shared_pivots(self):
+        metric = EditDistance()
+        words_a = generate_words(80, seed=5)
+        words_b = generate_words(80, seed=6)
+        tree_a = SPBTree.build(words_a, metric, num_pivots=2, curve="z", seed=1)
+        tree_b = SPBTree.build(words_b, metric, num_pivots=2, curve="z", seed=2)
+        with pytest.raises(ValueError):
+            similarity_join(tree_a, tree_b, 1)
+
+    def test_symmetry_of_pair_count(self):
+        metric = EditDistance()
+        set_q = generate_words(100, seed=31)
+        set_o = generate_words(100, seed=32)
+        tq, to = build_pair(set_q, set_o, metric)
+        forward = similarity_join(tq, to, 2)
+        backward = similarity_join(to, tq, 2)
+        assert len(forward.pairs) == len(backward.pairs)
+
+
+class TestDeletedObjects:
+    def test_join_skips_deleted(self):
+        metric = EditDistance()
+        set_q = generate_words(100, seed=41)
+        set_o = generate_words(100, seed=42)
+        tq, to = build_pair(set_q, set_o, metric)
+        full = len(similarity_join(tq, to, 2).pairs)
+        # Delete a word that participates in at least one pair.
+        participating = {a for a, _ in similarity_join(tq, to, 2).pairs}
+        if participating:
+            victim = next(iter(participating))
+            assert tq.delete(victim)
+            reduced = len(similarity_join(tq, to, 2).pairs)
+            assert reduced < full

@@ -1,0 +1,103 @@
+"""Tests for the join extensions: self-join and kNN join."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    EditDistance,
+    EuclideanDistance,
+    SPBTree,
+    knn_join,
+    similarity_self_join,
+)
+from repro.baselines import LinearScan
+from repro.datasets import generate_words
+
+
+class TestSelfJoin:
+    @pytest.mark.parametrize("eps", [0, 1, 2, 4])
+    def test_matches_brute_force(self, eps):
+        words = generate_words(200, seed=5)
+        metric = EditDistance()
+        tree = SPBTree.build(words, metric, num_pivots=3, curve="z", seed=1)
+        result = similarity_self_join(tree, eps)
+        expected = sum(
+            1
+            for i, a in enumerate(words)
+            for b in words[i + 1 :]
+            if metric(a, b) <= eps
+        )
+        assert len(result.pairs) == expected
+
+    def test_no_self_or_duplicate_pairs(self):
+        words = generate_words(200, seed=5)
+        tree = SPBTree.build(
+            words, EditDistance(), num_pivots=3, curve="z", seed=1
+        )
+        result = similarity_self_join(tree, 3)
+        assert all(a != b for a, b in result.pairs)
+        unordered = {frozenset((a, b)) for a, b in result.pairs}
+        assert len(unordered) == len(result.pairs)
+
+    def test_vectors(self):
+        rng = np.random.default_rng(3)
+        data = [rng.normal(size=3) for _ in range(150)]
+        metric = EuclideanDistance()
+        tree = SPBTree.build(data, metric, num_pivots=3, curve="z", seed=1)
+        result = similarity_self_join(tree, 0.7)
+        expected = sum(
+            1
+            for i, a in enumerate(data)
+            for b in data[i + 1 :]
+            if metric(a, b) <= 0.7
+        )
+        assert len(result.pairs) == expected
+
+    def test_requires_z_curve(self):
+        words = generate_words(60, seed=5)
+        tree = SPBTree.build(words, EditDistance(), num_pivots=2, seed=1)
+        with pytest.raises(ValueError, match="Z-order"):
+            similarity_self_join(tree, 1)
+
+    def test_negative_epsilon_rejected(self):
+        words = generate_words(60, seed=5)
+        tree = SPBTree.build(
+            words, EditDistance(), num_pivots=2, curve="z", seed=1
+        )
+        with pytest.raises(ValueError):
+            similarity_self_join(tree, -1)
+
+
+class TestKnnJoin:
+    def test_matches_per_query_knn(self):
+        metric = EditDistance()
+        left = generate_words(80, seed=11)
+        right = generate_words(120, seed=12)
+        tq = SPBTree.build(left, metric, num_pivots=3, curve="z", seed=1)
+        to = SPBTree.build(
+            right,
+            metric,
+            pivots=tq.space.pivots,
+            d_plus=tq.space.d_plus,
+            curve="z",
+        )
+        results, stats = knn_join(tq, to, 3)
+        assert len(results) == len(left)
+        oracle = LinearScan(right, metric)
+        # Spot-check a few query objects against brute force.
+        stored = {obj_id: obj for _, obj_id, obj in tq.raf.scan()}
+        for obj_id in list(results)[:5]:
+            expected = oracle.knn_query(stored[obj_id], 3)
+            assert [d for d, _ in results[obj_id]] == [
+                d for d, _ in expected
+            ]
+        assert stats.result_size == 3 * len(left)
+        assert stats.distance_computations > 0
+
+    def test_invalid_k(self):
+        words = generate_words(60, seed=5)
+        tree = SPBTree.build(
+            words, EditDistance(), num_pivots=2, curve="z", seed=1
+        )
+        with pytest.raises(ValueError):
+            knn_join(tree, tree, 0)

@@ -1,0 +1,119 @@
+"""Correctness tests for the join baselines: Quickjoin and eD-index."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import EDIndex, quickjoin
+from repro.datasets import generate_color, generate_words
+from repro.distance import EditDistance, EuclideanDistance, MinkowskiDistance
+
+
+def brute_force(left, right, metric, eps):
+    return sum(1 for a in left for b in right if metric(a, b) <= eps)
+
+
+@pytest.fixture(scope="module")
+def vector_sets():
+    rng = np.random.default_rng(19)
+    metric = EuclideanDistance()
+    left = [rng.normal(size=4) for _ in range(120)]
+    right = [rng.normal(size=4) for _ in range(150)]
+    return left, right, metric
+
+
+@pytest.fixture(scope="module")
+def word_sets():
+    return generate_words(120, seed=61), generate_words(130, seed=62), EditDistance()
+
+
+class TestQuickjoin:
+    @pytest.mark.parametrize("eps", [0.0, 0.4, 1.0, 2.0])
+    def test_vectors_match_brute_force(self, vector_sets, eps):
+        left, right, metric = vector_sets
+        result = quickjoin(left, right, metric, eps, seed=3)
+        assert len(result.pairs) == brute_force(left, right, metric, eps)
+
+    @pytest.mark.parametrize("eps", [0, 1, 3])
+    def test_words_match_brute_force(self, word_sets, eps):
+        left, right, metric = word_sets
+        result = quickjoin(left, right, metric, eps, seed=3)
+        assert len(result.pairs) == brute_force(left, right, metric, eps)
+
+    def test_pairs_oriented_left_right(self, word_sets):
+        left, right, metric = word_sets
+        left_set = set(left)
+        result = quickjoin(left, right, metric, 2, seed=3)
+        for a, b in result.pairs:
+            assert a in left_set
+
+    def test_no_duplicates(self, word_sets):
+        left, right, metric = word_sets
+        result = quickjoin(left, right, metric, 2, seed=3)
+        assert len(set(result.pairs)) == len(result.pairs)
+
+    def test_beats_nested_loop_compdists(self, vector_sets):
+        left, right, metric = vector_sets
+        result = quickjoin(left, right, metric, 0.3, seed=3)
+        assert result.stats.distance_computations < len(left) * len(right)
+
+    def test_no_page_accesses(self, vector_sets):
+        left, right, metric = vector_sets
+        result = quickjoin(left, right, metric, 0.5, seed=3)
+        assert result.stats.page_accesses == 0
+
+    def test_rejects_negative_epsilon(self, vector_sets):
+        left, right, metric = vector_sets
+        with pytest.raises(ValueError):
+            quickjoin(left, right, metric, -1.0)
+
+    def test_deterministic_given_seed(self, word_sets):
+        left, right, metric = word_sets
+        a = quickjoin(left, right, metric, 1, seed=5)
+        b = quickjoin(left, right, metric, 1, seed=5)
+        assert a.pairs == b.pairs
+
+
+class TestEDIndex:
+    @pytest.mark.parametrize("eps", [0.3, 0.8])
+    def test_vectors_match_brute_force(self, vector_sets, eps):
+        left, right, metric = vector_sets
+        index = EDIndex.build(left, right, metric, eps, seed=3)
+        result = index.join(eps)
+        assert len(result.pairs) == brute_force(left, right, metric, eps)
+
+    @pytest.mark.parametrize("eps", [1, 2])
+    def test_words_match_brute_force(self, word_sets, eps):
+        left, right, metric = word_sets
+        index = EDIndex.build(left, right, metric, eps, seed=3)
+        result = index.join(eps)
+        assert len(result.pairs) == brute_force(left, right, metric, eps)
+
+    def test_smaller_epsilon_than_build_allowed(self, word_sets):
+        left, right, metric = word_sets
+        index = EDIndex.build(left, right, metric, 3, seed=3)
+        result = index.join(1)
+        assert len(result.pairs) == brute_force(left, right, metric, 1)
+
+    def test_larger_epsilon_rejected(self, word_sets):
+        """The paper: 'the index has to be rebuilt for larger ε values'."""
+        left, right, metric = word_sets
+        index = EDIndex.build(left, right, metric, 1, seed=3)
+        with pytest.raises(ValueError, match="rebuild"):
+            index.join(5)
+
+    def test_replication_inflates_storage(self):
+        """ε-enlargement replicates objects: storage exceeds the raw data."""
+        data = generate_color(300, seed=3)
+        metric = MinkowskiDistance(5)
+        d_plus = metric.max_distance(data)
+        index = EDIndex.build(
+            data[:150], data[150:], metric, d_plus * 0.1, seed=3
+        )
+        raw_bytes = sum(16 * 8 for _ in data)
+        assert index.size_in_bytes > raw_bytes
+
+    def test_join_counts_page_accesses(self, word_sets):
+        left, right, metric = word_sets
+        index = EDIndex.build(left, right, metric, 2, seed=3)
+        result = index.join(2)
+        assert result.stats.page_accesses > 0

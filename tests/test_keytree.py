@@ -1,0 +1,116 @@
+"""Unit tests for the float-keyed B+-tree backing the M-Index."""
+
+import random
+import struct
+
+import pytest
+
+from repro.baselines.keytree import KeyBPlusTree
+
+
+def make_items(n, seed=0):
+    rng = random.Random(seed)
+    items = [(rng.uniform(0, 100), struct.pack("<q", i)) for i in range(n)]
+    items.sort(key=lambda kv: kv[0])
+    return items
+
+
+class TestBulkLoad:
+    def test_round_trip(self):
+        tree = KeyBPlusTree(payload_size=8, page_size=256)
+        items = make_items(500)
+        tree.bulk_load(items)
+        got = [(e.key, e.payload) for e in tree.items()]
+        assert got == items
+
+    def test_requires_sorted(self):
+        tree = KeyBPlusTree(payload_size=8, page_size=256)
+        with pytest.raises(ValueError):
+            tree.bulk_load([(2.0, b"x" * 8), (1.0, b"y" * 8)])
+
+    def test_empty(self):
+        tree = KeyBPlusTree(payload_size=8, page_size=256)
+        tree.bulk_load([])
+        assert list(tree.items()) == []
+
+
+class TestRangeScan:
+    def test_matches_filter(self):
+        tree = KeyBPlusTree(payload_size=8, page_size=256)
+        items = make_items(800, seed=2)
+        tree.bulk_load(items)
+        lo, hi = 25.0, 60.0
+        got = [(e.key, e.payload) for e in tree.range_scan(lo, hi)]
+        expected = [(k, p) for k, p in items if lo <= k <= hi]
+        assert got == expected
+
+    def test_empty_interval(self):
+        tree = KeyBPlusTree(payload_size=8, page_size=256)
+        tree.bulk_load(make_items(100))
+        assert list(tree.range_scan(5.0, 4.0)) == []
+
+    def test_scan_is_ascending(self):
+        tree = KeyBPlusTree(payload_size=8, page_size=256)
+        tree.bulk_load(make_items(300, seed=3))
+        keys = [e.key for e in tree.range_scan(0.0, 100.0)]
+        assert keys == sorted(keys)
+
+
+class TestInsert:
+    def test_insert_preserves_order(self):
+        tree = KeyBPlusTree(payload_size=8, page_size=256)
+        tree.bulk_load(make_items(200, seed=4))
+        rng = random.Random(9)
+        for i in range(300):
+            tree.insert(rng.uniform(0, 100), struct.pack("<q", 1000 + i))
+        keys = [e.key for e in tree.items()]
+        assert keys == sorted(keys)
+        assert len(keys) == 500
+
+    def test_insert_into_empty(self):
+        tree = KeyBPlusTree(payload_size=8, page_size=256)
+        tree.insert(5.0, struct.pack("<q", 0))
+        assert [e.key for e in tree.items()] == [5.0]
+
+    def test_payload_size_enforced(self):
+        tree = KeyBPlusTree(payload_size=8, page_size=256)
+        with pytest.raises(ValueError):
+            tree.insert(1.0, b"short")
+
+    def test_leaf_page_count_tracks_splits(self):
+        tree = KeyBPlusTree(payload_size=8, page_size=128)
+        before_items = make_items(50, seed=5)
+        tree.bulk_load(before_items)
+        pages_before = tree.leaf_page_count
+        rng = random.Random(10)
+        for i in range(200):
+            tree.insert(rng.uniform(0, 100), struct.pack("<q", i))
+        assert tree.leaf_page_count > pages_before
+
+
+class TestValidation:
+    def test_payload_too_large(self):
+        with pytest.raises(ValueError):
+            KeyBPlusTree(payload_size=10_000, page_size=256)
+
+
+class TestDuplicateBoundaries:
+    def test_scan_from_exact_duplicate_key(self):
+        """Regression: duplicates of ``lo`` straddling leaves must all be
+        returned when the scan starts exactly at that key."""
+        tree = KeyBPlusTree(payload_size=8, page_size=128)
+        items = [(float(k), struct.pack("<q", i)) for i, k in enumerate(
+            sorted([5.0] * 50 + [1.0, 2.0, 9.0] * 5)
+        )]
+        tree.bulk_load(items)
+        got = [e for e in tree.range_scan(5.0, 5.0)]
+        assert len(got) == 50
+
+    def test_insert_heavy_duplicates_then_scan(self):
+        tree = KeyBPlusTree(payload_size=8, page_size=128)
+        for i in range(120):
+            tree.insert(7.0, struct.pack("<q", i))
+        for i in range(30):
+            tree.insert(float(i), struct.pack("<q", 1000 + i))
+        # 120 direct inserts of 7.0 plus float(7) from the second loop.
+        assert len(list(tree.range_scan(7.0, 7.0))) == 121

@@ -1,0 +1,62 @@
+"""Tests for the brute-force oracle itself."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import LinearScan
+from repro.distance import EditDistance, EuclideanDistance
+
+
+class TestLinearScan:
+    @pytest.fixture(scope="class")
+    def scan(self):
+        rng = np.random.default_rng(0)
+        data = [rng.normal(size=3) for _ in range(100)]
+        return LinearScan(data, EuclideanDistance()), data
+
+    def test_range_query_definition(self, scan):
+        oracle, data = scan
+        metric = EuclideanDistance()
+        q = data[0]
+        result = oracle.range_query(q, 1.0)
+        for o in result:
+            assert metric(q, o) <= 1.0
+        assert len(result) == sum(1 for o in data if metric(q, o) <= 1.0)
+
+    def test_knn_sorted_and_exact(self, scan):
+        oracle, data = scan
+        metric = EuclideanDistance()
+        q = np.zeros(3)
+        res = oracle.knn_query(q, 10)
+        dists = [d for d, _ in res]
+        assert dists == sorted(dists)
+        all_dists = sorted(metric(q, o) for o in data)
+        assert dists == pytest.approx(all_dists[:10])
+
+    def test_knn_with_ties(self):
+        data = ["aa", "ab", "ba", "zz"]
+        oracle = LinearScan(data, EditDistance())
+        res = oracle.knn_query("aa", 3)
+        assert res[0] == (0.0, "aa")
+        assert {o for _, o in res[1:]} == {"ab", "ba"}
+
+    def test_knn_invalid_k(self, scan):
+        oracle, _ = scan
+        with pytest.raises(ValueError):
+            oracle.knn_query(np.zeros(3), 0)
+
+    def test_join(self):
+        left = ["cat", "dog"]
+        right = ["cot", "dot", "bird"]
+        oracle = LinearScan(left, EditDistance())
+        pairs = oracle.join(right, 1)
+        assert ("cat", "cot") in pairs
+        assert ("dog", "dot") in pairs
+        assert len(pairs) == 2  # only cat-cot and dog-dot are within 1
+
+    def test_counts_distances(self, scan):
+        oracle, data = scan
+        oracle.distance.reset()
+        oracle.range_query(data[0], 0.5)
+        assert oracle.distance_computations == len(data)
+        assert oracle.page_accesses == 0

@@ -1,0 +1,104 @@
+"""Tests for SPB-tree maintenance operations: range_count and rebuild."""
+
+import numpy as np
+import pytest
+
+from repro.core.spbtree import SPBTree
+from repro.datasets import generate_color, generate_words
+from repro.distance import EditDistance, MinkowskiDistance
+
+
+@pytest.fixture(scope="module")
+def word_tree():
+    words = generate_words(400, seed=3)
+    tree = SPBTree.build(words, EditDistance(), num_pivots=3, seed=1)
+    return words, tree
+
+
+class TestRangeCount:
+    @pytest.mark.parametrize("radius", [0, 1, 3, 8, 20])
+    def test_count_equals_query_length(self, word_tree, radius):
+        words, tree = word_tree
+        for q in words[:3]:
+            assert tree.range_count(q, radius) == len(
+                tree.range_query(q, radius)
+            )
+
+    def test_count_never_more_page_accesses(self, word_tree):
+        words, tree = word_tree
+        q = words[7]
+        tree.reset_counters()
+        tree.flush_cache()
+        tree.range_count(q, 8)
+        count_pa = tree.page_accesses
+        tree.reset_counters()
+        tree.flush_cache()
+        tree.range_query(q, 8)
+        assert count_pa <= tree.page_accesses
+
+    def test_lemma2_entries_cost_no_raf_reads(self):
+        """At radius 3·d+, Lemma 2 proves every object within range
+        (r − d(q,pᵢ) ≥ 2·d+ ≥ any d(o,pᵢ) upper bound), so the count
+        costs only B+-tree accesses."""
+        words = generate_words(300, seed=5)
+        tree = SPBTree.build(words, EditDistance(), num_pivots=2, seed=1)
+        q = words[0]
+        tree.reset_counters()
+        tree.flush_cache()
+        n = tree.range_count(q, 3 * tree.space.d_plus)
+        assert n == len(words)
+        assert tree.raf.page_accesses == 0
+
+    def test_negative_radius_rejected(self, word_tree):
+        _, tree = word_tree
+        with pytest.raises(ValueError):
+            tree.range_count("x", -1)
+
+    def test_counts_respect_deletions(self):
+        words = generate_words(200, seed=9)
+        tree = SPBTree.build(words, EditDistance(), num_pivots=2, seed=1)
+        q = words[0]
+        before = tree.range_count(q, 2)
+        assert tree.delete(q)
+        assert tree.range_count(q, 2) == before - 1
+
+
+class TestRebuild:
+    def test_rebuild_preserves_results(self):
+        data = generate_color(300, seed=5)
+        metric = MinkowskiDistance(5)
+        tree = SPBTree.build(data, metric, num_pivots=3, seed=1)
+        for obj in data[:100]:
+            assert tree.delete(obj)
+        fresh = tree.rebuild()
+        assert len(fresh) == 200
+        q = data[150]
+        assert len(fresh.range_query(q, 0.1)) == len(tree.range_query(q, 0.1))
+        got = fresh.knn_query(q, 5)
+        expected = tree.knn_query(q, 5)
+        assert [d for d, _ in got] == pytest.approx([d for d, _ in expected])
+
+    def test_rebuild_reclaims_space(self):
+        words = generate_words(500, seed=7)
+        tree = SPBTree.build(words, EditDistance(), num_pivots=3, seed=1)
+        for w in words[:300]:
+            tree.delete(w)
+        fresh = tree.rebuild()
+        assert fresh.size_in_bytes < tree.size_in_bytes
+
+    def test_rebuild_reuses_pivots(self, word_tree):
+        _, tree = word_tree
+        fresh = tree.rebuild()
+        assert fresh.space.pivots == tree.space.pivots
+
+    def test_rebuild_keeps_curve_family(self):
+        words = generate_words(100, seed=7)
+        z_tree = SPBTree.build(
+            words, EditDistance(), num_pivots=2, curve="z", seed=1
+        )
+        assert z_tree.rebuild().curve.is_monotone
+
+    def test_rebuild_empty_rejected(self):
+        tree = SPBTree(EditDistance(), ["p"], 10.0)
+        with pytest.raises(ValueError):
+            tree.rebuild()

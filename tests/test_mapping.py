@@ -1,0 +1,120 @@
+"""Unit tests for the pivot mapping and δ-approximation."""
+
+import numpy as np
+import pytest
+
+from repro.core.mapping import PivotSpace, linf
+from repro.distance import EditDistance, EuclideanDistance
+
+
+class TestPivotSpace:
+    def test_phi_is_distance_vector(self, small_vectors, l2):
+        pivots = small_vectors[:3]
+        space = PivotSpace(pivots, l2, d_plus=10.0)
+        obj = small_vectors[10]
+        phi = space.phi(obj)
+        assert phi == tuple(l2(obj, p) for p in pivots)
+
+    def test_lower_bound_property(self, small_vectors, l2):
+        """D(φ(a), φ(b)) <= d(a, b): the foundation of Lemma 1."""
+        pivots = small_vectors[:4]
+        space = PivotSpace(pivots, l2, d_plus=10.0)
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            i, j = rng.integers(0, len(small_vectors), 2)
+            a, b = small_vectors[i], small_vectors[j]
+            assert linf(space.phi(a), space.phi(b)) <= l2(a, b) + 1e-9
+
+    def test_discrete_metric_is_exact(self, small_words, edit):
+        space = PivotSpace(small_words[:3], edit, d_plus=30.0)
+        assert space.exact
+        assert space.delta == 1.0
+        obj = small_words[5]
+        assert space.grid(obj) == tuple(
+            int(edit(obj, p)) for p in space.pivots
+        )
+
+    def test_continuous_default_delta(self, small_vectors, l2):
+        space = PivotSpace(small_vectors[:2], l2, d_plus=8.0)
+        assert not space.exact
+        assert space.delta == pytest.approx(8.0 / 256)
+        assert space.cells == 257
+
+    def test_grid_clamps_to_range(self, small_vectors, l2):
+        space = PivotSpace(small_vectors[:2], l2, d_plus=1.0, delta=0.1)
+        far = small_vectors[0] + 100.0
+        grid = space.grid(far)
+        assert all(0 <= c < space.cells for c in grid)
+
+    def test_bits_cover_cells(self, small_vectors, l2):
+        space = PivotSpace(small_vectors[:2], l2, d_plus=5.0, delta=0.01)
+        assert (1 << space.bits) >= space.cells
+
+    def test_validation(self, small_vectors, l2):
+        with pytest.raises(ValueError):
+            PivotSpace([], l2, d_plus=1.0)
+        with pytest.raises(ValueError):
+            PivotSpace(small_vectors[:1], l2, d_plus=0.0)
+        with pytest.raises(ValueError):
+            PivotSpace(small_vectors[:1], l2, d_plus=1.0, delta=-1)
+
+
+class TestRangeRegion:
+    def test_contains_all_results(self, small_vectors, l2):
+        """Lemma 1: o ∈ RQ(q, O, r) ⇒ grid(o) ∈ RR(q, r)."""
+        space = PivotSpace(small_vectors[:3], l2, d_plus=10.0, delta=0.05)
+        q = small_vectors[7]
+        phi_q = space.phi(q)
+        for radius in (0.2, 0.7, 2.0):
+            lo, hi = space.range_region(phi_q, radius)
+            for o in small_vectors:
+                if l2(q, o) <= radius:
+                    g = space.grid(o)
+                    assert all(
+                        l <= c <= h for c, l, h in zip(g, lo, hi)
+                    ), (g, lo, hi)
+
+    def test_discrete_region_is_tight(self, small_words, edit):
+        space = PivotSpace(small_words[:2], edit, d_plus=30.0)
+        q = small_words[9]
+        phi_q = space.phi(q)
+        lo, hi = space.range_region(phi_q, 2)
+        assert lo == tuple(max(0, int(d) - 2) for d in phi_q)
+        assert hi == tuple(
+            min(space.cells - 1, int(d) + 2) for d in phi_q
+        )
+
+
+class TestLowerBounds:
+    def test_mind_to_cell_is_lower_bound(self, small_vectors, l2):
+        space = PivotSpace(small_vectors[:3], l2, d_plus=10.0, delta=0.05)
+        q = small_vectors[3]
+        phi_q = space.phi(q)
+        for o in small_vectors[:60]:
+            cell = space.grid(o)
+            assert space.mind_to_cell(phi_q, cell) <= l2(q, o) + 1e-9
+
+    def test_mind_to_box_le_mind_to_cell(self, small_vectors, l2):
+        space = PivotSpace(small_vectors[:3], l2, d_plus=10.0, delta=0.05)
+        q = small_vectors[3]
+        phi_q = space.phi(q)
+        cells = [space.grid(o) for o in small_vectors[:20]]
+        lo = tuple(min(c[i] for c in cells) for i in range(3))
+        hi = tuple(max(c[i] for c in cells) for i in range(3))
+        box_bound = space.mind_to_box(phi_q, lo, hi)
+        for cell in cells:
+            assert box_bound <= space.mind_to_cell(phi_q, cell) + 1e-9
+
+    def test_lower_bound_between_cells(self, small_vectors, l2):
+        space = PivotSpace(small_vectors[:3], l2, d_plus=10.0, delta=0.05)
+        for i in range(0, 40, 2):
+            a, b = small_vectors[i], small_vectors[i + 1]
+            lb = space.lower_bound(space.grid(a), space.grid(b))
+            assert lb <= l2(a, b) + 1e-9
+
+    def test_upper_bound_to_pivot(self, small_words, edit):
+        space = PivotSpace(small_words[:2], edit, d_plus=30.0)
+        obj = small_words[11]
+        grid = space.grid(obj)
+        for coord, pivot in zip(grid, space.pivots):
+            assert edit(obj, pivot) <= space.upper_bound_to_pivot(coord)

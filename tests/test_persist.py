@@ -1,0 +1,110 @@
+"""Tests for SPB-tree persistence (save_tree / load_tree)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    EditDistance,
+    EuclideanDistance,
+    MinkowskiDistance,
+    SPBTree,
+    load_tree,
+    save_tree,
+    similarity_join,
+)
+from repro.core.costmodel import CostModel
+from repro.core.pivots import select_pivots
+from repro.datasets import generate_color, generate_words
+
+
+class TestRoundTrip:
+    def test_words_queries_survive(self, tmp_path):
+        words = generate_words(400, seed=3)
+        tree = SPBTree.build(words, EditDistance(), num_pivots=3, seed=1)
+        q = words[7]
+        expected_range = sorted(tree.range_query(q, 2))
+        expected_knn = [d for d, _ in tree.knn_query(q, 5)]
+        save_tree(tree, str(tmp_path / "idx"))
+        reopened = load_tree(str(tmp_path / "idx"), EditDistance())
+        assert sorted(reopened.range_query(q, 2)) == expected_range
+        assert [d for d, _ in reopened.knn_query(q, 5)] == expected_knn
+        assert len(reopened) == len(tree)
+
+    def test_vectors_survive(self, tmp_path):
+        data = generate_color(300, seed=5)
+        metric = MinkowskiDistance(5)
+        tree = SPBTree.build(data, metric, num_pivots=4, seed=1)
+        q = data[0]
+        expected = len(tree.range_query(q, 0.1))
+        save_tree(tree, str(tmp_path / "idx"))
+        reopened = load_tree(str(tmp_path / "idx"), MinkowskiDistance(5))
+        assert len(reopened.range_query(q, 0.1)) == expected
+
+    def test_updates_after_reload(self, tmp_path):
+        words = generate_words(200, seed=3)
+        tree = SPBTree.build(words, EditDistance(), num_pivots=2, seed=1)
+        save_tree(tree, str(tmp_path / "idx"))
+        reopened = load_tree(str(tmp_path / "idx"), EditDistance())
+        reopened.insert("zzqqzz")
+        assert "zzqqzz" in reopened.range_query("zzqqzz", 0)
+        assert reopened.delete(words[0])
+        assert words[0] not in reopened.range_query(words[0], 0)
+
+    def test_deleted_objects_stay_deleted(self, tmp_path):
+        words = generate_words(200, seed=3)
+        tree = SPBTree.build(words, EditDistance(), num_pivots=2, seed=1)
+        victim = words[50]
+        assert tree.delete(victim)
+        save_tree(tree, str(tmp_path / "idx"))
+        reopened = load_tree(str(tmp_path / "idx"), EditDistance())
+        assert victim not in reopened.range_query(victim, 0)
+        assert len(reopened) == 199
+
+    def test_cost_model_statistics_survive(self, tmp_path):
+        words = generate_words(300, seed=3)
+        tree = SPBTree.build(words, EditDistance(), num_pivots=3, seed=1)
+        save_tree(tree, str(tmp_path / "idx"))
+        reopened = load_tree(str(tmp_path / "idx"), EditDistance())
+        assert reopened.pair_distances == tree.pair_distances
+        assert reopened.ndk_corrections == tree.ndk_corrections
+        assert reopened.grid_sample == tree.grid_sample
+        model = CostModel(reopened)
+        estimate = model.estimate_knn(words[0], 4)
+        assert estimate.edc >= 3
+
+    def test_join_after_reload(self, tmp_path):
+        metric = EditDistance()
+        left = generate_words(150, seed=71)
+        right = generate_words(150, seed=72)
+        pivots = select_pivots(right, 3, metric, seed=3)
+        d_plus = metric.max_distance(left + right)
+        tq = SPBTree.build(left, metric, pivots=pivots, d_plus=d_plus, curve="z")
+        to = SPBTree.build(right, metric, pivots=pivots, d_plus=d_plus, curve="z")
+        expected = len(similarity_join(tq, to, 2).pairs)
+        save_tree(tq, str(tmp_path / "q"))
+        save_tree(to, str(tmp_path / "o"))
+        rq = load_tree(str(tmp_path / "q"), EditDistance())
+        ro = load_tree(str(tmp_path / "o"), EditDistance())
+        assert len(similarity_join(rq, ro, 2).pairs) == expected
+
+
+class TestValidation:
+    def test_metric_mismatch_rejected(self, tmp_path):
+        words = generate_words(100, seed=3)
+        tree = SPBTree.build(words, EditDistance(), num_pivots=2, seed=1)
+        save_tree(tree, str(tmp_path / "idx"))
+        with pytest.raises(ValueError, match="metric"):
+            load_tree(str(tmp_path / "idx"), EuclideanDistance())
+
+    def test_empty_tree_rejected(self):
+        tree = SPBTree(EditDistance(), ["pivot"], 10.0)
+        with pytest.raises(ValueError, match="empty"):
+            save_tree(tree, "/tmp/nonexistent-spb-dir")
+
+    def test_counters_reset_after_load(self, tmp_path):
+        words = generate_words(100, seed=3)
+        tree = SPBTree.build(words, EditDistance(), num_pivots=2, seed=1)
+        save_tree(tree, str(tmp_path / "idx"))
+        reopened = load_tree(str(tmp_path / "idx"), EditDistance())
+        assert reopened.page_accesses == 0
+        assert reopened.distance_computations == 0

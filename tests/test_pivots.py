@@ -1,0 +1,144 @@
+"""Unit tests for the pivot selection algorithms."""
+
+import random
+
+import pytest
+
+from repro.core.pivots import (
+    intrinsic_dimensionality,
+    pivot_set_precision,
+    select_fft,
+    select_hf,
+    select_hfi,
+    select_pca,
+    select_pivots,
+    select_random,
+    select_spacing,
+    select_sss,
+)
+
+ALL_METHODS = ["random", "fft", "hf", "sss", "spacing", "pca", "hfi"]
+
+
+@pytest.mark.parametrize("method", ALL_METHODS)
+class TestAllMethods:
+    def test_returns_requested_count(self, method, small_vectors, l2):
+        pivots = select_pivots(small_vectors, 4, l2, method=method, seed=3)
+        assert len(pivots) == 4
+
+    def test_pivots_come_from_dataset(self, method, small_vectors, l2):
+        pivots = select_pivots(small_vectors, 3, l2, method=method, seed=3)
+        ids = {id(o) for o in small_vectors}
+        for p in pivots:
+            assert id(p) in ids
+
+    def test_deterministic(self, method, small_words, edit):
+        a = select_pivots(small_words, 3, edit, method=method, seed=5)
+        b = select_pivots(small_words, 3, edit, method=method, seed=5)
+        assert a == b
+
+    def test_distinct_pivots(self, method, small_vectors, l2):
+        pivots = select_pivots(small_vectors, 5, l2, method=method, seed=3)
+        assert len({id(p) for p in pivots}) == len(pivots)
+
+
+class TestDispatch:
+    def test_unknown_method(self, small_vectors, l2):
+        with pytest.raises(ValueError, match="unknown pivot selection"):
+            select_pivots(small_vectors, 3, l2, method="nope")
+
+    def test_invalid_k(self, small_vectors, l2):
+        with pytest.raises(ValueError):
+            select_pivots(small_vectors, 0, l2)
+
+
+class TestPrecision:
+    def test_precision_in_unit_interval(self, small_vectors, l2):
+        rng = random.Random(0)
+        pairs = [
+            (rng.choice(small_vectors), rng.choice(small_vectors))
+            for _ in range(100)
+        ]
+        pivots = select_hf(small_vectors, 3, l2, seed=1)
+        precision = pivot_set_precision(pivots, pairs, l2)
+        assert 0.0 <= precision <= 1.0
+
+    def test_more_pivots_never_hurt(self, small_vectors, l2):
+        """Definition 1: adding a pivot can only raise D, hence precision."""
+        rng = random.Random(0)
+        pairs = [
+            (rng.choice(small_vectors), rng.choice(small_vectors))
+            for _ in range(80)
+        ]
+        pivots = select_hf(small_vectors, 6, l2, seed=1)
+        p2 = pivot_set_precision(pivots[:2], pairs, l2)
+        p4 = pivot_set_precision(pivots[:4], pairs, l2)
+        p6 = pivot_set_precision(pivots, pairs, l2)
+        assert p2 <= p4 + 1e-9
+        assert p4 <= p6 + 1e-9
+
+    def test_hfi_beats_random_on_average(self, small_vectors, l2):
+        rng = random.Random(42)
+        pairs = [
+            (rng.choice(small_vectors), rng.choice(small_vectors))
+            for _ in range(120)
+        ]
+        hfi = select_hfi(small_vectors, 4, l2, seed=1)
+        rnd = select_random(small_vectors, 4, seed=1)
+        assert pivot_set_precision(hfi, pairs, l2) >= pivot_set_precision(
+            rnd, pairs, l2
+        ) - 0.02
+
+
+class TestHF:
+    def test_first_two_pivots_are_far_apart(self, small_vectors, l2):
+        pivots = select_hf(small_vectors, 2, l2, seed=1)
+        d12 = l2(pivots[0], pivots[1])
+        rng = random.Random(0)
+        sample = [
+            l2(rng.choice(small_vectors), rng.choice(small_vectors))
+            for _ in range(200)
+        ]
+        mean = sum(sample) / len(sample)
+        assert d12 > mean  # hull endpoints are farther than average
+
+
+class TestSSS:
+    def test_pivots_respect_separation(self, small_vectors, l2):
+        d_plus = l2.max_distance(small_vectors[:100])
+        pivots = select_sss(
+            small_vectors, 3, l2, seed=1, d_plus=d_plus, alpha=0.3
+        )
+        assert len(pivots) == 3
+
+
+class TestIntrinsicDimensionality:
+    def test_positive(self, small_vectors, l2):
+        rho = intrinsic_dimensionality(small_vectors, l2, num_pairs=400)
+        assert rho > 0
+
+    def test_higher_for_uniform_than_clustered(self, l2):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        uniform = [rng.uniform(size=8) for _ in range(200)]
+        clustered = [
+            np.zeros(8) + rng.normal(scale=0.01, size=8) for _ in range(100)
+        ] + [np.ones(8) + rng.normal(scale=0.01, size=8) for _ in range(100)]
+        rho_u = intrinsic_dimensionality(uniform, l2, num_pairs=500)
+        rho_c = intrinsic_dimensionality(clustered, l2, num_pairs=500)
+        assert rho_u > rho_c
+
+    def test_trivial_inputs(self, l2):
+        import numpy as np
+
+        assert intrinsic_dimensionality([np.zeros(2)], l2) == 1.0
+
+
+class TestFFT:
+    def test_spreads_pivots(self, small_vectors, l2):
+        pivots = select_fft(small_vectors, 4, l2, seed=1)
+        # Every pair of FFT pivots should be reasonably separated.
+        for i, a in enumerate(pivots):
+            for b in pivots[i + 1 :]:
+                assert l2(a, b) > 0

@@ -1,0 +1,123 @@
+"""Unit tests for the random access file."""
+
+import numpy as np
+import pytest
+
+from repro.storage import RandomAccessFile, StringSerializer, VectorSerializer
+
+
+def make_raf(page_size=64, cache=4):
+    return RandomAccessFile(
+        StringSerializer(), page_size=page_size, cache_pages=cache
+    )
+
+
+class TestRoundTrip:
+    def test_bulk_append_and_read(self):
+        raf = make_raf()
+        offsets = [raf.append(i, f"word{i}", flush=False) for i in range(50)]
+        raf.finalize()
+        for i, off in enumerate(offsets):
+            assert raf.read(off) == (i, f"word{i}")
+
+    def test_variable_length_objects(self):
+        raf = make_raf()
+        words = ["a", "dictionary", "w" * 200, ""]
+        offsets = [raf.append(i, w, flush=False) for i, w in enumerate(words)]
+        raf.finalize()
+        for i, off in enumerate(offsets):
+            assert raf.read(off) == (i, words[i])
+
+    def test_records_span_pages(self):
+        raf = make_raf(page_size=32)
+        big = "x" * 100  # spans 4 pages
+        off = raf.append(0, big, flush=False)
+        raf.finalize()
+        assert raf.read(off) == (0, big)
+
+    def test_read_during_bulk_load(self):
+        # The B+-tree bulk loader may read back records before finalize.
+        raf = make_raf()
+        off = raf.append(0, "unflushed", flush=False)
+        assert raf.read(off) == (0, "unflushed")
+
+    def test_durable_append_after_finalize(self):
+        raf = make_raf()
+        off1 = raf.append(0, "first", flush=False)
+        raf.finalize()
+        off2 = raf.append(1, "second")  # durable mode
+        assert raf.read(off1) == (0, "first")
+        assert raf.read(off2) == (1, "second")
+
+    def test_vectors(self):
+        raf = RandomAccessFile(VectorSerializer(), page_size=64)
+        v = np.array([1.0, 2.0, 3.0])
+        off = raf.append(7, v)
+        ident, out = raf.read(off)
+        assert ident == 7
+        assert np.array_equal(out, v)
+
+
+class TestAccounting:
+    def test_page_accesses_counted_per_page(self):
+        raf = make_raf(page_size=32, cache=0)
+        off = raf.append(0, "x" * 60, flush=False)  # ~3 pages
+        raf.finalize()
+        before = raf.page_accesses
+        raf.read(off)
+        assert raf.page_accesses - before >= 2
+
+    def test_cache_avoids_duplicate_accesses(self):
+        raf = make_raf(page_size=128, cache=8)
+        offs = [raf.append(i, f"w{i}", flush=False) for i in range(10)]
+        raf.finalize()
+        raf.flush_cache()
+        raf.read(offs[0])
+        before = raf.page_accesses
+        raf.read(offs[1])  # same page, cached
+        assert raf.page_accesses == before
+
+    def test_objects_per_page(self):
+        raf = make_raf(page_size=64)
+        for i in range(20):
+            raf.append(i, f"w{i}", flush=False)
+        raf.finalize()
+        assert raf.objects_per_page == pytest.approx(
+            20 / raf.num_pages
+        )
+
+    def test_bulk_mode_writes_each_page_once(self):
+        raf = make_raf(page_size=64, cache=0)
+        for i in range(40):
+            raf.append(i, f"word-{i:04d}", flush=False)
+        raf.finalize()
+        assert raf.pagefile.counter.writes == raf.num_pages
+
+
+class TestDeletion:
+    def test_tombstones(self):
+        raf = make_raf()
+        offs = [raf.append(i, f"w{i}", flush=False) for i in range(5)]
+        raf.finalize()
+        raf.mark_deleted(offs[2])
+        assert raf.is_deleted(offs[2])
+        assert raf.object_count == 4
+        live = [obj for _, _, obj in raf.scan()]
+        assert live == ["w0", "w1", "w3", "w4"]
+
+
+class TestScan:
+    def test_scan_yields_offsets_ids_objects(self):
+        raf = make_raf()
+        expected = []
+        for i in range(8):
+            off = raf.append(i, f"w{i}", flush=False)
+            expected.append((off, i, f"w{i}"))
+        raf.finalize()
+        assert list(raf.scan()) == expected
+
+    def test_read_beyond_end_raises(self):
+        raf = make_raf()
+        raf.append(0, "only")
+        with pytest.raises(IndexError):
+            raf._read_bytes(10_000, 4)

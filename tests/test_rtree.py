@@ -1,0 +1,109 @@
+"""Unit tests for the R-tree substrate."""
+
+import random
+
+import pytest
+
+from repro.baselines.rtree import RTree
+
+
+def random_points(n, dims=3, seed=0):
+    rng = random.Random(seed)
+    return [
+        (tuple(rng.uniform(0, 100) for _ in range(dims)), i)
+        for i in range(n)
+    ]
+
+
+def in_box(p, lo, hi):
+    return all(l <= x <= h for x, l, h in zip(p, lo, hi))
+
+
+class TestBulkLoad:
+    def test_box_query_matches_scan(self):
+        points = random_points(800)
+        tree = RTree(3, page_size=512)
+        tree.bulk_load(points)
+        lo, hi = (20.0, 20.0, 20.0), (60.0, 70.0, 50.0)
+        got = {e.ptr for e in tree.box_query(lo, hi)}
+        expected = {ptr for p, ptr in points if in_box(p, lo, hi)}
+        assert got == expected
+
+    def test_empty(self):
+        tree = RTree(2)
+        tree.bulk_load([])
+        assert tree.box_query((0.0, 0.0), (1.0, 1.0)) == []
+
+    def test_rejects_double_load(self):
+        tree = RTree(2)
+        tree.bulk_load([((0.0, 0.0), 0)])
+        with pytest.raises(RuntimeError):
+            tree.bulk_load([((1.0, 1.0), 1)])
+
+    def test_height_grows(self):
+        small = RTree(2, page_size=256)
+        small.bulk_load(random_points(10, dims=2))
+        large = RTree(2, page_size=256)
+        large.bulk_load(random_points(2000, dims=2))
+        assert large.height > small.height
+
+
+class TestInsert:
+    def test_insert_then_query(self):
+        tree = RTree(2, page_size=256)
+        points = random_points(400, dims=2, seed=3)
+        for p, ptr in points:
+            tree.insert(p, ptr)
+        lo, hi = (10.0, 10.0), (50.0, 90.0)
+        got = {e.ptr for e in tree.box_query(lo, hi)}
+        expected = {ptr for p, ptr in points if in_box(p, lo, hi)}
+        assert got == expected
+
+    def test_mixed_bulk_and_insert(self):
+        points = random_points(300, dims=2, seed=4)
+        tree = RTree(2, page_size=256)
+        tree.bulk_load(points[:200])
+        for p, ptr in points[200:]:
+            tree.insert(p, ptr)
+        lo, hi = (0.0, 0.0), (100.0, 100.0)
+        assert len(tree.box_query(lo, hi)) == 300
+
+
+class TestNearestIter:
+    def test_yields_in_ascending_linf_order(self):
+        points = random_points(300, dims=2, seed=5)
+        tree = RTree(2, page_size=256)
+        tree.bulk_load(points)
+        q = (50.0, 50.0)
+        bounds = [b for b, _ in tree.nearest_iter(q)]
+        assert bounds == sorted(bounds)
+        assert len(bounds) == 300
+
+    def test_first_is_nearest(self):
+        points = random_points(300, dims=2, seed=6)
+        tree = RTree(2, page_size=256)
+        tree.bulk_load(points)
+        q = (10.0, 90.0)
+        bound, entry = next(iter(tree.nearest_iter(q)))
+        expected = min(
+            max(abs(a - b) for a, b in zip(p, q)) for p, _ in points
+        )
+        assert bound == pytest.approx(expected)
+
+
+class TestValidation:
+    def test_bad_dims(self):
+        with pytest.raises(ValueError):
+            RTree(0)
+
+    def test_page_too_small(self):
+        with pytest.raises(ValueError):
+            RTree(30, page_size=64)
+
+    def test_accounting(self):
+        tree = RTree(2, page_size=256)
+        tree.bulk_load(random_points(500, dims=2))
+        before = tree.page_accesses
+        tree.box_query((0.0, 0.0), (10.0, 10.0))
+        assert tree.page_accesses > before
+        assert tree.size_in_bytes == tree.num_pages * 256

@@ -1,0 +1,144 @@
+"""Unit tests for the space-filling curves and region helpers."""
+
+import pytest
+
+from repro.sfc import (
+    HilbertCurve,
+    ZCurve,
+    box_cell_count,
+    box_intersection,
+    boxes_intersect,
+    cells_in_box,
+    mind_point_to_box,
+    sfc_values_in_box,
+)
+from repro.sfc.region import box_contains, minmax_keys_for_box, point_in_box
+
+
+class TestHilbert:
+    def test_2d_order_2_known_values(self):
+        # The classic 4x4 Hilbert curve starts (0,0),(0,1),(1,1),(1,0),...
+        h = HilbertCurve(2, 2)
+        path = [h.decode(v) for v in range(16)]
+        assert path[0] == (0, 0)
+        assert len(set(path)) == 16
+        # Consecutive cells are grid neighbours (the clustering property).
+        for a, b in zip(path, path[1:]):
+            assert abs(a[0] - b[0]) + abs(a[1] - b[1]) == 1
+
+    @pytest.mark.parametrize("ndims,bits", [(1, 4), (2, 3), (3, 3), (5, 2)])
+    def test_bijection(self, ndims, bits):
+        h = HilbertCurve(ndims, bits)
+        seen = set()
+        for v in range(h.max_value):
+            coords = h.decode(v)
+            assert h.encode(coords) == v
+            seen.add(coords)
+        assert len(seen) == h.max_value
+
+    def test_adjacency_3d(self):
+        h = HilbertCurve(3, 2)
+        prev = h.decode(0)
+        for v in range(1, h.max_value):
+            cur = h.decode(v)
+            assert sum(abs(a - b) for a, b in zip(prev, cur)) == 1
+            prev = cur
+
+    def test_not_monotone_flag(self):
+        assert not HilbertCurve(2, 2).is_monotone
+
+    def test_validation(self):
+        h = HilbertCurve(2, 2)
+        with pytest.raises(ValueError):
+            h.encode((4, 0))
+        with pytest.raises(ValueError):
+            h.encode((0,))
+        with pytest.raises(ValueError):
+            h.decode(16)
+        with pytest.raises(ValueError):
+            HilbertCurve(0, 2)
+
+
+class TestZCurve:
+    @pytest.mark.parametrize("ndims,bits", [(1, 4), (2, 3), (3, 3), (5, 2)])
+    def test_bijection(self, ndims, bits):
+        z = ZCurve(ndims, bits)
+        for v in range(z.max_value):
+            assert z.encode(z.decode(v)) == v
+
+    def test_monotone_property(self):
+        # Lemma 6's premise: componentwise dominance implies key order.
+        z = ZCurve(2, 4)
+        import itertools
+
+        pts = list(itertools.product(range(8), repeat=2))
+        for a in pts:
+            for b in pts:
+                if all(x <= y for x, y in zip(a, b)):
+                    assert z.encode(a) <= z.encode(b)
+
+    def test_known_interleave(self):
+        z = ZCurve(2, 2)
+        # (1,1) -> bits 01,01 interleaved = 0b0011 = 3
+        assert z.encode((1, 1)) == 3
+        assert z.encode((0, 1)) == 1
+        assert z.encode((1, 0)) == 2
+
+    def test_is_monotone_flag(self):
+        assert ZCurve(2, 2).is_monotone
+
+
+class TestRegionHelpers:
+    def test_boxes_intersect(self):
+        assert boxes_intersect((0, 0), (2, 2), (2, 2), (4, 4))
+        assert not boxes_intersect((0, 0), (1, 1), (2, 2), (3, 3))
+
+    def test_box_intersection(self):
+        assert box_intersection((0, 0), (3, 3), (2, 1), (5, 2)) == (
+            (2, 1),
+            (3, 2),
+        )
+        assert box_intersection((0, 0), (1, 1), (2, 2), (3, 3)) is None
+
+    def test_box_contains(self):
+        assert box_contains((0, 0), (5, 5), (1, 2), (3, 4))
+        assert not box_contains((0, 0), (5, 5), (1, 2), (6, 4))
+
+    def test_point_in_box(self):
+        assert point_in_box((2, 2), (0, 0), (4, 4))
+        assert not point_in_box((5, 2), (0, 0), (4, 4))
+
+    def test_box_cell_count(self):
+        assert box_cell_count((0, 0), (2, 3)) == 12
+        assert box_cell_count((2, 2), (1, 5)) == 0
+
+    def test_cells_in_box(self):
+        cells = list(cells_in_box((0, 1), (1, 2)))
+        assert cells == [(0, 1), (0, 2), (1, 1), (1, 2)]
+
+    def test_sfc_values_in_box_sorted_and_complete(self):
+        h = HilbertCurve(2, 3)
+        values = sfc_values_in_box(h, (1, 1), (3, 4))
+        assert values == sorted(values)
+        assert len(values) == box_cell_count((1, 1), (3, 4))
+        for v in values:
+            assert point_in_box(h.decode(v), (1, 1), (3, 4))
+
+    def test_mind_point_to_box(self):
+        assert mind_point_to_box((0, 0), (2, 3), (4, 5)) == 3
+        assert mind_point_to_box((3, 4), (2, 3), (4, 5)) == 0
+        assert mind_point_to_box((6, 4), (2, 3), (4, 5)) == 2
+
+    def test_minmax_keys_require_monotone_curve(self):
+        z = ZCurve(2, 3)
+        lo_key, hi_key = minmax_keys_for_box(z, (1, 1), (3, 3))
+        assert lo_key == z.encode((1, 1))
+        assert hi_key == z.encode((3, 3))
+        with pytest.raises(ValueError):
+            minmax_keys_for_box(HilbertCurve(2, 3), (1, 1), (3, 3))
+
+    def test_minmax_keys_clamp_out_of_range(self):
+        z = ZCurve(2, 2)
+        lo_key, hi_key = minmax_keys_for_box(z, (-2, 0), (9, 9))
+        assert lo_key == z.encode((0, 0))
+        assert hi_key == z.encode((3, 3))

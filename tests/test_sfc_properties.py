@@ -1,0 +1,77 @@
+"""Property-based tests for the space-filling curves."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sfc import HilbertCurve, ZCurve
+
+
+@st.composite
+def curve_and_coords(draw, curve_cls):
+    ndims = draw(st.integers(1, 6))
+    bits = draw(st.integers(1, 8))
+    curve = curve_cls(ndims, bits)
+    coords = tuple(
+        draw(st.integers(0, curve.side - 1)) for _ in range(ndims)
+    )
+    return curve, coords
+
+
+class TestHilbertProperties:
+    @given(curve_and_coords(HilbertCurve))
+    @settings(max_examples=150)
+    def test_encode_decode_round_trip(self, cc):
+        curve, coords = cc
+        assert curve.decode(curve.encode(coords)) == coords
+
+    @given(curve_and_coords(HilbertCurve), st.integers(0, 1 << 20))
+    @settings(max_examples=100)
+    def test_decode_encode_round_trip(self, cc, raw):
+        curve, _ = cc
+        value = raw % curve.max_value
+        assert curve.encode(curve.decode(value)) == value
+
+    @given(st.integers(1, 5), st.integers(1, 6), st.integers(0, 1 << 16))
+    @settings(max_examples=100)
+    def test_consecutive_values_are_neighbours(self, ndims, bits, raw):
+        curve = HilbertCurve(ndims, bits)
+        v = raw % (curve.max_value - 1) if curve.max_value > 1 else 0
+        a = curve.decode(v)
+        b = curve.decode(v + 1) if curve.max_value > 1 else a
+        if curve.max_value > 1:
+            assert sum(abs(x - y) for x, y in zip(a, b)) == 1
+
+
+class TestZCurveProperties:
+    @given(curve_and_coords(ZCurve))
+    @settings(max_examples=150)
+    def test_encode_decode_round_trip(self, cc):
+        curve, coords = cc
+        assert curve.decode(curve.encode(coords)) == coords
+
+    @given(st.integers(1, 5), st.integers(1, 6), st.data())
+    @settings(max_examples=150)
+    def test_monotonicity(self, ndims, bits, data):
+        """Lemma 6's premise: componentwise ≤ implies key ≤."""
+        curve = ZCurve(ndims, bits)
+        a = tuple(
+            data.draw(st.integers(0, curve.side - 1)) for _ in range(ndims)
+        )
+        b = tuple(
+            data.draw(st.integers(x, curve.side - 1)) for x in a
+        )  # b dominates a
+        assert curve.encode(a) <= curve.encode(b)
+
+    @given(curve_and_coords(ZCurve))
+    @settings(max_examples=100)
+    def test_agrees_with_reference_interleave(self, cc):
+        curve, coords = cc
+
+        def reference(cs):
+            value = 0
+            for bit in range(curve.bits - 1, -1, -1):
+                for c in cs:
+                    value = (value << 1) | ((c >> bit) & 1)
+            return value
+
+        assert curve.encode(coords) == reference(coords)

@@ -1,0 +1,128 @@
+"""Property-based, end-to-end tests of the SPB-tree query algorithms.
+
+Hypothesis generates small random datasets and queries; results must match
+brute force exactly.  These are the strongest guards on Lemmas 1-4: any
+rounding error in the δ-approximation or any off-by-one in RR(q, r) shows
+up here as a missing result.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import LinearScan
+from repro.core.spbtree import SPBTree
+from repro.distance import EditDistance, EuclideanDistance
+
+coords = st.floats(
+    min_value=-5, max_value=5, allow_nan=False, allow_infinity=False
+)
+vector_datasets = st.lists(
+    st.tuples(coords, coords, coords).map(lambda t: np.array(t)),
+    min_size=12,
+    max_size=50,
+)
+word = st.text(alphabet="abcd", min_size=1, max_size=8)
+word_datasets = st.lists(word, min_size=12, max_size=50, unique=True)
+
+
+class TestVectorQueries:
+    @given(
+        data=vector_datasets,
+        radius=st.floats(min_value=0, max_value=6),
+        curve=st.sampled_from(["hilbert", "z"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_range_equals_brute_force(self, data, radius, curve):
+        metric = EuclideanDistance()
+        tree = SPBTree.build(data, metric, num_pivots=2, curve=curve, seed=1)
+        oracle = LinearScan(data, metric)
+        q = data[0]
+        got = tree.range_query(q, radius)
+        expected = oracle.range_query(q, radius)
+        assert sorted(g.tobytes() for g in got) == sorted(
+            e.tobytes() for e in expected
+        )
+
+    @given(
+        data=vector_datasets,
+        k=st.integers(1, 10),
+        traversal=st.sampled_from(["incremental", "greedy"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_knn_equals_brute_force(self, data, k, traversal):
+        metric = EuclideanDistance()
+        tree = SPBTree.build(data, metric, num_pivots=2, seed=1)
+        oracle = LinearScan(data, metric)
+        q = data[-1]
+        got = tree.knn_query(q, k, traversal=traversal)
+        expected = oracle.knn_query(q, min(k, len(data)))
+        assert [d for d, _ in got] == pytest.approx([d for d, _ in expected])
+
+
+class TestWordQueries:
+    @given(data=word_datasets, radius=st.integers(0, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_range_equals_brute_force(self, data, radius):
+        metric = EditDistance()
+        tree = SPBTree.build(data, metric, num_pivots=2, seed=1)
+        oracle = LinearScan(data, metric)
+        q = data[0]
+        assert sorted(tree.range_query(q, radius)) == sorted(
+            oracle.range_query(q, radius)
+        )
+
+    @given(data=word_datasets, k=st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_knn_distances_match(self, data, k):
+        metric = EditDistance()
+        tree = SPBTree.build(data, metric, num_pivots=2, seed=1)
+        oracle = LinearScan(data, metric)
+        q = data[0]
+        got = tree.knn_query(q, k)
+        expected = oracle.knn_query(q, min(k, len(data)))
+        assert [d for d, _ in got] == [d for d, _ in expected]
+
+
+class TestInsertDeleteRoundTrip:
+    @given(data=word_datasets, extra=st.lists(word, max_size=10, unique=True))
+    @settings(max_examples=30, deadline=None)
+    def test_insert_then_delete_restores_results(self, data, extra):
+        metric = EditDistance()
+        tree = SPBTree.build(data, metric, num_pivots=2, seed=1)
+        q = data[0]
+        baseline = sorted(tree.range_query(q, 2))
+        fresh = [w for w in extra if w not in set(data)]
+        for w in fresh:
+            tree.insert(w)
+        for w in fresh:
+            assert tree.delete(w)
+        assert sorted(tree.range_query(q, 2)) == baseline
+
+
+class TestJoinProperty:
+    @given(
+        left=word_datasets,
+        right=word_datasets,
+        eps=st.integers(0, 3),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_join_equals_brute_force(self, left, right, eps):
+        from repro.core.join import similarity_join
+        from repro.core.pivots import select_pivots
+
+        metric = EditDistance()
+        pivots = select_pivots(left + right, 2, metric, seed=3)
+        d_plus = metric.max_distance(left + right)
+        tq = SPBTree.build(
+            left, metric, pivots=pivots, d_plus=d_plus, curve="z"
+        )
+        to = SPBTree.build(
+            right, metric, pivots=pivots, d_plus=d_plus, curve="z"
+        )
+        result = similarity_join(tq, to, eps)
+        expected = sum(
+            1 for a in left for b in right if metric(a, b) <= eps
+        )
+        assert len(result.pairs) == expected

@@ -1,0 +1,51 @@
+"""Tests for the shared counters."""
+
+import pytest
+
+from repro.stats import PageAccessCounter, QueryStats, StatsSession
+
+
+class TestPageAccessCounter:
+    def test_total_and_reset(self):
+        c = PageAccessCounter()
+        c.reads += 3
+        c.writes += 2
+        assert c.total == 5
+        c.reset()
+        assert c.total == 0
+
+
+class TestQueryStats:
+    def test_add(self):
+        a = QueryStats(10, 20, 1.0, 5)
+        b = QueryStats(1, 2, 0.5, 1)
+        a.add(b)
+        assert (a.page_accesses, a.distance_computations) == (11, 22)
+        assert a.elapsed_seconds == pytest.approx(1.5)
+        assert a.result_size == 6
+
+    def test_averaged(self):
+        s = QueryStats(10, 20, 2.0, 4)
+        avg = s.averaged(4)
+        assert avg.page_accesses == 2.5
+        assert avg.distance_computations == 5
+        assert avg.elapsed_seconds == 0.5
+
+    def test_averaged_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            QueryStats().averaged(0)
+
+
+class TestStatsSession:
+    def test_measures_deltas(self):
+        class FakeIndex:
+            page_accesses = 0
+            distance_computations = 0
+
+        idx = FakeIndex()
+        with StatsSession(idx) as session:
+            idx.page_accesses = 7
+            idx.distance_computations = 13
+        assert session.stats.page_accesses == 7
+        assert session.stats.distance_computations == 13
+        assert session.stats.elapsed_seconds >= 0

@@ -1,0 +1,142 @@
+"""Structural invariants of the tree baselines.
+
+Query correctness is tested elsewhere against the brute-force oracle; these
+tests verify the *internal* geometry the pruning rules depend on, which
+correctness tests alone might not exercise (an over-large covering radius
+is invisible to result checks — it only costs performance until it hides a
+real bug).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mtree import MTree
+from repro.baselines.rtree import RTree
+from repro.datasets import generate_words
+from repro.distance import EditDistance, EuclideanDistance
+
+
+class TestMTreeInvariants:
+    @pytest.fixture(scope="class")
+    def tree(self):
+        words = generate_words(400, seed=3)
+        return MTree.build(words, EditDistance(), seed=7), words
+
+    def _subtree_objects(self, tree, page_id):
+        node = tree.read_node(page_id)
+        if node.is_leaf:
+            return [e.obj for e in node.entries]
+        out = []
+        for e in node.entries:
+            out.extend(self._subtree_objects(tree, e.child))
+        return out
+
+    def test_covering_radii_cover_subtrees(self, tree):
+        mtree, _ = tree
+        metric = mtree.distance.metric
+        stack = [mtree.root_page]
+        while stack:
+            node = mtree.read_node(stack.pop())
+            if node.is_leaf:
+                continue
+            for entry in node.entries:
+                objects = self._subtree_objects(mtree, entry.child)
+                worst = max(metric(entry.obj, o) for o in objects)
+                assert worst <= entry.radius + 1e-9
+                stack.append(entry.child)
+
+    def test_every_object_stored_once(self, tree):
+        mtree, words = tree
+        stored = self._subtree_objects(mtree, mtree.root_page)
+        assert sorted(stored) == sorted(words)
+
+    def test_leaf_parent_distances_exact(self, tree):
+        mtree, _ = tree
+        metric = mtree.distance.metric
+        stack = [(mtree.root_page, None)]
+        while stack:
+            page_id, routing = stack.pop()
+            node = mtree.read_node(page_id)
+            for entry in node.entries:
+                if routing is not None:
+                    assert entry.dist_to_parent == pytest.approx(
+                        metric(routing, entry.obj)
+                    )
+                if not node.is_leaf:
+                    stack.append((entry.child, entry.obj))
+
+    def test_insert_preserves_radii(self):
+        rng = np.random.default_rng(5)
+        data = [rng.normal(size=3) for _ in range(150)]
+        mtree = MTree(EuclideanDistance(), seed=7)
+        for o in data:
+            mtree.insert(o)
+        metric = mtree.distance.metric
+        invariant_tester = TestMTreeInvariants()
+        stack = [mtree.root_page]
+        while stack:
+            node = mtree.read_node(stack.pop())
+            if node.is_leaf:
+                continue
+            for entry in node.entries:
+                objects = invariant_tester._subtree_objects(
+                    mtree, entry.child
+                )
+                worst = max(metric(entry.obj, o) for o in objects)
+                assert worst <= entry.radius + 1e-9
+                stack.append(entry.child)
+
+
+class TestRTreeInvariants:
+    @pytest.fixture(scope="class")
+    def tree(self):
+        import random
+
+        rng = random.Random(4)
+        points = [
+            (tuple(rng.uniform(0, 100) for _ in range(3)), i)
+            for i in range(600)
+        ]
+        rtree = RTree(3, page_size=512)
+        rtree.bulk_load(points[:400])
+        for p, ptr in points[400:]:
+            rtree.insert(p, ptr)
+        return rtree, points
+
+    def test_mbrs_contain_children(self, tree):
+        rtree, _ = tree
+        stack = [rtree.root_page]
+        while stack:
+            node = rtree.read_node(stack.pop())
+            if node.is_leaf:
+                continue
+            for entry in node.entries:
+                child = rtree.read_node(entry.child)
+                if child.is_leaf:
+                    for leaf_entry in child.entries:
+                        assert all(
+                            l - 1e-12 <= x <= h + 1e-12
+                            for x, l, h in zip(
+                                leaf_entry.point, entry.lo, entry.hi
+                            )
+                        )
+                else:
+                    for child_entry in child.entries:
+                        assert all(
+                            l <= cl and h >= ch
+                            for l, h, cl, ch in zip(
+                                entry.lo,
+                                entry.hi,
+                                child_entry.lo,
+                                child_entry.hi,
+                            )
+                        )
+                stack.append(entry.child)
+
+    def test_every_point_reachable(self, tree):
+        rtree, points = tree
+        found = {
+            e.ptr
+            for e in rtree.box_query((0.0,) * 3, (100.0,) * 3)
+        }
+        assert found == {ptr for _, ptr in points}
