@@ -60,6 +60,14 @@ from repro.baselines import (
     quickjoin,
 )
 from repro.datasets import load_dataset
+from repro.recovery import SalvageReport, salvage_tree
+from repro.storage import (
+    FaultInjector,
+    PageCorruptionError,
+    SimulatedCrash,
+    TransientIOError,
+    retry_io,
+)
 
 __version__ = "1.0.0"
 
@@ -97,4 +105,12 @@ __all__ = [
     "quickjoin",
     # data
     "load_dataset",
+    # durability & recovery
+    "PageCorruptionError",
+    "FaultInjector",
+    "SimulatedCrash",
+    "TransientIOError",
+    "retry_io",
+    "salvage_tree",
+    "SalvageReport",
 ]

@@ -5,22 +5,32 @@
     python -m repro.cli knn       --dataset color --k 8
     python -m repro.cli join      --dataset words --epsilon-percent 4
     python -m repro.cli compare   --dataset color --k 8
+    python -m repro.cli build     --dataset words --out ./index
+    python -m repro.cli verify    --dir ./index
+    python -m repro.cli salvage   --dir ./index --out ./recovered
 
 ``info`` prints dataset statistics (intrinsic dimensionality, d+, pivot-set
 precision); ``range``/``knn`` build an SPB-tree and run one query with cost
 reporting; ``join`` splits the dataset in half and runs SJA; ``compare``
-runs the same kNN query on all four access methods.
+runs the same kNN query on all four access methods; ``build`` saves an
+index directory; ``verify`` audits a saved index for corruption (exit code
+1 when damage is found); ``salvage`` rebuilds a consistent index from
+whatever records survive in a damaged directory.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import random
 import time
+from typing import Optional, Sequence
 
 from repro.baselines import MIndex, MTree, OmniRTree
 from repro.core.costmodel import CostModel
 from repro.core.join import similarity_join
+from repro.core.persist import load_tree, save_tree
 from repro.core.pivots import (
     intrinsic_dimensionality,
     pivot_set_precision,
@@ -28,6 +38,16 @@ from repro.core.pivots import (
 )
 from repro.core.spbtree import SPBTree
 from repro.datasets import DATASETS, load_dataset
+from repro.distance import (
+    ChebyshevDistance,
+    EditDistance,
+    HammingDistance,
+    JaccardDistance,
+    Metric,
+    MinkowskiDistance,
+    TriGramAngularDistance,
+)
+from repro.recovery import salvage_tree
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -191,7 +211,81 @@ def cmd_compare(args: argparse.Namespace) -> None:
         )
 
 
-def main() -> None:
+def _metric_from_name(name: str) -> Metric:
+    """Reconstruct a metric from its stored fingerprint name."""
+    fixed = {
+        "edit": EditDistance,
+        "hamming": HammingDistance,
+        "jaccard": JaccardDistance,
+        "trigram-angular": TriGramAngularDistance,
+        "Linf": ChebyshevDistance,
+    }
+    if name in fixed:
+        return fixed[name]()
+    if name.startswith("L"):
+        try:
+            return MinkowskiDistance(float(name[1:]))
+        except ValueError:
+            pass
+    raise SystemExit(
+        f"error: cannot reconstruct metric {name!r} from its name; "
+        f"use the library API (repro.load_tree / repro.recovery.salvage_tree) "
+        f"with the metric object instead"
+    )
+
+
+def _directory_metric(directory: str, override: Optional[str]) -> Metric:
+    """The metric for a saved index: --metric wins, else the catalog's name."""
+    if override is not None:
+        return _metric_from_name(override)
+    try:
+        with open(os.path.join(directory, "spbtree.json")) as fh:
+            name = json.load(fh)["metric_name"]
+    except (OSError, ValueError, KeyError) as exc:
+        raise SystemExit(
+            f"error: cannot read the metric name from the catalog ({exc}); "
+            f"pass --metric explicitly"
+        ) from exc
+    return _metric_from_name(name)
+
+
+def cmd_build(args: argparse.Namespace) -> None:
+    _, tree = _build(args)
+    save_tree(tree, args.out)
+    print(f"saved index to {args.out}")
+
+
+def cmd_verify(args: argparse.Namespace) -> None:
+    metric = _directory_metric(args.dir, args.metric)
+    try:
+        tree = load_tree(args.dir, metric)
+    except ValueError as exc:
+        print(f"index does not load: {exc}")
+        print("hint: `repro salvage` may still recover the records")
+        raise SystemExit(1) from exc
+    report = tree.verify(check_objects=not args.fast)
+    print(report.summary())
+    if not report.ok:
+        raise SystemExit(1)
+
+
+def cmd_salvage(args: argparse.Namespace) -> None:
+    metric = _directory_metric(args.dir, args.metric)
+    try:
+        tree, report = salvage_tree(args.dir, metric)
+    except ValueError as exc:
+        print(f"salvage failed: {exc}")
+        raise SystemExit(1) from exc
+    print(report.summary())
+    out = args.out or args.dir.rstrip("/\\") + ".salvaged"
+    if tree.raf is None:
+        print("no records recovered; nothing to save")
+        raise SystemExit(1)
+    save_tree(tree, out)
+    print(f"salvaged index ({len(tree):,} objects) saved to {out}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
     parser = argparse.ArgumentParser(
         prog="repro", description="SPB-tree demo CLI"
     )
@@ -227,7 +321,40 @@ def main() -> None:
     p_cmp.add_argument("--k", type=int, default=8)
     p_cmp.set_defaults(fn=cmd_compare)
 
-    args = parser.parse_args()
+    p_build = sub.add_parser("build", help="build and save an index directory")
+    _add_common(p_build)
+    p_build.add_argument("--out", required=True, help="index directory to write")
+    p_build.set_defaults(fn=cmd_build)
+
+    p_verify = sub.add_parser(
+        "verify", help="audit a saved index for corruption"
+    )
+    p_verify.add_argument("--dir", required=True, help="index directory")
+    p_verify.add_argument(
+        "--metric", default=None,
+        help="metric name override (default: the catalog's metric_name)",
+    )
+    p_verify.add_argument(
+        "--fast", action="store_true",
+        help="skip per-object SFC key re-verification",
+    )
+    p_verify.set_defaults(fn=cmd_verify)
+
+    p_salvage = sub.add_parser(
+        "salvage", help="rebuild a consistent index from a damaged directory"
+    )
+    p_salvage.add_argument("--dir", required=True, help="damaged index directory")
+    p_salvage.add_argument(
+        "--metric", default=None,
+        help="metric name override (default: the catalog's metric_name)",
+    )
+    p_salvage.add_argument(
+        "--out", default=None,
+        help="where to save the salvaged index (default: <dir>.salvaged)",
+    )
+    p_salvage.set_defaults(fn=cmd_salvage)
+
+    args = parser.parse_args(argv)
     args.fn(args)
 
 

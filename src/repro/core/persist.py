@@ -1,4 +1,4 @@
-"""Save/load SPB-trees to a directory on disk.
+"""Save/load SPB-trees to a directory on disk, crash-consistently.
 
 The SPB-tree is a disk-based index, and its two page files round-trip
 naturally; this module adds the catalog metadata (pivot table, curve
@@ -12,17 +12,39 @@ The metric itself is code, not data — like any DBMS with user-defined
 types, the caller must supply the same distance function when reopening.
 A fingerprint of the metric's name is stored and checked to catch obvious
 mismatches.
+
+Durability protocol (format_version 2).  A save must never leave the
+directory in a state where neither the old nor the new index loads, even if
+the process dies between any two writes.  ``save_tree`` therefore:
+
+1. dumps both page files under *generation-numbered* names
+   (``btree.<gen>.pages``, ``raf.<gen>.pages``), each written to a ``.tmp``
+   file, ``fsync``'d, then atomically renamed into place, recording a
+   whole-file SHA-256 digest of each;
+2. writes the catalog (``spbtree.json``) the same way — its rename is the
+   commit point: before it, the old catalog still references the old
+   generation's files (untouched); after it, the new generation is live;
+3. fsyncs the directory and only then deletes the previous generation.
+
+``load_tree`` verifies the recorded digests before trusting the page files
+(raising :class:`CatalogError` on mismatch) and still reads format v1
+directories (fixed file names, no digests).  A ``FaultInjector`` may be
+passed to ``save_tree`` to place a simulated crash at any page-write or
+rename boundary; the crash-consistency tests exercise every one.
 """
 
 from __future__ import annotations
 
 import base64
+import hashlib
 import json
 import os
-from typing import Any
+import re
+from typing import Any, Optional
 
 from repro.core.spbtree import SPBTree
 from repro.distance.base import Metric
+from repro.storage.faults import FaultInjector
 from repro.storage.raf import RandomAccessFile
 from repro.storage.serializers import (
     BytesSerializer,
@@ -33,9 +55,13 @@ from repro.storage.serializers import (
     VectorSerializer,
 )
 
+FORMAT_VERSION = 2
+
 _META_FILE = "spbtree.json"
-_BTREE_FILE = "btree.pages"
-_RAF_FILE = "raf.pages"
+# Format v1 used fixed page-file names (no generations, no digests).
+_BTREE_FILE_V1 = "btree.pages"
+_RAF_FILE_V1 = "raf.pages"
+_GEN_FILE_RE = re.compile(r"^(btree|raf)\.(\d+)\.pages$")
 
 _SERIALIZERS: dict[str, type[Serializer]] = {
     "string": StringSerializer,
@@ -46,16 +72,41 @@ _SERIALIZERS: dict[str, type[Serializer]] = {
 }
 
 
-def save_tree(tree: SPBTree, directory: str) -> None:
-    """Persist ``tree`` into ``directory`` (created if needed)."""
+class CatalogError(ValueError):
+    """The on-disk catalog or its page files are unusable (corrupt JSON,
+    missing files, digest mismatch, unsupported version)."""
+
+
+def save_tree(
+    tree: SPBTree,
+    directory: str,
+    faults: Optional[FaultInjector] = None,
+) -> None:
+    """Persist ``tree`` into ``directory`` (created if needed), atomically.
+
+    Either the save completes — the catalog's rename commits the new
+    generation — or the previously saved index remains fully loadable.
+    ``faults``, if given, marks every page write and rename as a crash
+    boundary via :meth:`FaultInjector.checkpoint`.
+    """
     if tree.raf is None:
         raise ValueError("cannot save an empty tree")
     os.makedirs(directory, exist_ok=True)
-    _dump_pages(tree.btree.pagefile, os.path.join(directory, _BTREE_FILE))
-    _dump_pages(tree.raf.pagefile, os.path.join(directory, _RAF_FILE))
+    _remove_stale_tmp(directory)
+    generation = _next_generation(directory)
+    btree_file = f"btree.{generation}.pages"
+    raf_file = f"raf.{generation}.pages"
+    btree_digest = _dump_pages(
+        tree.btree.pagefile, directory, btree_file, faults
+    )
+    raf_digest = _dump_pages(tree.raf.pagefile, directory, raf_file, faults)
     serializer = tree.raf.serializer
     meta = {
-        "format_version": 1,
+        "format_version": FORMAT_VERSION,
+        "generation": generation,
+        "checksums": tree._checksums,
+        "files": {"btree": btree_file, "raf": raf_file},
+        "digests": {"btree": btree_digest, "raf": raf_digest},
         "metric_name": tree.distance.metric.name,
         "serializer": serializer.name,
         "curve": tree.curve.name,
@@ -93,31 +144,50 @@ def save_tree(tree: SPBTree, directory: str) -> None:
             },
         },
     }
-    with open(os.path.join(directory, _META_FILE), "w") as fh:
-        json.dump(meta, fh)
+    # Commit point: once the catalog rename lands, the new generation is live.
+    _atomic_write(
+        directory, _META_FILE, json.dumps(meta).encode("utf-8"), faults
+    )
+    _fsync_dir(directory)
+    _cleanup_old_generations(directory, keep={btree_file, raf_file}, faults=faults)
 
 
 def load_tree(directory: str, metric: Metric) -> SPBTree:
     """Reopen a tree saved with :func:`save_tree`.
 
     ``metric`` must be the same distance function the tree was built with;
-    its name is checked against the stored fingerprint.
+    its name is checked against the stored fingerprint.  Page-file digests
+    (format v2) are verified before any page is trusted; a stale or damaged
+    catalog raises :class:`CatalogError`.
     """
-    with open(os.path.join(directory, _META_FILE)) as fh:
-        meta = json.load(fh)
-    if meta["format_version"] != 1:
-        raise ValueError(f"unsupported format version {meta['format_version']}")
+    meta = _read_catalog(directory)
+    version = meta.get("format_version")
+    if version not in (1, 2):
+        raise CatalogError(f"unsupported format version {version}")
     if meta["metric_name"] != metric.name:
         raise ValueError(
             f"index was built with metric {meta['metric_name']!r}, "
             f"got {metric.name!r}"
         )
+    if meta["serializer"] not in _SERIALIZERS:
+        raise CatalogError(f"unknown serializer {meta['serializer']!r}")
     serializer = _SERIALIZERS[meta["serializer"]]()
     pivots = [
         serializer.deserialize(base64.b64decode(blob))
         for blob in meta["pivots"]
     ]
-    curve = "hilbert" if meta["curve"] == "hilbert" else "z"
+    curve = meta["curve"]
+    checksums = bool(meta.get("checksums", False))
+    if version == 1:
+        btree_path = os.path.join(directory, _BTREE_FILE_V1)
+        raf_path = os.path.join(directory, _RAF_FILE_V1)
+    else:
+        btree_path = os.path.join(directory, meta["files"]["btree"])
+        raf_path = os.path.join(directory, meta["files"]["raf"])
+        _check_digest(btree_path, meta["digests"]["btree"])
+        _check_digest(raf_path, meta["digests"]["raf"])
+    # SPBTree validates the curve name itself, raising ValueError on an
+    # unrecognized one — no silent fallback to a different curve.
     tree = SPBTree(
         metric,
         pivots,
@@ -127,8 +197,9 @@ def load_tree(directory: str, metric: Metric) -> SPBTree:
         page_size=meta["page_size"],
         cache_pages=meta["cache_pages"],
         serializer=serializer,
+        checksums=checksums,
     )
-    _load_pages(tree.btree.pagefile, os.path.join(directory, _BTREE_FILE))
+    _load_pages(tree.btree.pagefile, btree_path)
     tree.btree.root_page = meta["btree"]["root_page"]
     tree.btree.height = meta["btree"]["height"]
     tree.btree.entry_count = meta["btree"]["entry_count"]
@@ -138,8 +209,9 @@ def load_tree(directory: str, metric: Metric) -> SPBTree:
         serializer,
         page_size=meta["page_size"],
         cache_pages=meta["cache_pages"],
+        checksums=checksums,
     )
-    _load_pages(raf.pagefile, os.path.join(directory, _RAF_FILE))
+    _load_pages(raf.pagefile, raf_path)
     raf._end_offset = meta["raf"]["end_offset"]
     raf._tail_page_id = meta["raf"]["tail_page_id"]
     raf._tail = bytearray(base64.b64decode(meta["raf"]["tail"]))
@@ -162,19 +234,168 @@ def load_tree(directory: str, metric: Metric) -> SPBTree:
     return tree
 
 
-def _dump_pages(pagefile: Any, path: str) -> None:
-    with open(path, "wb") as fh:
+# ------------------------------------------------------------ catalog I/O
+
+
+def _read_catalog(directory: str) -> dict:
+    path = os.path.join(directory, _META_FILE)
+    try:
+        with open(path, "rb") as fh:
+            raw = fh.read()
+    except OSError as exc:
+        raise CatalogError(f"cannot read catalog {path!r}: {exc}") from exc
+    try:
+        meta = json.loads(raw)
+    except ValueError as exc:
+        raise CatalogError(f"catalog {path!r} is not valid JSON: {exc}") from exc
+    if not isinstance(meta, dict):
+        raise CatalogError(f"catalog {path!r} is not a JSON object")
+    return meta
+
+
+def _next_generation(directory: str) -> int:
+    """One past the newest generation present (catalog first, files second)."""
+    latest = 0
+    try:
+        latest = int(_read_catalog(directory).get("generation", 0))
+    except CatalogError:
+        pass  # corrupt or absent catalog: fall back to scanning file names
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        names = []
+    for name in names:
+        match = _GEN_FILE_RE.match(name)
+        if match:
+            latest = max(latest, int(match.group(2)))
+    return latest + 1
+
+
+def _check_digest(path: str, expected: str) -> None:
+    try:
+        actual = _file_digest(path)
+    except OSError as exc:
+        raise CatalogError(f"cannot read page file {path!r}: {exc}") from exc
+    if actual != expected:
+        raise CatalogError(
+            f"digest mismatch for {path!r}: catalog records {expected}, "
+            f"file hashes to {actual}"
+        )
+
+
+def _file_digest(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+# --------------------------------------------------------------- file I/O
+
+
+def _atomic_write(
+    directory: str,
+    name: str,
+    payload: bytes,
+    faults: Optional[FaultInjector],
+) -> None:
+    """Write ``payload`` to ``directory/name`` via tmp + fsync + rename."""
+    tmp_path = os.path.join(directory, name + ".tmp")
+    final_path = os.path.join(directory, name)
+    with open(tmp_path, "wb") as fh:
+        fh.write(payload)
+        fh.flush()
+        os.fsync(fh.fileno())
+    if faults is not None:
+        faults.checkpoint(f"rename {name}")
+    os.replace(tmp_path, final_path)
+
+
+def _dump_pages(
+    pagefile: Any,
+    directory: str,
+    name: str,
+    faults: Optional[FaultInjector],
+) -> str:
+    """Dump a page file to ``directory/name`` atomically; returns its digest."""
+    tmp_path = os.path.join(directory, name + ".tmp")
+    digest = hashlib.sha256()
+    with open(tmp_path, "wb") as fh:
         for page_id in range(pagefile.num_pages):
-            fh.write(pagefile._pages[page_id])
+            if faults is not None:
+                faults.checkpoint(f"page write {name}:{page_id}")
+            slot = pagefile.raw_slot(page_id)
+            fh.write(slot)
+            digest.update(slot)
+        fh.flush()
+        os.fsync(fh.fileno())
+    if faults is not None:
+        faults.checkpoint(f"rename {name}")
+    os.replace(tmp_path, os.path.join(directory, name))
+    return digest.hexdigest()
 
 
 def _load_pages(pagefile: Any, path: str) -> None:
-    size = pagefile.page_size
+    slot_size = pagefile.slot_size
     with open(path, "rb") as fh:
         while True:
-            chunk = fh.read(size)
+            chunk = fh.read(slot_size)
             if not chunk:
                 break
-            if len(chunk) != size:
-                raise ValueError(f"{path} is not page aligned")
-            pagefile._pages.append(chunk)
+            if len(chunk) != slot_size:
+                raise CatalogError(
+                    f"{path} is not page aligned "
+                    f"(trailing {len(chunk)} of {slot_size} bytes)"
+                )
+            pagefile.append_raw_slot(chunk)
+
+
+def _fsync_dir(directory: str) -> None:
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return  # platforms without directory fds; renames already issued
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _remove_stale_tmp(directory: str) -> None:
+    """Drop ``.tmp`` leftovers from a previous crashed save."""
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return
+    for name in names:
+        if name.endswith(".tmp") and (
+            _GEN_FILE_RE.match(name[:-4]) or name == _META_FILE + ".tmp"
+        ):
+            try:
+                os.unlink(os.path.join(directory, name))
+            except OSError:
+                pass
+
+
+def _cleanup_old_generations(
+    directory: str,
+    keep: set[str],
+    faults: Optional[FaultInjector],
+) -> None:
+    """Best-effort removal of page files the new catalog no longer references.
+
+    Runs after the commit point, so a crash mid-cleanup only leaves extra
+    files behind; the v1 fixed-name files count as generation 0.
+    """
+    for name in os.listdir(directory):
+        obsolete = (
+            _GEN_FILE_RE.match(name) or name in (_BTREE_FILE_V1, _RAF_FILE_V1)
+        )
+        if obsolete and name not in keep:
+            if faults is not None:
+                faults.checkpoint(f"unlink {name}")
+            try:
+                os.unlink(os.path.join(directory, name))
+            except OSError:
+                pass

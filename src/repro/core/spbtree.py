@@ -51,6 +51,9 @@ _CURVES: dict[str, type[SpaceFillingCurve]] = {
     "hilbert": HilbertCurve,
     "z": ZCurve,
     "zorder": ZCurve,
+    # the names the curve classes report about themselves, so a persisted
+    # catalog's ``curve`` field round-trips through the constructor
+    "z-curve": ZCurve,
 }
 
 #: Reservoir size for the cost-model sample of mapped vectors (eq. 2).
@@ -70,6 +73,7 @@ class SPBTree:
         page_size: int = DEFAULT_PAGE_SIZE,
         cache_pages: int = 32,
         serializer: Optional[Serializer] = None,
+        checksums: bool = False,
     ) -> None:
         self.distance = CountingDistance(metric)
         self.space = PivotSpace(pivots, self.distance, d_plus, delta)
@@ -80,10 +84,11 @@ class SPBTree:
                 f"unknown curve {curve!r}; available: {sorted(_CURVES)}"
             ) from None
         self.curve = curve_cls(self.space.num_pivots, self.space.bits)
-        self.btree = BPlusTree(self.curve, page_size=page_size)
+        self.btree = BPlusTree(self.curve, page_size=page_size, checksums=checksums)
         self._serializer = serializer
         self._page_size = page_size
         self._cache_pages = cache_pages
+        self._checksums = checksums
         self.raf: Optional[RandomAccessFile] = None
         self.object_count = 0
         self._next_id = 0
@@ -121,6 +126,7 @@ class SPBTree:
         page_size: int = DEFAULT_PAGE_SIZE,
         cache_pages: int = 32,
         seed: int = 7,
+        checksums: bool = False,
     ) -> "SPBTree":
         """Bulk-load an SPB-tree over ``objects`` (Appendix B).
 
@@ -146,6 +152,7 @@ class SPBTree:
             page_size=page_size,
             cache_pages=cache_pages,
             serializer=serializer_for(objects[0]),
+            checksums=checksums,
         )
         tree._bulk_load(objects)
         return tree
@@ -157,6 +164,7 @@ class SPBTree:
                 serializer,
                 page_size=self._page_size,
                 cache_pages=self._cache_pages,
+                checksums=self._checksums,
             )
         return self.raf
 
@@ -600,10 +608,32 @@ class SPBTree:
             page_size=self._page_size,
             cache_pages=self._cache_pages,
             serializer=self.raf.serializer,
+            checksums=self._checksums,
         )
         if live:
             fresh._bulk_load(live)
         return fresh
+
+    # ---------------------------------------------------------- consistency
+
+    def verify(self, check_objects: bool = True) -> "VerifyReport":
+        """Audit the whole index for structural and storage consistency.
+
+        Walks the B+-tree (page checksums, key ordering, parent/child key
+        and MBB agreement, leaf chaining, entry counts), then cross-checks
+        the RAF (page checksums, record framing, pointer consistency
+        between leaf entries and stored objects, tombstone validity, object
+        counts).  With ``check_objects=True`` every stored object is
+        re-mapped through the pivot table to prove its SFC key matches its
+        leaf entry — the invariant every pruning lemma depends on.
+
+        Verification is observation-free: page-access and distance counters
+        are restored afterwards.  Returns a :class:`VerifyReport`; nothing
+        is raised for damage found (corruption becomes report errors).
+        """
+        from repro.core.verify import verify_tree
+
+        return verify_tree(self, check_objects=check_objects)
 
     # ------------------------------------------------------------ accessors
 

@@ -1,0 +1,445 @@
+"""Structural verification of an SPB-tree (``SPBTree.verify``).
+
+A disk-based index can be damaged in ways queries only notice as silently
+wrong results: a torn B+-tree page, a leaf pointer into the middle of an
+RAF record, a tombstone for a record that never existed.  ``verify_tree``
+audits every invariant the query algorithms rely on and returns a
+:class:`VerifyReport` instead of raising — corruption is a *finding*, not a
+crash — so operators can decide between restoring a backup and running
+:func:`repro.recovery.salvage_tree`.
+
+Checked invariants:
+
+* every B+-tree and RAF page passes checksum verification (when enabled);
+* keys are non-decreasing within each node and across the leaf chain;
+* each non-leaf entry's key equals its child's minimum key, and its stored
+  MBB contains the child's actual MBB (the soundness condition of Lemma 1);
+* all leaves sit at the same depth, equal to the recorded height;
+* recorded entry/leaf counts match the walked structure;
+* RAF records frame correctly (headers and lengths stay inside the file);
+* leaf entries and live RAF records are in bijection (no dangling pointers,
+  no orphaned records), and tombstones reference real records;
+* optionally, every stored object re-maps to exactly the SFC key its leaf
+  entry carries — the contract between the pivot table and the index.
+
+Verification is observation-free: page-access counters, compdist counters,
+and buffer-pool statistics are restored before returning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.storage.raf import _HEADER as _RAF_HEADER
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.core.spbtree import SPBTree
+
+#: Reports stop accumulating detail past this many errors/warnings.
+_MAX_FINDINGS = 100
+
+
+@dataclass
+class VerifyReport:
+    """Outcome of ``SPBTree.verify()``."""
+
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+    btree_pages_checked: int = 0
+    leaf_entries: int = 0
+    raf_records: int = 0
+    #: Whether live RAF records are laid out in ascending SFC order — true
+    #: after bulk loading, typically false after post-build insertions
+    #: (appends go to the file tail regardless of key).  Informational.
+    raf_sfc_ordered: bool = True
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"FAILED ({len(self.errors)} errors)"
+        lines = [
+            f"verify: {status}",
+            f"  B+-tree pages checked : {self.btree_pages_checked}",
+            f"  leaf entries          : {self.leaf_entries}",
+            f"  RAF records           : {self.raf_records}",
+            f"  RAF in SFC order      : {'yes' if self.raf_sfc_ordered else 'no'}",
+        ]
+        for err in self.errors:
+            lines.append(f"  ERROR: {err}")
+        for warning in self.warnings:
+            lines.append(f"  warning: {warning}")
+        return "\n".join(lines)
+
+
+def _note(findings: list[str], message: str) -> None:
+    if len(findings) < _MAX_FINDINGS:
+        findings.append(message)
+    elif len(findings) == _MAX_FINDINGS:
+        findings.append("... further findings suppressed")
+
+
+def verify_tree(tree: "SPBTree", check_objects: bool = True) -> VerifyReport:
+    report = VerifyReport()
+    btree = tree.btree
+    if tree.raf is None or btree.root_page == -1:
+        if tree.object_count:
+            _note(
+                report.errors,
+                f"tree reports {tree.object_count} objects but has no storage",
+            )
+        return report
+    raf = tree.raf
+    saved = (
+        btree.pagefile.counter.reads,
+        btree.pagefile.counter.writes,
+        raf.pagefile.counter.reads,
+        raf.pagefile.counter.writes,
+        raf.buffer_pool.hits,
+        raf.buffer_pool.misses,
+        tree.distance.count,
+    )
+    try:
+        leaf_entries = _verify_btree(tree, report)
+        _verify_raf(tree, report, leaf_entries, check_objects)
+    finally:
+        (
+            btree.pagefile.counter.reads,
+            btree.pagefile.counter.writes,
+            raf.pagefile.counter.reads,
+            raf.pagefile.counter.writes,
+            raf.buffer_pool.hits,
+            raf.buffer_pool.misses,
+            tree.distance.count,
+        ) = saved
+    return report
+
+
+# ---------------------------------------------------------------- B+-tree
+
+
+def _verify_btree(tree: "SPBTree", report: VerifyReport) -> list:
+    """Walk the B+-tree; returns the leaf entries in left-to-right order."""
+    btree = tree.btree
+    num_pages = btree.pagefile.num_pages
+
+    for page_id in btree.pagefile.verify_all():
+        _note(report.errors, f"B+-tree page {page_id} fails checksum")
+
+    def read(page_id: int):
+        try:
+            return btree.read_node(page_id)
+        except Exception as exc:  # corruption may surface as almost anything
+            _note(
+                report.errors,
+                f"B+-tree page {page_id} unreadable: {type(exc).__name__}: {exc}",
+            )
+            return None
+
+    # Ordered depth-first walk (children visited left to right).
+    dfs_leaves: list = []
+    leaf_entries: list = []
+    leaf_depths: set[int] = set()
+    visited: set[int] = set()
+    stack: list[tuple[int, int]] = [(btree.root_page, 1)]
+    while stack:
+        page_id, depth = stack.pop()
+        if page_id in visited:
+            _note(report.errors, f"B+-tree page {page_id} reachable twice (cycle)")
+            continue
+        visited.add(page_id)
+        node = read(page_id)
+        if node is None:
+            continue
+        report.btree_pages_checked += 1
+        keys = [entry.key for entry in node.entries]
+        if any(keys[i] > keys[i + 1] for i in range(len(keys) - 1)):
+            _note(report.errors, f"keys out of order in page {page_id}")
+        if node.is_leaf:
+            dfs_leaves.append(node)
+            leaf_entries.extend(node.entries)
+            leaf_depths.add(depth)
+            continue
+        if node.count == 0 and page_id == btree.root_page:
+            _note(report.errors, "non-leaf root is empty")
+        for entry in reversed(node.entries):
+            if not 0 <= entry.child < num_pages:
+                _note(
+                    report.errors,
+                    f"page {page_id} references child {entry.child} "
+                    f"outside [0, {num_pages})",
+                )
+                continue
+            child = read(entry.child)
+            if child is not None:
+                _check_parent_entry(btree, page_id, entry, child, report)
+            stack.append((entry.child, depth + 1))
+
+    if len(leaf_depths) > 1:
+        _note(
+            report.errors,
+            f"leaves at unequal depths {sorted(leaf_depths)} (tree unbalanced)",
+        )
+    elif leaf_depths and leaf_depths != {btree.height}:
+        _note(
+            report.errors,
+            f"leaf depth {leaf_depths.pop()} does not match recorded "
+            f"height {btree.height}",
+        )
+    report.leaf_entries = len(leaf_entries)
+    if len(leaf_entries) != btree.entry_count:
+        _note(
+            report.errors,
+            f"walked {len(leaf_entries)} leaf entries but catalog records "
+            f"entry_count={btree.entry_count}",
+        )
+    if len(dfs_leaves) != btree.leaf_page_count:
+        _note(
+            report.warnings,
+            f"walked {len(dfs_leaves)} leaves but leaf_page_count="
+            f"{btree.leaf_page_count}",
+        )
+    _verify_leaf_chain(btree, dfs_leaves, report, read)
+    return leaf_entries
+
+
+def _check_parent_entry(btree, page_id, entry, child, report: VerifyReport) -> None:
+    if child.count == 0:
+        _note(
+            report.errors,
+            f"page {page_id} references empty child {entry.child}",
+        )
+        return
+    if entry.key != child.min_key():
+        _note(
+            report.errors,
+            f"page {page_id} routing key {entry.key} does not match child "
+            f"{entry.child} min key {child.min_key()}",
+        )
+    child_box = btree.node_box(child)
+    entry_box = btree.decode_box(entry)
+    if child_box is None:
+        return
+    (elo, ehi), (clo, chi) = entry_box, child_box
+    contains = all(a <= b for a, b in zip(elo, clo)) and all(
+        b <= a for a, b in zip(ehi, chi)
+    )
+    if not contains:
+        _note(
+            report.errors,
+            f"MBB of entry for child {entry.child} does not contain the "
+            f"child's actual MBB (unsound pruning)",
+        )
+    elif (elo, ehi) != (clo, chi):
+        _note(
+            report.warnings,
+            f"MBB of entry for child {entry.child} is stale (larger than "
+            f"actual, pruning still sound)",
+        )
+
+
+def _verify_leaf_chain(btree, dfs_leaves, report: VerifyReport, read) -> None:
+    if not dfs_leaves:
+        return
+    dfs_ids = [leaf.page_id for leaf in dfs_leaves]
+    dfs_set = set(dfs_ids)
+    chain_ids: list[int] = []
+    seen: set[int] = set()
+    node = dfs_leaves[0]
+    prev_key: Optional[int] = None
+    while True:
+        if node.page_id in seen:
+            _note(report.errors, "leaf chain contains a cycle")
+            break
+        seen.add(node.page_id)
+        if node.page_id in dfs_set:
+            chain_ids.append(node.page_id)
+        elif node.count == 0:
+            # Emptied-by-deletion leaves stay chained but are unlinked from
+            # their parents (Appendix C's lightweight deletion); harmless.
+            _note(
+                report.warnings,
+                f"unlinked empty leaf {node.page_id} remains in the chain",
+            )
+        else:
+            _note(
+                report.errors,
+                f"leaf {node.page_id} is chained but unreachable from the root",
+            )
+        for entry in node.entries:
+            if prev_key is not None and entry.key < prev_key:
+                _note(
+                    report.errors,
+                    f"leaf chain key order violated at page {node.page_id}",
+                )
+                break
+            prev_key = entry.key
+        if node.next_leaf == -1:
+            break
+        if not 0 <= node.next_leaf < btree.pagefile.num_pages:
+            _note(report.errors, f"leaf {node.page_id} has bad next_leaf pointer")
+            break
+        node = read(node.next_leaf)
+        if node is None:
+            break
+    if chain_ids != dfs_ids:
+        _note(
+            report.errors,
+            "leaf chain order disagrees with the tree's left-to-right leaf order",
+        )
+
+
+# -------------------------------------------------------------------- RAF
+
+
+def _raw_range(raf, start: int, length: int, bad: set[int]) -> Optional[bytes]:
+    """Read RAF bytes without counters or exceptions; None when the range
+    overlaps a corrupt page or exceeds the file."""
+    end = start + length
+    if start < 0 or end > raf._end_offset:
+        return None
+    page_size = raf.pagefile.page_size
+    pages = raf.pagefile._pages
+    if raf._tail and raf._tail_page_id is None:
+        mem_start = raf._end_offset - len(raf._tail)
+    else:
+        mem_start = raf._end_offset
+    parts: list[bytes] = []
+    disk_end = min(end, mem_start)
+    if start < disk_end:
+        first = start // page_size
+        last = (disk_end - 1) // page_size
+        if any(pid in bad for pid in range(first, last + 1)):
+            return None
+        data = b"".join(pages[first : last + 1])
+        lo = start - first * page_size
+        parts.append(data[lo : lo + (disk_end - start)])
+    if end > mem_start:
+        origin = raf._end_offset - len(raf._tail)
+        parts.append(bytes(raf._tail[max(start, mem_start) - origin : end - origin]))
+    return b"".join(parts)
+
+
+def _verify_raf(
+    tree: "SPBTree",
+    report: VerifyReport,
+    leaf_entries: list,
+    check_objects: bool,
+) -> None:
+    raf = tree.raf
+    assert raf is not None
+    bad = set(raf.pagefile.verify_all())
+    page_size = raf.pagefile.page_size
+    data_pages = (
+        (raf._end_offset + page_size - 1) // page_size if raf._end_offset else 0
+    )
+    for page_id in sorted(bad):
+        if page_id < data_pages:
+            _note(report.errors, f"RAF page {page_id} fails checksum")
+
+    # Record framing walk.
+    offsets: list[int] = []
+    objects: dict[int, Any] = {}
+    unreadable: set[int] = set()
+    offset = 0
+    header_size = _RAF_HEADER.size
+    while offset < raf._end_offset:
+        header = _raw_range(raf, offset, header_size, bad)
+        if header is None:
+            _note(
+                report.errors,
+                f"record header at offset {offset} overlaps a corrupt page; "
+                f"remaining records cannot be framed",
+            )
+            break
+        _, length = _RAF_HEADER.unpack(header)
+        if offset + header_size + length > raf._end_offset:
+            _note(
+                report.errors,
+                f"record at offset {offset} claims {length} payload bytes, "
+                f"beyond end of file",
+            )
+            break
+        offsets.append(offset)
+        payload = _raw_range(raf, offset + header_size, length, bad)
+        if payload is None:
+            unreadable.add(offset)
+            _note(
+                report.errors,
+                f"record at offset {offset} overlaps a corrupt page",
+            )
+        else:
+            try:
+                objects[offset] = raf.serializer.deserialize(payload)
+            except Exception as exc:
+                unreadable.add(offset)
+                _note(
+                    report.errors,
+                    f"record at offset {offset} fails to deserialize: "
+                    f"{type(exc).__name__}",
+                )
+        offset += header_size + length
+    report.raf_records = len(offsets)
+
+    all_offsets = set(offsets)
+    for tombstone in sorted(raf._deleted):
+        if tombstone not in all_offsets:
+            _note(
+                report.errors,
+                f"tombstone for offset {tombstone} matches no record",
+            )
+    live = all_offsets - raf._deleted
+
+    # Leaf entry ↔ record bijection, plus per-object key consistency.
+    referenced: set[int] = set()
+    ordered_ptrs: list[int] = []
+    for entry in leaf_entries:
+        ordered_ptrs.append(entry.ptr)
+        if entry.ptr not in all_offsets:
+            _note(
+                report.errors,
+                f"leaf entry (key={entry.key}) points at offset {entry.ptr}, "
+                f"which is not a record boundary",
+            )
+            continue
+        if entry.ptr in raf._deleted:
+            _note(
+                report.errors,
+                f"leaf entry (key={entry.key}) references tombstoned record "
+                f"at offset {entry.ptr}",
+            )
+        if entry.ptr in referenced:
+            _note(
+                report.errors,
+                f"record at offset {entry.ptr} referenced by multiple leaf entries",
+            )
+        referenced.add(entry.ptr)
+        if check_objects and entry.ptr in objects:
+            expected = tree.curve.encode(tree.space.grid(objects[entry.ptr]))
+            if expected != entry.key:
+                _note(
+                    report.errors,
+                    f"object at offset {entry.ptr} maps to SFC key {expected} "
+                    f"but its leaf entry says {entry.key}",
+                )
+    for orphan in sorted(live - referenced):
+        _note(
+            report.errors,
+            f"live record at offset {orphan} is not referenced by any leaf entry",
+        )
+    report.raf_sfc_ordered = all(
+        ordered_ptrs[i] <= ordered_ptrs[i + 1] for i in range(len(ordered_ptrs) - 1)
+    )
+
+    expected_live = len(live)
+    for label, value in (
+        ("RAF object_count", raf.object_count),
+        ("tree object_count", tree.object_count),
+    ):
+        if value != expected_live:
+            _note(
+                report.errors,
+                f"{label} is {value} but {expected_live} live records exist",
+            )

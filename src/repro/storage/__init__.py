@@ -1,14 +1,32 @@
 """Disk storage substrate: page file, LRU buffer pool, object serializers,
-and the random access file (RAF) that stores the actual metric objects.
+the random access file (RAF) that stores the actual metric objects, and the
+fault-injection harness that proves the stack survives disk failures.
 
 All access methods in this library (the SPB-tree and every baseline) persist
 their nodes and objects through :class:`PageFile`, so the page-access and
 storage-size numbers the benchmark harness reports are comparable across
 methods — the property Table 6 of the paper depends on.
+
+Durability: ``PageFile(checksums=True)`` adds a CRC32 trailer per page,
+verified on every read (:class:`PageCorruptionError` on mismatch);
+:class:`FaultInjector` wraps a page file to inject torn writes, bit flips,
+transient I/O errors, and crash points deterministically; :func:`retry_io`
+retries transient failures with bounded exponential backoff.
 """
 
 from repro.storage.buffer import BufferPool
-from repro.storage.pagefile import DEFAULT_PAGE_SIZE, PageFile
+from repro.storage.faults import (
+    FaultInjector,
+    SimulatedCrash,
+    TransientIOError,
+    retry_io,
+)
+from repro.storage.pagefile import (
+    CHECKSUM_SIZE,
+    DEFAULT_PAGE_SIZE,
+    PageCorruptionError,
+    PageFile,
+)
 from repro.storage.raf import RandomAccessFile
 from repro.storage.serializers import (
     BytesSerializer,
@@ -25,6 +43,12 @@ __all__ = [
     "BufferPool",
     "RandomAccessFile",
     "DEFAULT_PAGE_SIZE",
+    "CHECKSUM_SIZE",
+    "PageCorruptionError",
+    "FaultInjector",
+    "SimulatedCrash",
+    "TransientIOError",
+    "retry_io",
     "Serializer",
     "StringSerializer",
     "VectorSerializer",

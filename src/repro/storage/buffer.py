@@ -4,6 +4,10 @@ The paper studies the effect of a small per-query cache on RAF page accesses
 (Fig. 10): the cache "aims to improve the I/O efficiency of a single query"
 and "is flushed before each of the 500 queries".  A read served from the pool
 costs no page access; a miss costs exactly one.
+
+The pool surfaces :class:`~repro.storage.pagefile.PageCorruptionError` from
+checksummed page files unchanged: a page that fails verification is never
+cached, so every retry re-reads (and re-verifies) the medium.
 """
 
 from __future__ import annotations

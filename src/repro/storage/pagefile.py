@@ -1,4 +1,4 @@
-"""Fixed-size page file with page-access accounting.
+"""Fixed-size page file with page-access accounting and optional checksums.
 
 The paper fixes the disk page size of every access method at 4 KB (§6) and
 reports the number of page accesses (*PA*) as the I/O-cost metric.  This
@@ -9,16 +9,42 @@ The backing store is an in-memory list of ``bytes`` by default — the paper's
 PA metric is a *logical* count, independent of the physical medium — but a
 file-system path may be supplied to persist pages, which the integration
 tests use to prove indexes survive a round trip to real disk.
+
+With ``checksums=True`` every page carries a CRC32 trailer that is verified
+on each read; a mismatch raises :class:`PageCorruptionError` identifying the
+damaged page, which is how torn writes and bit rot are detected instead of
+silently corrupting query results.  The trailer lives outside the logical
+page (an on-disk slot is ``page_size + 4`` bytes), so page capacities, the
+PA metric, and the Table 6 storage numbers are unaffected.
 """
 
 from __future__ import annotations
 
 import os
+import zlib
 from typing import Optional
 
 from repro.stats import PageAccessCounter
 
 DEFAULT_PAGE_SIZE = 4096
+
+#: Size in bytes of the CRC32 trailer appended to each checksummed page.
+CHECKSUM_SIZE = 4
+
+
+class PageCorruptionError(Exception):
+    """A page's contents do not match its stored CRC32 checksum.
+
+    Carries the damaged ``page_id`` (and the backing ``path``, if any) so
+    callers — the buffer pool, the RAF, ``SPBTree.verify`` — can report or
+    salvage around the specific page instead of failing opaquely.
+    """
+
+    def __init__(self, page_id: int, path: Optional[str] = None) -> None:
+        self.page_id = page_id
+        self.path = path
+        where = f" in {path!r}" if path else ""
+        super().__init__(f"checksum mismatch on page {page_id}{where}")
 
 
 class PageFile:
@@ -28,13 +54,16 @@ class PageFile:
         self,
         page_size: int = DEFAULT_PAGE_SIZE,
         path: Optional[str] = None,
+        checksums: bool = False,
     ) -> None:
         if page_size <= 0:
             raise ValueError("page_size must be positive")
         self.page_size = page_size
         self.path = path
+        self.checksums = checksums
         self.counter = PageAccessCounter()
         self._pages: list[bytes] = []
+        self._crcs: list[int] = []  # parallel to _pages when checksums on
         self._file = None
         if path is not None:
             # "r+b" honours seeks (append mode would force writes to the
@@ -43,18 +72,24 @@ class PageFile:
             self._file = open(path, mode)
             self._file.seek(0, os.SEEK_END)
             size = self._file.tell()
-            if size % page_size:
+            slot = self.slot_size
+            if size % slot:
                 raise ValueError(
                     f"existing file {path!r} is not page aligned "
-                    f"({size} bytes, page size {page_size})"
+                    f"({size} bytes, slot size {slot})"
                 )
-            self._load_existing(size // page_size)
+            self._load_existing(size // slot)
+
+    @property
+    def slot_size(self) -> int:
+        """On-disk bytes per page: the payload plus the optional trailer."""
+        return self.page_size + (CHECKSUM_SIZE if self.checksums else 0)
 
     def _load_existing(self, num_pages: int) -> None:
         assert self._file is not None
         self._file.seek(0)
         for _ in range(num_pages):
-            self._pages.append(self._file.read(self.page_size))
+            self.append_raw_slot(self._file.read(self.slot_size), _write=False)
 
     # ------------------------------------------------------------------ API
 
@@ -72,17 +107,27 @@ class PageFile:
 
         Allocation itself is not a page access; the subsequent write is.
         """
-        self._pages.append(bytes(self.page_size))
+        page = bytes(self.page_size)
+        self._pages.append(page)
+        if self.checksums:
+            self._crcs.append(zlib.crc32(page))
         if self._file is not None:
             self._file.seek(0, os.SEEK_END)
-            self._file.write(bytes(self.page_size))
+            self._file.write(bytes(self.slot_size))
         return len(self._pages) - 1
 
     def read_page(self, page_id: int) -> bytes:
-        """Read one page, counting one page access."""
+        """Read one page, counting one page access.
+
+        Raises :class:`PageCorruptionError` when checksums are enabled and
+        the page's contents no longer match its trailer.
+        """
         self._check(page_id)
         self.counter.reads += 1
-        return self._pages[page_id]
+        data = self._pages[page_id]
+        if self.checksums and zlib.crc32(data) != self._crcs[page_id]:
+            raise PageCorruptionError(page_id, self.path)
+        return data
 
     def write_page(self, page_id: int, data: bytes) -> None:
         """Write one page, counting one page access."""
@@ -96,12 +141,96 @@ class PageFile:
             self.page_size - len(data)
         )
         self._pages[page_id] = padded
+        if self.checksums:
+            self._crcs[page_id] = zlib.crc32(padded)
         if self._file is not None:
-            self._file.seek(page_id * self.page_size)
-            self._file.write(padded)
+            self._file.seek(page_id * self.slot_size)
+            self._file.write(self._raw_slot_bytes(page_id))
+
+    # --------------------------------------------------------- verification
+
+    def verify_page(self, page_id: int) -> bool:
+        """True when the page's checksum holds (always true without checksums).
+
+        Does not count a page access: verification inspects the store, it
+        does not execute a query.
+        """
+        self._check(page_id)
+        if not self.checksums:
+            return True
+        return zlib.crc32(self._pages[page_id]) == self._crcs[page_id]
+
+    def verify_all(self) -> list[int]:
+        """Page ids of every page failing checksum verification."""
+        return [pid for pid in range(self.num_pages) if not self.verify_page(pid)]
+
+    # -------------------------------------------------------- raw slot view
+
+    def raw_slot(self, page_id: int) -> bytes:
+        """The page's on-disk representation (payload plus CRC trailer).
+
+        Used by persistence to dump pages byte-identically, preserving any
+        stale checksum so corruption survives a dump/load round trip and is
+        still detected on the next read.
+        """
+        self._check(page_id)
+        return self._raw_slot_bytes(page_id)
+
+    def _raw_slot_bytes(self, page_id: int) -> bytes:
+        data = self._pages[page_id]
+        if not self.checksums:
+            return data
+        return data + self._crcs[page_id].to_bytes(CHECKSUM_SIZE, "little")
+
+    def append_raw_slot(self, slot: bytes, _write: bool = True) -> int:
+        """Append a page from its on-disk slot bytes; returns the page id.
+
+        The stored CRC is taken from the slot verbatim (not recomputed), so
+        a corrupt slot stays detectably corrupt.
+        """
+        if len(slot) != self.slot_size:
+            raise ValueError(
+                f"slot of {len(slot)} bytes does not match slot size "
+                f"{self.slot_size}"
+            )
+        if self.checksums:
+            self._pages.append(slot[: self.page_size])
+            self._crcs.append(
+                int.from_bytes(slot[self.page_size :], "little")
+            )
+        else:
+            self._pages.append(slot)
+        if _write and self._file is not None:
+            self._file.seek(0, os.SEEK_END)
+            self._file.write(slot)
+        return len(self._pages) - 1
+
+    def _store_raw(self, page_id: int, payload: bytes) -> None:
+        """Overwrite a page's payload *without* refreshing its checksum.
+
+        This simulates medium-level damage (torn writes, bit rot): the
+        stored CRC goes stale, so the next ``read_page`` detects the
+        corruption.  Only :mod:`repro.storage.faults` should call this.
+        """
+        self._check(page_id)
+        if len(payload) != self.page_size:
+            raise ValueError("raw payload must be exactly one page")
+        self._pages[page_id] = payload
+        if self._file is not None:
+            self._file.seek(page_id * self.slot_size)
+            self._file.write(payload)
+
+    # ------------------------------------------------------------ lifecycle
+
+    def flush(self) -> None:
+        """Flush buffered writes to the backing file and fsync it."""
+        if self._file is not None:
+            self._file.flush()
+            os.fsync(self._file.fileno())
 
     def close(self) -> None:
         if self._file is not None:
+            self._file.flush()
             self._file.close()
             self._file = None
 

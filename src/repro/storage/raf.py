@@ -19,6 +19,11 @@ Two write modes exist:
 * *durable mode* (the default) — each append write-throughs the partial
   last page, which is what a single-object insertion (Appendix C / Table 7)
   costs.
+
+With ``checksums=True`` the underlying page file verifies a CRC32 trailer
+on every read, so a record overlapping a damaged page surfaces a
+:class:`~repro.storage.pagefile.PageCorruptionError` (naming the bad page)
+instead of silently deserializing garbage.
 """
 
 from __future__ import annotations
@@ -42,9 +47,10 @@ class RandomAccessFile:
         page_size: int = DEFAULT_PAGE_SIZE,
         cache_pages: int = 32,
         path: Optional[str] = None,
+        checksums: bool = False,
     ) -> None:
         self.serializer = serializer
-        self.pagefile = PageFile(page_size=page_size, path=path)
+        self.pagefile = PageFile(page_size=page_size, path=path, checksums=checksums)
         self.buffer_pool = BufferPool(self.pagefile, capacity=cache_pages)
         self._tail = bytearray()  # bytes of the (partial) last page
         self._tail_page_id: Optional[int] = None  # where the tail lives on disk
@@ -185,3 +191,21 @@ class RandomAccessFile:
 
     def flush_cache(self) -> None:
         self.buffer_pool.flush()
+
+    # ------------------------------------------------------------ lifecycle
+
+    def flush(self) -> None:
+        """Write through the partial tail page and fsync the backing file."""
+        self._flush_partial()
+        self.pagefile.flush()
+
+    def close(self) -> None:
+        """Flush and release the backing file handle (if any)."""
+        self._flush_partial()
+        self.pagefile.close()
+
+    def __enter__(self) -> "RandomAccessFile":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,159 @@
+"""Unit tests for the fault-injection harness (repro.storage.faults)."""
+
+import pytest
+
+from repro.storage import (
+    BufferPool,
+    FaultInjector,
+    PageCorruptionError,
+    PageFile,
+    SimulatedCrash,
+    TransientIOError,
+    retry_io,
+)
+
+
+def _filled_pagefile(pages=4, page_size=64, checksums=True):
+    pf = PageFile(page_size=page_size, checksums=checksums)
+    for i in range(pages):
+        pid = pf.allocate()
+        pf.write_page(pid, bytes([i + 1]) * page_size)
+    return pf
+
+
+class TestChecksummedPageFile:
+    def test_round_trip(self):
+        pf = _filled_pagefile()
+        assert pf.read_page(2) == b"\x03" * 64
+
+    def test_torn_write_detected(self):
+        # Acceptance (a): a torn write raises PageCorruptionError on read.
+        pf = _filled_pagefile()
+        inj = FaultInjector(pf, seed=1)
+        inj.tear_page(2, keep=10)
+        with pytest.raises(PageCorruptionError) as exc_info:
+            pf.read_page(2)
+        assert exc_info.value.page_id == 2
+        pf.read_page(1)  # neighbours unaffected
+
+    def test_bit_flip_detected(self):
+        pf = _filled_pagefile()
+        FaultInjector(pf, seed=1).flip_bit(0, bit=13)
+        with pytest.raises(PageCorruptionError):
+            pf.read_page(0)
+
+    def test_verify_all_lists_bad_pages(self):
+        pf = _filled_pagefile()
+        inj = FaultInjector(pf, seed=1)
+        inj.tear_page(1, keep=0)
+        inj.flip_bit(3, bit=0)
+        assert pf.verify_all() == [1, 3]
+
+    def test_without_checksums_corruption_is_silent(self):
+        pf = _filled_pagefile(checksums=False)
+        FaultInjector(pf, seed=1).tear_page(2, keep=10)
+        data = pf.read_page(2)  # no detection possible
+        assert data[:10] == b"\x03" * 10 and data[10:] == bytes(54)
+
+    def test_disk_backed_corruption_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "pages.bin")
+        pf = PageFile(page_size=64, path=path, checksums=True)
+        pid = pf.allocate()
+        pf.write_page(pid, b"durable")
+        FaultInjector(pf, seed=1).tear_page(pid, keep=3)
+        pf.close()
+        reopened = PageFile(page_size=64, path=path, checksums=True)
+        with pytest.raises(PageCorruptionError):
+            reopened.read_page(0)
+        reopened.close()
+
+    def test_buffer_pool_surfaces_and_never_caches_corruption(self):
+        pf = _filled_pagefile()
+        pool = BufferPool(pf, capacity=4)
+        FaultInjector(pf, seed=1).tear_page(1, keep=5)
+        for _ in range(2):  # repeated reads keep failing (nothing cached)
+            with pytest.raises(PageCorruptionError):
+                pool.read_page(1)
+        assert pool.read_page(0)[:1] == b"\x01"
+
+
+class TestFaultInjectorAsPageFile:
+    def test_delegates_like_a_pagefile(self):
+        pf = _filled_pagefile()
+        inj = FaultInjector(pf, seed=0)
+        assert inj.num_pages == 4
+        assert inj.page_size == 64
+        assert inj.read_page(0) == pf._pages[0]
+        pid = inj.allocate()
+        inj.write_page(pid, b"via injector")
+        assert pf.read_page(pid)[:12] == b"via injector"
+
+    def test_determinism(self):
+        def run(seed):
+            pf = _filled_pagefile(pages=1)
+            inj = FaultInjector(pf, seed=seed, torn_write_rate=0.5)
+            outcomes = []
+            for i in range(20):
+                inj.write_page(0, bytes([i]) * 64)
+                outcomes.append(pf.verify_page(0))
+            return outcomes, inj.injected["torn"]
+
+        a = run(seed=7)
+        b = run(seed=7)
+        c = run(seed=8)
+        assert a == b
+        assert a != c
+        assert a[1] > 0  # faults actually fired
+
+    def test_transient_io_errors_and_retry(self):
+        pf = _filled_pagefile(pages=1)
+        inj = FaultInjector(pf, seed=3, io_error_rate=0.5)
+        sleeps: list[float] = []
+        value = retry_io(
+            lambda: inj.read_page(0), attempts=20, sleep=sleeps.append
+        )
+        assert value[:1] == b"\x01"
+        assert inj.injected["io_error"] > 0
+        # backoff doubles but stays bounded
+        assert all(s <= 0.5 for s in sleeps)
+        assert sleeps == sorted(sleeps)
+
+    def test_retry_gives_up_after_attempts(self):
+        calls = []
+
+        def always_fails():
+            calls.append(1)
+            raise TransientIOError("nope")
+
+        with pytest.raises(TransientIOError):
+            retry_io(always_fails, attempts=3, sleep=lambda _: None)
+        assert len(calls) == 3
+
+    def test_retry_does_not_swallow_corruption(self):
+        pf = _filled_pagefile()
+        FaultInjector(pf, seed=1).tear_page(0, keep=1)
+        calls = []
+
+        def read():
+            calls.append(1)
+            return pf.read_page(0)
+
+        with pytest.raises(PageCorruptionError):
+            retry_io(read, attempts=5, sleep=lambda _: None)
+        assert len(calls) == 1  # not retryable
+
+    def test_crash_after_n_writes(self):
+        pf = _filled_pagefile(pages=1, checksums=False)
+        inj = FaultInjector(pf, seed=0, crash_after=3)
+        for _ in range(3):
+            inj.write_page(0, b"ok")
+        with pytest.raises(SimulatedCrash):
+            inj.write_page(0, b"boom")
+        # the crashed write never reached the store
+        assert pf.read_page(0)[:2] == b"ok"
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            FaultInjector(torn_write_rate=1.5)
+        with pytest.raises(ValueError):
+            retry_io(lambda: 1, attempts=0)
