@@ -61,6 +61,16 @@ from repro.baselines import (
 )
 from repro.datasets import load_dataset
 from repro.recovery import SalvageReport, salvage_tree
+from repro.service import (
+    BudgetExceeded,
+    CancelToken,
+    ExhaustionReason,
+    Overloaded,
+    QueryCancelled,
+    QueryContext,
+    QueryEngine,
+    QueryResult,
+)
 from repro.storage import (
     FaultInjector,
     PageCorruptionError,
@@ -113,4 +123,13 @@ __all__ = [
     "retry_io",
     "salvage_tree",
     "SalvageReport",
+    # serving & degradation
+    "QueryContext",
+    "QueryResult",
+    "QueryEngine",
+    "CancelToken",
+    "ExhaustionReason",
+    "BudgetExceeded",
+    "QueryCancelled",
+    "Overloaded",
 ]

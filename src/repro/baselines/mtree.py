@@ -434,7 +434,7 @@ class MTree:
     def size_in_bytes(self) -> int:
         return self.pagefile.size_in_bytes
 
-    def flush_cache(self) -> None:
+    def flush_cache(self, reset_stats: bool = False) -> None:
         pass  # the M-tree reads nodes directly; no object cache
 
     def reset_counters(self) -> None:

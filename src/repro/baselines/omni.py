@@ -168,9 +168,9 @@ class OmniRTree:
         raf_bytes = self.raf.size_in_bytes if self.raf is not None else 0
         return self.rtree.size_in_bytes + raf_bytes
 
-    def flush_cache(self) -> None:
+    def flush_cache(self, reset_stats: bool = False) -> None:
         if self.raf is not None:
-            self.raf.flush_cache()
+            self.raf.flush_cache(reset_stats=reset_stats)
 
     def reset_counters(self) -> None:
         self.distance.reset()

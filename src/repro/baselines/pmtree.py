@@ -388,7 +388,7 @@ class PMTree:
     def size_in_bytes(self) -> int:
         return self.pagefile.size_in_bytes
 
-    def flush_cache(self) -> None:
+    def flush_cache(self, reset_stats: bool = False) -> None:
         pass  # nodes are read directly, like the M-tree
 
     def reset_counters(self) -> None:

@@ -24,6 +24,7 @@ import argparse
 import json
 import os
 import random
+import sys
 import time
 from typing import Optional, Sequence
 
@@ -48,6 +49,7 @@ from repro.distance import (
     TriGramAngularDistance,
 )
 from repro.recovery import salvage_tree
+from repro.service import BudgetExceeded, Overloaded, QueryContext, QueryEngine
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -249,6 +251,110 @@ def _directory_metric(directory: str, override: Optional[str]) -> Metric:
     return _metric_from_name(name)
 
 
+def _add_limits(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="per-query deadline in milliseconds",
+    )
+    parser.add_argument(
+        "--max-compdists", type=int, default=None,
+        help="per-query distance-computation budget",
+    )
+    parser.add_argument(
+        "--max-pa", type=int, default=None,
+        help="per-query page-access budget",
+    )
+
+
+def _limits(args: argparse.Namespace) -> dict:
+    return {
+        "deadline_ms": args.deadline_ms,
+        "max_compdists": args.max_compdists,
+        "max_page_accesses": args.max_pa,
+    }
+
+
+def cmd_query(args: argparse.Namespace) -> None:
+    """One budgeted query with the graceful-degradation contract."""
+    dataset, tree = _build(args)
+    query = args.query if args.query is not None else dataset.queries[0]
+    radius = args.radius
+    if radius is None:
+        radius = dataset.d_plus * args.radius_percent / 100.0
+        if dataset.metric.is_discrete:
+            radius = max(1.0, round(radius))
+    ctx = QueryContext.with_limits(strict=args.strict, **_limits(args))
+    tree.flush_cache(reset_stats=True)
+    try:
+        if args.mode == "range":
+            result = tree.range_query(query, radius, context=ctx)
+            print(f"\nRQ(q, O, {radius:g}) -> {len(result)} results")
+            for obj in result[:10]:
+                print(f"  {obj!r}"[:100])
+        elif args.mode == "knn":
+            result = tree.knn_query(query, args.k, context=ctx)
+            print(f"\nkNN(q, {args.k}) -> {len(result)} neighbours")
+            for dist, obj in result:
+                print(f"  d={dist:.4g}  {obj!r}"[:100])
+        else:
+            result = tree.range_count(query, radius, context=ctx)
+            print(f"\n|RQ(q, O, {radius:g})| >= {result.count}")
+    except BudgetExceeded as exc:
+        print(f"query aborted (strict): {exc}", file=sys.stderr)
+        raise SystemExit(1) from exc
+    state = "complete" if result.complete else f"PARTIAL — {result.reason}"
+    print(
+        f"status    : {state}\n"
+        f"spent     : {ctx.compdists} compdists, {ctx.page_accesses} page accesses"
+    )
+
+
+def cmd_serve(args: argparse.Namespace) -> None:
+    """Drive a concurrent mixed workload through the QueryEngine."""
+    dataset, tree = _build(args)
+    n = args.num_queries
+    queries = [dataset.queries[i % len(dataset.queries)] for i in range(n)]
+    radius = dataset.d_plus * args.radius_percent / 100.0
+    if dataset.metric.is_discrete:
+        radius = max(1.0, round(radius))
+    kinds = ["range", "knn", "count"]
+    t0 = time.perf_counter()
+    partial = 0
+    with QueryEngine(
+        tree,
+        workers=args.workers,
+        max_queue=args.queue_size,
+        **{f"default_{k}": v for k, v in _limits(args).items()},
+    ) as engine:
+        pending = []
+        for i, q in enumerate(queries):
+            kind = kinds[i % len(kinds)]
+            query_args = (q, args.k) if kind == "knn" else (q, radius)
+            while True:
+                try:
+                    pending.append(engine.submit(kind, *query_args))
+                    break
+                except Overloaded:
+                    # Backpressure: wait for the queue to drain a little.
+                    time.sleep(0.005)
+        for p in pending:
+            result = p.result()
+            if not result.complete:
+                partial += 1
+        elapsed = time.perf_counter() - t0
+        print(
+            f"\nserved {engine.served} queries ({n} submitted) with "
+            f"{args.workers} workers in {elapsed:.2f}s "
+            f"({n / elapsed:.0f} q/s)"
+        )
+        print(
+            f"complete  : {engine.served - partial}\n"
+            f"partial   : {partial}\n"
+            f"rejections: {engine.rejected} (resubmitted after backpressure)\n"
+            f"failures  : {engine.failed}"
+        )
+
+
 def cmd_build(args: argparse.Namespace) -> None:
     _, tree = _build(args)
     save_tree(tree, args.out)
@@ -262,10 +368,15 @@ def cmd_verify(args: argparse.Namespace) -> None:
     except ValueError as exc:
         print(f"index does not load: {exc}")
         print("hint: `repro salvage` may still recover the records")
+        print(f"verify: FAILED — {args.dir}: index does not load", file=sys.stderr)
         raise SystemExit(1) from exc
     report = tree.verify(check_objects=not args.fast)
     print(report.summary())
     if not report.ok:
+        print(
+            f"verify: FAILED — {args.dir}: {len(report.errors)} error(s) found",
+            file=sys.stderr,
+        )
         raise SystemExit(1)
 
 
@@ -275,11 +386,16 @@ def cmd_salvage(args: argparse.Namespace) -> None:
         tree, report = salvage_tree(args.dir, metric)
     except ValueError as exc:
         print(f"salvage failed: {exc}")
+        print(f"salvage: FAILED — {args.dir}: {exc}", file=sys.stderr)
         raise SystemExit(1) from exc
     print(report.summary())
     out = args.out or args.dir.rstrip("/\\") + ".salvaged"
     if tree.raf is None:
         print("no records recovered; nothing to save")
+        print(
+            f"salvage: FAILED — {args.dir}: no records recovered",
+            file=sys.stderr,
+        )
         raise SystemExit(1)
     save_tree(tree, out)
     print(f"salvaged index ({len(tree):,} objects) saved to {out}")
@@ -320,6 +436,36 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     _add_common(p_cmp)
     p_cmp.add_argument("--k", type=int, default=8)
     p_cmp.set_defaults(fn=cmd_compare)
+
+    p_query = sub.add_parser(
+        "query", help="one budgeted query with graceful degradation"
+    )
+    _add_common(p_query)
+    p_query.add_argument(
+        "--mode", choices=["range", "knn", "count"], default="knn"
+    )
+    p_query.add_argument("--query", default=None)
+    p_query.add_argument("--k", type=int, default=8)
+    p_query.add_argument("--radius", type=float, default=None)
+    p_query.add_argument("--radius-percent", type=float, default=8.0)
+    _add_limits(p_query)
+    p_query.add_argument(
+        "--strict", action="store_true",
+        help="raise instead of returning a partial result on budget exhaustion",
+    )
+    p_query.set_defaults(fn=cmd_query)
+
+    p_serve = sub.add_parser(
+        "serve", help="run a concurrent mixed workload through the QueryEngine"
+    )
+    _add_common(p_serve)
+    p_serve.add_argument("--num-queries", type=int, default=30)
+    p_serve.add_argument("--workers", type=int, default=4)
+    p_serve.add_argument("--queue-size", type=int, default=16)
+    p_serve.add_argument("--k", type=int, default=8)
+    p_serve.add_argument("--radius-percent", type=float, default=8.0)
+    _add_limits(p_serve)
+    p_serve.set_defaults(fn=cmd_serve)
 
     p_build = sub.add_parser("build", help="build and save an index directory")
     _add_common(p_build)

@@ -21,10 +21,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Optional
 
 from repro.core.spbtree import SPBTree
 from repro.distance.base import CountingDistance
+from repro.service.context import ExhaustionReason, QueryContext, _Exhausted
 from repro.stats import QueryStats
 
 
@@ -40,10 +41,18 @@ class _ListItem:
 
 @dataclass
 class JoinResult:
-    """Pairs plus the cost metrics the paper reports for joins."""
+    """Pairs plus the cost metrics the paper reports for joins.
+
+    ``complete`` is False when a :class:`~repro.service.QueryContext`
+    deadline/budget stopped the merge early; the pairs found up to that
+    point are all correct (each verified with a distance computation), the
+    join is merely unfinished, and ``reason`` says which limit tripped.
+    """
 
     pairs: list[tuple[Any, Any]] = field(default_factory=list)
     stats: QueryStats = field(default_factory=QueryStats)
+    complete: bool = True
+    reason: Optional[ExhaustionReason] = None
 
 
 def _check_compatible(tree_q: SPBTree, tree_o: SPBTree) -> None:
@@ -65,16 +74,45 @@ def _check_compatible(tree_q: SPBTree, tree_o: SPBTree) -> None:
 
 
 def similarity_join(
-    tree_q: SPBTree, tree_o: SPBTree, epsilon: float
+    tree_q: SPBTree,
+    tree_o: SPBTree,
+    epsilon: float,
+    context: Optional[QueryContext] = None,
 ) -> JoinResult:
-    """SJ(Q, O, ε) via Algorithm 3 (SJA): one merge pass, two sliding lists."""
+    """SJ(Q, O, ε) via Algorithm 3 (SJA): one merge pass, two sliding lists.
+
+    With a :class:`~repro.service.QueryContext`, the merge observes its
+    deadline/budget/cancellation once per leaf entry; on exhaustion the
+    pairs verified so far come back with ``complete=False`` (or strict
+    mode raises :class:`~repro.service.BudgetExceeded`).
+    """
     if epsilon < 0:
         raise ValueError("epsilon must be non-negative")
     _check_compatible(tree_q, tree_o)
     result = JoinResult()
     if tree_q.raf is None or tree_o.raf is None:
         return result
+    if context is not None:
+        with context.activate():
+            try:
+                _merge_join(tree_q, tree_o, epsilon, result, context)
+            except _Exhausted as exc:
+                if context.strict:
+                    raise context.raise_for(exc.reason) from None
+                result.complete = False
+                result.reason = exc.reason
+        return result
+    _merge_join(tree_q, tree_o, epsilon, result, None)
+    return result
 
+
+def _merge_join(
+    tree_q: SPBTree,
+    tree_o: SPBTree,
+    epsilon: float,
+    result: JoinResult,
+    ctx: Optional[QueryContext],
+) -> None:
     t0 = time.perf_counter()
     pa0 = tree_q.page_accesses + tree_o.page_accesses
     # Join-level distance counter: verification distances are charged here,
@@ -130,36 +168,43 @@ def similarity_join(
 
     list_q: list[_ListItem] = []
     list_o: list[_ListItem] = []
-    iter_q = iter(tree_q.btree.leaf_entries())
-    iter_o = iter(tree_o.btree.leaf_entries())
-    entry_q = next(iter_q, None)
-    entry_o = next(iter_o, None)
-    while entry_q is not None or entry_o is not None:
-        take_q = entry_o is None or (
-            entry_q is not None and entry_q.key <= entry_o.key
-        )
-        if take_q:
-            assert entry_q is not None
-            item = make_item(tree_q, entry_q.key, entry_q.ptr)
-            if item is not None:
-                verify(item, list_o, q_side=True)
-                list_q.append(item)
-            entry_q = next(iter_q, None)
+    try:
+        iter_q = iter(tree_q.btree.leaf_entries())
+        iter_o = iter(tree_o.btree.leaf_entries())
+        entry_q = next(iter_q, None)
+        entry_o = next(iter_o, None)
+        while entry_q is not None or entry_o is not None:
+            if ctx is not None:
+                ctx.checkpoint()
+            take_q = entry_o is None or (
+                entry_q is not None and entry_q.key <= entry_o.key
+            )
+            if take_q:
+                assert entry_q is not None
+                item = make_item(tree_q, entry_q.key, entry_q.ptr)
+                if item is not None:
+                    verify(item, list_o, q_side=True)
+                    list_q.append(item)
+                entry_q = next(iter_q, None)
+            else:
+                assert entry_o is not None
+                item = make_item(tree_o, entry_o.key, entry_o.ptr)
+                if item is not None:
+                    verify(item, list_q, q_side=False)
+                    list_o.append(item)
+                entry_o = next(iter_o, None)
+    finally:
+        # Fill the cost metrics even when a checkpoint aborts the merge,
+        # so a degraded join still reports what it spent.
+        result.stats.elapsed_seconds = time.perf_counter() - t0
+        if ctx is not None:
+            result.stats.page_accesses = ctx.page_accesses
         else:
-            assert entry_o is not None
-            item = make_item(tree_o, entry_o.key, entry_o.ptr)
-            if item is not None:
-                verify(item, list_q, q_side=False)
-                list_o.append(item)
-            entry_o = next(iter_o, None)
-
-    result.stats.elapsed_seconds = time.perf_counter() - t0
-    result.stats.page_accesses = (
-        tree_q.page_accesses + tree_o.page_accesses - pa0
-    )
-    result.stats.distance_computations = dist.count
-    result.stats.result_size = len(result.pairs)
-    return result
+            result.stats.page_accesses = (
+                tree_q.page_accesses + tree_o.page_accesses - pa0
+            )
+        result.stats.distance_computations = dist.count
+        result.stats.result_size = len(result.pairs)
 
 
 def similarity_join_stats(
@@ -169,14 +214,19 @@ def similarity_join_stats(
     return similarity_join(tree_q, tree_o, epsilon).stats
 
 
-def similarity_self_join(tree: SPBTree, epsilon: float) -> JoinResult:
+def similarity_self_join(
+    tree: SPBTree,
+    epsilon: float,
+    context: Optional[QueryContext] = None,
+) -> JoinResult:
     """SJ(O, O, ε) without self-pairs and without (a, b)/(b, a) duplicates.
 
     The data-cleaning scenario of §5.1 frequently joins a set with itself
     (near-duplicate detection inside one table).  Running SJA on two copies
     would report every pair twice plus every object matched to itself; this
     variant performs the same single leaf-level pass with one sliding list,
-    emitting each unordered pair exactly once.
+    emitting each unordered pair exactly once.  ``context`` behaves as in
+    :func:`similarity_join`.
     """
     if epsilon < 0:
         raise ValueError("epsilon must be non-negative")
@@ -188,7 +238,27 @@ def similarity_self_join(tree: SPBTree, epsilon: float) -> JoinResult:
     result = JoinResult()
     if tree.raf is None:
         return result
+    if context is not None:
+        with context.activate():
+            try:
+                _merge_self_join(tree, epsilon, result, context)
+            except _Exhausted as exc:
+                if context.strict:
+                    raise context.raise_for(exc.reason) from None
+                result.complete = False
+                result.reason = exc.reason
+        return result
+    _merge_self_join(tree, epsilon, result, None)
+    return result
 
+
+def _merge_self_join(
+    tree: SPBTree,
+    epsilon: float,
+    result: JoinResult,
+    ctx: Optional[QueryContext],
+) -> None:
+    assert tree.raf is not None
     t0 = time.perf_counter()
     pa0 = tree.page_accesses
     dist = CountingDistance(tree.distance.metric)
@@ -209,30 +279,37 @@ def similarity_self_join(tree: SPBTree, epsilon: float) -> JoinResult:
         return all(abs(x - y) <= reach for x, y in zip(a, b))
 
     window: list[_ListItem] = []
-    for entry in tree.btree.leaf_entries():
-        if tree.raf.is_deleted(entry.ptr):
-            continue
-        grid = curve.decode(entry.key)
-        min_rr, max_rr = expand(grid)
-        item = _ListItem(entry.key, grid, tree.raf.read_object(entry.ptr), max_rr)
-        i = len(window) - 1
-        while i >= 0:
-            other = window[i]
-            if other.max_rr < item.key:  # Lemma 6: expired forever
-                del window[i]
-                i -= 1
+    try:
+        for entry in tree.btree.leaf_entries():
+            if ctx is not None:
+                ctx.checkpoint()
+            if tree.raf.is_deleted(entry.ptr):
                 continue
-            if other.key >= min_rr and in_rr(item.grid, other.grid):
-                if dist(item.obj, other.obj) <= epsilon:
-                    result.pairs.append((other.obj, item.obj))
-            i -= 1
-        window.append(item)
-
-    result.stats.elapsed_seconds = time.perf_counter() - t0
-    result.stats.page_accesses = tree.page_accesses - pa0
-    result.stats.distance_computations = dist.count
-    result.stats.result_size = len(result.pairs)
-    return result
+            grid = curve.decode(entry.key)
+            min_rr, max_rr = expand(grid)
+            item = _ListItem(
+                entry.key, grid, tree.raf.read_object(entry.ptr), max_rr
+            )
+            i = len(window) - 1
+            while i >= 0:
+                other = window[i]
+                if other.max_rr < item.key:  # Lemma 6: expired forever
+                    del window[i]
+                    i -= 1
+                    continue
+                if other.key >= min_rr and in_rr(item.grid, other.grid):
+                    if dist(item.obj, other.obj) <= epsilon:
+                        result.pairs.append((other.obj, item.obj))
+                i -= 1
+            window.append(item)
+    finally:
+        result.stats.elapsed_seconds = time.perf_counter() - t0
+        if ctx is not None:
+            result.stats.page_accesses = ctx.page_accesses
+        else:
+            result.stats.page_accesses = tree.page_accesses - pa0
+        result.stats.distance_computations = dist.count
+        result.stats.result_size = len(result.pairs)
 
 
 def knn_join(

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from typing import Any, Callable, Iterator, Optional, Sequence
 
 from repro.btree.node import LeafEntry, Node
@@ -42,6 +43,7 @@ from repro.sfc.region import (
     point_in_box,
     sfc_values_in_box,
 )
+from repro.service.context import QueryContext, QueryResult, _Exhausted
 from repro.sfc.zorder import ZCurve
 from repro.storage.pagefile import DEFAULT_PAGE_SIZE
 from repro.storage.raf import RandomAccessFile
@@ -350,42 +352,85 @@ class SPBTree:
 
     # ---------------------------------------------------------- range query
 
-    def range_query(self, query: Any, radius: float) -> list[Any]:
+    def range_query(
+        self,
+        query: Any,
+        radius: float,
+        context: Optional[QueryContext] = None,
+    ) -> "list[Any] | QueryResult":
         """RQ(q, O, r): all objects within ``radius`` of ``query``.
 
-        Algorithm 1 (RQA) of the paper.
+        Algorithm 1 (RQA) of the paper.  Without a ``context`` this returns
+        a plain list, exactly as before.  With a :class:`QueryContext` the
+        traversal observes its deadline/budget/cancellation at every node
+        and entry, and the answer comes back as a :class:`QueryResult`: on
+        exhaustion the hits verified so far, flagged ``complete=False``
+        (or, in strict mode, :class:`~repro.service.BudgetExceeded`).
         """
         if radius < 0:
             raise ValueError("radius must be non-negative")
-        if self.raf is None or self.object_count == 0:
-            return []
+        if context is None:
+            results: list[Any] = []
+            if self.raf is None or self.object_count == 0:
+                return results
+            self._range_search(query, radius, results, None)
+            return results
+        with context.activate():
+            t0 = time.perf_counter()
+            results = []
+            complete, reason = True, None
+            try:
+                if self.raf is not None and self.object_count:
+                    self._range_search(query, radius, results, context)
+            except _Exhausted as exc:
+                if context.strict:
+                    raise context.raise_for(exc.reason) from None
+                complete, reason = False, exc.reason
+            return QueryResult(
+                results,
+                complete=complete,
+                reason=reason,
+                stats=context.stats(time.perf_counter() - t0, len(results)),
+            )
+
+    def _range_search(
+        self,
+        query: Any,
+        radius: float,
+        results: list[Any],
+        ctx: Optional[QueryContext],
+    ) -> None:
         phi_q = self.space.phi(query)
+        if ctx is not None:
+            ctx.checkpoint()
         rr_lo, rr_hi = self.space.range_region(phi_q, radius)
-        results: list[Any] = []
         root = self.btree.read_node(self.btree.root_page)
         if root.is_leaf:
             box = self.btree.node_box(root)
             if box is not None and boxes_intersect(rr_lo, rr_hi, *box):
-                self._range_leaf(root, box, query, radius, phi_q, (rr_lo, rr_hi), results)
-            return results
+                self._range_leaf(
+                    root, box, query, radius, phi_q, (rr_lo, rr_hi), results, ctx
+                )
+            return
         stack: list[tuple[int, tuple]] = []
         for entry in root.entries:
             box = self.btree.decode_box(entry)
             if boxes_intersect(rr_lo, rr_hi, *box):  # Lemma 1
                 stack.append((entry.child, box))
         while stack:
+            if ctx is not None:
+                ctx.checkpoint()
             page_id, box = stack.pop()
             node = self.btree.read_node(page_id)
             if node.is_leaf:
                 self._range_leaf(
-                    node, box, query, radius, phi_q, (rr_lo, rr_hi), results
+                    node, box, query, radius, phi_q, (rr_lo, rr_hi), results, ctx
                 )
             else:
                 for entry in node.entries:
                     child_box = self.btree.decode_box(entry)
                     if boxes_intersect(rr_lo, rr_hi, *child_box):  # Lemma 1
                         stack.append((entry.child, child_box))
-        return results
 
     def _range_leaf(
         self,
@@ -396,6 +441,7 @@ class SPBTree:
         phi_q: tuple[float, ...],
         rr: tuple,
         results: list[Any],
+        ctx: Optional[QueryContext] = None,
     ) -> None:
         """Leaf handling of Algorithm 1, lines 11–23."""
         rr_lo, rr_hi = rr
@@ -403,7 +449,7 @@ class SPBTree:
             # MBB(N) ⊆ RR: every entry is inside the range region.
             for entry in node.entries:
                 self._verify_range(
-                    entry, query, radius, phi_q, rr, False, results
+                    entry, query, radius, phi_q, rr, False, results, ctx
                 )
             return
         inter = box_intersection(rr_lo, rr_hi, *box)
@@ -419,7 +465,7 @@ class SPBTree:
                 key = entries[ei].key
                 if key == values[vi]:
                     self._verify_range(
-                        entries[ei], query, radius, phi_q, rr, False, results
+                        entries[ei], query, radius, phi_q, rr, False, results, ctx
                     )
                     ei += 1
                 elif key > values[vi]:
@@ -428,7 +474,7 @@ class SPBTree:
                     ei += 1
             return
         for entry in node.entries:
-            self._verify_range(entry, query, radius, phi_q, rr, True, results)
+            self._verify_range(entry, query, radius, phi_q, rr, True, results, ctx)
 
     def _verify_range(
         self,
@@ -439,9 +485,12 @@ class SPBTree:
         rr: tuple,
         check_rr: bool,
         results: list[Any],
+        ctx: Optional[QueryContext] = None,
     ) -> None:
         """VerifyRQ of Algorithm 1 (lines 25–29)."""
         assert self.raf is not None
+        if ctx is not None:
+            ctx.checkpoint()
         cell = self.curve.decode(entry.key)
         if check_rr and not point_in_box(cell, *rr):  # Lemma 1
             return
@@ -465,7 +514,8 @@ class SPBTree:
         query: Any,
         k: int,
         traversal: str = "incremental",
-    ) -> list[tuple[float, Any]]:
+        context: Optional[QueryContext] = None,
+    ) -> "list[tuple[float, Any]] | QueryResult":
         """kNN(q, k): ``k`` nearest objects, as (distance, object) pairs
         ascending by distance.
 
@@ -474,24 +524,79 @@ class SPBTree:
         (optimal in distance computations, Lemma 4); ``"greedy"`` verifies
         an entire leaf as soon as it is reached (optimal in RAF page
         accesses — the default choice for low-precision data like DNA).
+
+        Without a ``context`` this returns a plain list, exactly as before.
+        With a :class:`QueryContext`, exhaustion degrades gracefully: the
+        returned :class:`QueryResult` (``complete=False``) holds only the
+        *confirmed* best-so-far neighbours — those whose distance does not
+        exceed the smallest lower bound still on the heap, so by Lemma 3
+        their distances are a prefix of the true kNN distances.  Strict
+        mode raises :class:`~repro.service.BudgetExceeded` instead.
         """
         if k < 1:
             raise ValueError("k must be >= 1")
         if traversal not in ("incremental", "greedy"):
             raise ValueError("traversal must be 'incremental' or 'greedy'")
-        if self.raf is None or self.object_count == 0:
-            return []
+        if context is None:
+            if self.raf is None or self.object_count == 0:
+                return []
+            result: list[tuple[float, int, Any]] = []
+            heap: list[tuple[float, int, int, object]] = []
+            self._knn_search(query, k, traversal, result, heap, None)
+            ordered = sorted((-negd, tb, obj) for negd, tb, obj in result)
+            return [(d, obj) for d, _, obj in ordered]
+        with context.activate():
+            t0 = time.perf_counter()
+            result = []
+            heap = []
+            complete, reason = True, None
+            try:
+                if self.raf is not None and self.object_count:
+                    self._knn_search(query, k, traversal, result, heap, context)
+            except _Exhausted as exc:
+                if context.strict:
+                    raise context.raise_for(exc.reason) from None
+                complete, reason = False, exc.reason
+            ordered = sorted((-negd, tb, obj) for negd, tb, obj in result)
+            items = [(d, obj) for d, _, obj in ordered]
+            if not complete:
+                # Keep only the confirmed prefix: every unvisited object is
+                # at distance >= the smallest remaining lower bound, and
+                # everything evicted from the result heap was >= its max, so
+                # neighbours at or below the frontier are true kNN members.
+                frontier = heap[0][0] if heap else float("inf")
+                items = [(d, obj) for d, obj in items if d <= frontier]
+            return QueryResult(
+                items,
+                complete=complete,
+                reason=reason,
+                stats=context.stats(time.perf_counter() - t0, len(items)),
+            )
+
+    def _knn_search(
+        self,
+        query: Any,
+        k: int,
+        traversal: str,
+        result: list[tuple[float, int, Any]],
+        heap: list[tuple[float, int, int, object]],
+        ctx: Optional[QueryContext],
+    ) -> None:
+        """Best-first NNA loop, filling ``result`` (a max-heap of
+        ``(-distance, tiebreak, object)``) and leaving unexplored lower
+        bounds in ``heap`` when a context checkpoint aborts the search."""
         phi_q = self.space.phi(query)
+        if ctx is not None:
+            ctx.checkpoint()
         counter = itertools.count()
-        heap: list[tuple[float, int, int, object]] = []
-        # result: max-heap of (-distance, tiebreak, object).
-        result: list[tuple[float, int, Any]] = []
 
         def cur_ndk() -> float:
             return -result[0][0] if len(result) >= k else float("inf")
 
         def verify(entry: LeafEntry) -> None:
             assert self.raf is not None
+            if ctx is not None:
+                ctx.checkpoint()
             if self.raf.is_deleted(entry.ptr):
                 return
             obj = self.raf.read_object(entry.ptr)
@@ -502,20 +607,32 @@ class SPBTree:
                     heapq.heappop(result)
 
         root = self.btree.read_node(self.btree.root_page)
-        self._knn_push_node(root, phi_q, heap, counter, cur_ndk, verify, traversal)
+        try:
+            self._knn_push_node(root, phi_q, heap, counter, cur_ndk, verify, traversal)
+        except _Exhausted:
+            # Entries of the root may be lost mid-push; a zero lower bound
+            # keeps the confirmation frontier conservative.
+            heapq.heappush(heap, (0.0, next(counter), -1, None))
+            raise
         while heap:
-            mind, _, kind, payload = heapq.heappop(heap)
+            if ctx is not None:
+                ctx.checkpoint()
+            mind, tb, kind, payload = heapq.heappop(heap)
             if mind >= cur_ndk():  # Lemma 3: early termination
                 break
-            if kind == 0:  # an object (leaf entry)
-                verify(payload)  # type: ignore[arg-type]
-                continue
-            node = self.btree.read_node(payload)  # type: ignore[arg-type]
-            self._knn_push_node(
-                node, phi_q, heap, counter, cur_ndk, verify, traversal
-            )
-        ordered = sorted((-negd, tb, obj) for negd, tb, obj in result)
-        return [(d, obj) for d, _, obj in ordered]
+            try:
+                if kind == 0:  # an object (leaf entry)
+                    verify(payload)  # type: ignore[arg-type]
+                    continue
+                node = self.btree.read_node(payload)  # type: ignore[arg-type]
+                self._knn_push_node(
+                    node, phi_q, heap, counter, cur_ndk, verify, traversal
+                )
+            except _Exhausted:
+                # The popped item was not fully processed: restore its lower
+                # bound so the partial-result frontier stays sound.
+                heapq.heappush(heap, (mind, tb, kind, payload))
+                raise
 
     def _knn_push_node(
         self,
@@ -546,23 +663,66 @@ class SPBTree:
 
     # ----------------------------------------------------------- maintenance
 
-    def range_count(self, query: Any, radius: float) -> int:
+    def range_count(
+        self,
+        query: Any,
+        radius: float,
+        context: Optional[QueryContext] = None,
+    ) -> "int | QueryResult":
         """|RQ(q, O, r)| without fetching the objects.
 
         Uses Lemma 2 the other way round: entries whose grid cell proves
         d(q, o) ≤ r are *counted* without touching the RAF at all, so a
         pure counting workload (selectivity estimation, faceting) costs a
         fraction of the page accesses of :meth:`range_query`.
+
+        With a :class:`QueryContext` the answer is a :class:`QueryResult`
+        whose ``count`` holds the tally (a lower bound of the true count
+        when ``complete=False``).
         """
         if radius < 0:
             raise ValueError("radius must be non-negative")
-        if self.raf is None or self.object_count == 0:
-            return 0
+        if context is None:
+            if self.raf is None or self.object_count == 0:
+                return 0
+            tally = [0]
+            self._count_search(query, radius, tally, None)
+            return tally[0]
+        with context.activate():
+            t0 = time.perf_counter()
+            tally = [0]
+            complete, reason = True, None
+            try:
+                if self.raf is not None and self.object_count:
+                    self._count_search(query, radius, tally, context)
+            except _Exhausted as exc:
+                if context.strict:
+                    raise context.raise_for(exc.reason) from None
+                complete, reason = False, exc.reason
+            return QueryResult(
+                [],
+                complete=complete,
+                reason=reason,
+                count=tally[0],
+                stats=context.stats(time.perf_counter() - t0, tally[0]),
+            )
+
+    def _count_search(
+        self,
+        query: Any,
+        radius: float,
+        tally: list[int],
+        ctx: Optional[QueryContext],
+    ) -> None:
+        assert self.raf is not None
         phi_q = self.space.phi(query)
+        if ctx is not None:
+            ctx.checkpoint()
         rr_lo, rr_hi = self.space.range_region(phi_q, radius)
-        count = 0
         stack = [(self.btree.root_page, None)]
         while stack:
+            if ctx is not None:
+                ctx.checkpoint()
             page_id, box = stack.pop()
             node = self.btree.read_node(page_id)
             if not node.is_leaf:
@@ -572,6 +732,8 @@ class SPBTree:
                         stack.append((entry.child, child_box))
                 continue
             for entry in node.entries:
+                if ctx is not None:
+                    ctx.checkpoint()
                 cell = self.curve.decode(entry.key)
                 if not point_in_box(cell, rr_lo, rr_hi):  # Lemma 1
                     continue
@@ -581,12 +743,11 @@ class SPBTree:
                     self.space.upper_bound_to_pivot(c) <= radius - dq
                     for c, dq in zip(cell, phi_q)
                 ):
-                    count += 1  # Lemma 2: provably within r, no I/O at all
+                    tally[0] += 1  # Lemma 2: provably within r, no I/O at all
                     continue
                 obj = self.raf.read_object(entry.ptr)
                 if self.distance(query, obj) <= radius:
-                    count += 1
-        return count
+                    tally[0] += 1
 
     def rebuild(self) -> "SPBTree":
         """Compact the index: rebuild from the live objects.
@@ -661,10 +822,15 @@ class SPBTree:
         raf_bytes = self.raf.size_in_bytes if self.raf is not None else 0
         return self.btree.size_in_bytes + raf_bytes
 
-    def flush_cache(self) -> None:
-        """Empty the RAF buffer pool (done before each measured query)."""
+    def flush_cache(self, reset_stats: bool = False) -> None:
+        """Empty the RAF buffer pool (done before each measured query).
+
+        With ``reset_stats=True`` the pool's hit/miss tallies restart too,
+        so per-query cache statistics do not bleed across a Fig. 10-style
+        flush-between-queries protocol.
+        """
         if self.raf is not None:
-            self.raf.flush_cache()
+            self.raf.flush_cache(reset_stats=reset_stats)
 
     def reset_counters(self) -> None:
         self.distance.reset()

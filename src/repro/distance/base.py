@@ -5,6 +5,8 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Any, Iterable, Sequence
 
+from repro.stats import record_compdist
+
 
 class Metric(ABC):
     """A distance function over a generic metric space (M, d).
@@ -82,6 +84,7 @@ class CountingDistance:
 
     def __call__(self, a: Any, b: Any) -> float:
         self.count += 1
+        record_compdist()
         return self.metric(a, b)
 
     def reset(self) -> None:

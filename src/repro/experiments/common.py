@@ -84,7 +84,9 @@ def measure_queries(
     total = QueryStats()
     for q in queries:
         if flush and hasattr(index, "flush_cache"):
-            index.flush_cache()
+            # reset_stats keeps the pool's hit/miss tallies per-query too,
+            # instead of silently accumulating across the 500-query run.
+            index.flush_cache(reset_stats=True)
         pa0 = index.page_accesses
         dc0 = index.distance_computations
         t0 = time.perf_counter()

@@ -1,0 +1,31 @@
+"""Query-serving robustness layer: deadlines, budgets, cancellation,
+graceful degradation, and a concurrent query engine.
+
+See :mod:`repro.service.context` for the per-query primitives and
+:mod:`repro.service.engine` for the serving loop.
+"""
+
+from repro.service.context import (
+    BudgetExceeded,
+    CancelToken,
+    ExhaustionReason,
+    Overloaded,
+    QueryCancelled,
+    QueryContext,
+    QueryResult,
+    ServiceError,
+)
+from repro.service.engine import PendingQuery, QueryEngine
+
+__all__ = [
+    "BudgetExceeded",
+    "CancelToken",
+    "ExhaustionReason",
+    "Overloaded",
+    "PendingQuery",
+    "QueryCancelled",
+    "QueryContext",
+    "QueryEngine",
+    "QueryResult",
+    "ServiceError",
+]

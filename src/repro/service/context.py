@@ -1,0 +1,289 @@
+"""Per-query resilience primitives: deadlines, budgets, cancellation.
+
+The survey *Indexing Metric Spaces for Exact Similarity Search* identifies
+compdists and page accesses as the two costs a metric index must bound per
+query; a serving layer needs exactly those knobs for admission control and
+early termination.  A :class:`QueryContext` carries them:
+
+* a **deadline** (absolute monotonic time),
+* a **budget** (max compdists, max page accesses),
+* a cooperative **cancellation token**,
+* and per-context counters (`compdists`, `page_accesses`) that the storage
+  and distance layers tally through the thread-local stat shard registered
+  by :meth:`QueryContext.activate` — so concurrent queries account their
+  own costs exactly instead of clobbering the tree-global counters.
+
+The traversal loops in :mod:`repro.core.spbtree` and :mod:`repro.core.join`
+call :meth:`QueryContext.checkpoint` at node/entry granularity.  When a
+limit trips, the query *degrades gracefully*: kNN returns its confirmed
+best-so-far neighbours, range returns the hits verified so far, both
+wrapped in a :class:`QueryResult` with ``complete=False`` and a structured
+:class:`ExhaustionReason`.  Callers that prefer an exception opt into
+``strict=True`` and get :class:`BudgetExceeded` instead.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+from repro.stats import QueryStats, pop_stat_shard, push_stat_shard
+
+
+class ServiceError(Exception):
+    """Base class for query-service failures."""
+
+
+class BudgetExceeded(ServiceError):
+    """A strict-mode query ran out of deadline or budget.
+
+    Carries the :class:`ExhaustionReason` that tripped, so callers can
+    distinguish a deadline miss from a compdist or page-access overrun.
+    """
+
+    def __init__(self, reason: "ExhaustionReason") -> None:
+        self.reason = reason
+        super().__init__(str(reason))
+
+
+class QueryCancelled(ServiceError):
+    """A strict-mode query was cancelled through its token."""
+
+    def __init__(self, reason: "ExhaustionReason") -> None:
+        self.reason = reason
+        super().__init__(str(reason))
+
+
+class Overloaded(ServiceError):
+    """The engine's admission queue is full; the query was rejected.
+
+    Backpressure, not failure: the caller should shed load or retry later.
+    """
+
+
+@dataclass(frozen=True)
+class ExhaustionReason:
+    """Why a query stopped early.
+
+    ``kind`` is one of ``"deadline"``, ``"compdists"``, ``"page_accesses"``,
+    or ``"cancelled"``; ``limit`` is the configured bound (seconds for
+    deadlines) and ``spent`` what had been consumed when the check tripped.
+    """
+
+    kind: str
+    limit: Optional[float]
+    spent: float
+
+    def __str__(self) -> str:
+        if self.kind == "cancelled":
+            return "query cancelled"
+        if self.kind == "deadline":
+            return (
+                f"deadline exceeded ({self.spent * 1000:.0f} ms elapsed of "
+                f"{(self.limit or 0) * 1000:.0f} ms allowed)"
+            )
+        return f"{self.kind} budget exceeded ({self.spent:.0f} of {self.limit:.0f})"
+
+
+class CancelToken:
+    """Thread-safe cooperative cancellation flag.
+
+    Created by the caller (or the engine), shared with whoever may want to
+    abort the query; the traversal observes it at every checkpoint.
+    """
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+
+class _Exhausted(Exception):
+    """Internal control-flow signal: a checkpoint tripped.
+
+    Never escapes the query methods; they catch it and either return a
+    partial :class:`QueryResult` or raise :class:`BudgetExceeded` /
+    :class:`QueryCancelled` in strict mode.
+    """
+
+    def __init__(self, reason: ExhaustionReason) -> None:
+        self.reason = reason
+        super().__init__(str(reason))
+
+
+@dataclass
+class QueryContext:
+    """Deadline, budget, cancellation, and cost accounting for one query.
+
+    ``deadline`` is an *absolute* ``time.monotonic()`` instant (use
+    :meth:`with_limits` to express it as milliseconds-from-now).  Budgets
+    are inclusive: a query may spend exactly ``max_compdists`` distance
+    computations before the next checkpoint trips.  The counters are only
+    mutated by the thread the context is activated on, so they need no
+    locking; they are the per-query stat shard of :mod:`repro.stats`.
+    """
+
+    deadline: Optional[float] = None
+    max_compdists: Optional[int] = None
+    max_page_accesses: Optional[int] = None
+    strict: bool = False
+    cancel_token: Optional[CancelToken] = None
+    #: Per-query counters, filled in while the context is active.
+    compdists: int = 0
+    page_accesses: int = 0
+    started: float = field(default=0.0, repr=False)
+
+    @classmethod
+    def with_limits(
+        cls,
+        deadline_ms: Optional[float] = None,
+        max_compdists: Optional[int] = None,
+        max_page_accesses: Optional[int] = None,
+        strict: bool = False,
+        cancel_token: Optional[CancelToken] = None,
+    ) -> "QueryContext":
+        """Build a context with a deadline expressed as ms from *now*."""
+        deadline = (
+            time.monotonic() + deadline_ms / 1000.0
+            if deadline_ms is not None
+            else None
+        )
+        return cls(
+            deadline=deadline,
+            max_compdists=max_compdists,
+            max_page_accesses=max_page_accesses,
+            strict=strict,
+            cancel_token=cancel_token,
+        )
+
+    @property
+    def deadline_seconds(self) -> Optional[float]:
+        """The deadline as a relative allowance (for reporting)."""
+        if self.deadline is None:
+            return None
+        return self.deadline - self.started
+
+    def reset_counters(self) -> None:
+        """Zero the per-query tallies (the engine does this before a retry,
+        so a successful attempt reports only its own costs)."""
+        self.compdists = 0
+        self.page_accesses = 0
+
+    # ------------------------------------------------------------- checking
+
+    def exhausted(self) -> Optional[ExhaustionReason]:
+        """The first tripped limit, or None while the query may continue."""
+        if self.cancel_token is not None and self.cancel_token.cancelled:
+            return ExhaustionReason("cancelled", None, 0)
+        if self.deadline is not None:
+            now = time.monotonic()
+            if now >= self.deadline:
+                return ExhaustionReason(
+                    "deadline",
+                    self.deadline - self.started if self.started else None,
+                    now - self.started if self.started else 0.0,
+                )
+        if self.max_compdists is not None and self.compdists > self.max_compdists:
+            return ExhaustionReason("compdists", self.max_compdists, self.compdists)
+        if (
+            self.max_page_accesses is not None
+            and self.page_accesses > self.max_page_accesses
+        ):
+            return ExhaustionReason(
+                "page_accesses", self.max_page_accesses, self.page_accesses
+            )
+        return None
+
+    def checkpoint(self) -> None:
+        """Hook called from traversal loops; raises the internal signal
+        when a limit has tripped."""
+        reason = self.exhausted()
+        if reason is not None:
+            raise _Exhausted(reason)
+
+    @contextmanager
+    def activate(self) -> Iterator["QueryContext"]:
+        """Register this context as the thread's stat shard.
+
+        Re-entrant (the shard registry is a stack), so the engine can
+        activate around a tree method that activates again internally.
+        """
+        if not self.started:
+            self.started = time.monotonic()
+        push_stat_shard(self)
+        try:
+            yield self
+        finally:
+            pop_stat_shard()
+
+    def raise_for(self, reason: ExhaustionReason) -> "BudgetExceeded | QueryCancelled":
+        """The strict-mode exception matching ``reason``."""
+        if reason.kind == "cancelled":
+            return QueryCancelled(reason)
+        return BudgetExceeded(reason)
+
+    def stats(self, elapsed: float = 0.0, result_size: int = 0) -> QueryStats:
+        return QueryStats(
+            page_accesses=self.page_accesses,
+            distance_computations=self.compdists,
+            elapsed_seconds=elapsed,
+            result_size=result_size,
+        )
+
+
+class QueryResult:
+    """A query answer plus its completeness contract.
+
+    Behaves like a sequence of the underlying items (hits for range
+    queries, ``(distance, object)`` pairs for kNN), so existing call sites
+    that iterate or ``len()`` the answer keep working.  ``complete`` is
+    False when the query degraded — every item present is still *correct*
+    (verified within the radius / confirmed true nearest neighbours);
+    degradation only means the answer may be missing items.  ``reason``
+    says which limit tripped; ``count`` carries the tally for counting
+    queries; ``stats`` the per-query costs.
+    """
+
+    __slots__ = ("items", "complete", "reason", "count", "stats")
+
+    def __init__(
+        self,
+        items: list,
+        complete: bool = True,
+        reason: Optional[ExhaustionReason] = None,
+        count: Optional[int] = None,
+        stats: Optional[QueryStats] = None,
+    ) -> None:
+        self.items = items
+        self.complete = complete
+        self.reason = reason
+        self.count = len(items) if count is None else count
+        self.stats = stats if stats is not None else QueryStats()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.items)
+
+    def __getitem__(self, index: Any) -> Any:
+        return self.items[index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, QueryResult):
+            return self.items == other.items and self.complete == other.complete
+        if isinstance(other, list):
+            return self.items == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        state = "complete" if self.complete else f"partial ({self.reason})"
+        return f"QueryResult({len(self.items)} items, {state})"

@@ -1,0 +1,278 @@
+"""A concurrent query service over an SPB-tree with graceful degradation.
+
+:class:`QueryEngine` turns a single :class:`~repro.core.spbtree.SPBTree`
+into a small serving layer:
+
+* **admission control** — a bounded queue; when it is full, ``submit``
+  rejects immediately with :class:`~repro.service.Overloaded` (backpressure
+  beats unbounded latency);
+* **a worker pool** — N daemon threads execute queries concurrently, each
+  under its own :class:`~repro.service.QueryContext` so deadlines, budgets,
+  and per-query compdist/page-access counters are isolated;
+* **transient-fault retries** — each query attempt runs inside
+  :func:`repro.storage.faults.retry_io`, so an injected (or real) transient
+  I/O error re-runs the query with fresh counters instead of failing it;
+  non-retryable failures (page corruption, simulated crashes) propagate;
+* **graceful degradation** — deadline/budget exhaustion yields a partial
+  :class:`~repro.service.QueryResult` (``complete=False``), never a hung
+  worker; ``strict=True`` turns exhaustion into
+  :class:`~repro.service.BudgetExceeded` raised from ``result()``.
+
+The tree itself is only read (range/kNN/count are read-only), and the one
+mutable shared structure on that path — the RAF's LRU buffer pool — locks
+internally, so workers need no global tree lock and genuinely overlap.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Any, Optional
+
+from repro.service.context import CancelToken, Overloaded, QueryContext
+from repro.storage.faults import retry_io
+
+_STOP = object()
+
+#: Query kinds the engine knows how to execute.
+_KINDS = ("range", "knn", "count")
+
+
+class PendingQuery:
+    """A handle to a submitted query (a minimal future).
+
+    ``result()`` blocks until the worker finishes (or ``timeout`` expires),
+    then returns the :class:`~repro.service.QueryResult` or re-raises the
+    query's failure.  ``cancel()`` trips the query's cancellation token;
+    a cooperative checkpoint will stop the traversal shortly after.
+    """
+
+    def __init__(self, kind: str, args: tuple, context: QueryContext) -> None:
+        self.kind = kind
+        self.args = args
+        self.context = context
+        #: Deadline allowance in ms, armed when execution starts.
+        self.deadline_ms: Optional[float] = None
+        self._done = threading.Event()
+        self._result: Any = None
+        self._error: Optional[BaseException] = None
+
+    def cancel(self) -> None:
+        assert self.context.cancel_token is not None
+        self.context.cancel_token.cancel()
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        if not self._done.wait(timeout):
+            raise TimeoutError(f"query not finished within {timeout}s")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def _finish(self, result: Any = None, error: Optional[BaseException] = None) -> None:
+        self._result = result
+        self._error = error
+        self._done.set()
+
+
+class QueryEngine:
+    """Bounded-queue, multi-worker query service for one SPB-tree.
+
+    Usage::
+
+        with QueryEngine(tree, workers=4, max_queue=32) as engine:
+            pending = engine.submit("knn", query, 8, deadline_ms=50)
+            result = pending.result()        # QueryResult, maybe partial
+
+    ``default_*`` limits apply to every query that does not override them;
+    ``retry_attempts`` bounds the per-query transient-I/O retry loop.
+    """
+
+    def __init__(
+        self,
+        tree: Any,
+        workers: int = 4,
+        max_queue: int = 32,
+        retry_attempts: int = 3,
+        retry_base_delay: float = 0.005,
+        default_deadline_ms: Optional[float] = None,
+        default_max_compdists: Optional[int] = None,
+        default_max_page_accesses: Optional[int] = None,
+        strict: bool = False,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        self.tree = tree
+        self.workers = workers
+        self.retry_attempts = retry_attempts
+        self.retry_base_delay = retry_base_delay
+        self.default_deadline_ms = default_deadline_ms
+        self.default_max_compdists = default_max_compdists
+        self.default_max_page_accesses = default_max_page_accesses
+        self.strict = strict
+        self._queue: queue.Queue = queue.Queue(maxsize=max_queue)
+        self._threads: list[threading.Thread] = []
+        self._started = False
+        self._stopped = False
+        #: Served / rejected / degraded tallies (informational; lock-guarded).
+        self.served = 0
+        self.degraded = 0
+        self.rejected = 0
+        self.failed = 0
+        self._stats_lock = threading.Lock()
+
+    # ------------------------------------------------------------- lifecycle
+
+    def start(self) -> "QueryEngine":
+        if self._started:
+            return self
+        self._started = True
+        for i in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker, name=f"query-worker-{i}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self, wait: bool = True) -> None:
+        """Stop accepting work and shut the workers down.
+
+        Queued-but-unstarted queries still execute before the stop tokens
+        are consumed (FIFO queue); with ``wait=True`` this blocks until
+        every worker has exited.
+        """
+        if not self._started or self._stopped:
+            self._stopped = True
+            return
+        self._stopped = True
+        for _ in self._threads:
+            self._queue.put(_STOP)
+        if wait:
+            for thread in self._threads:
+                thread.join()
+
+    def __enter__(self) -> "QueryEngine":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------ submission
+
+    def submit(
+        self,
+        kind: str,
+        *args: Any,
+        deadline_ms: Optional[float] = None,
+        max_compdists: Optional[int] = None,
+        max_page_accesses: Optional[int] = None,
+        strict: Optional[bool] = None,
+        cancel_token: Optional[CancelToken] = None,
+    ) -> PendingQuery:
+        """Enqueue one query; raises :class:`Overloaded` when the queue is full.
+
+        ``kind`` is ``"range"`` (args: query, radius), ``"knn"`` (args:
+        query, k[, traversal]) or ``"count"`` (args: query, radius).  The
+        deadline clock starts when the query begins *executing*, so queue
+        wait does not eat the budget (admission control is what bounds the
+        wait).
+        """
+        if kind not in _KINDS:
+            raise ValueError(f"unknown query kind {kind!r}; expected {_KINDS}")
+        if not self._started or self._stopped:
+            raise RuntimeError("engine is not running (use start() or a with block)")
+        context = QueryContext.with_limits(
+            deadline_ms=None,  # armed at execution start, see _execute
+            max_compdists=(
+                max_compdists
+                if max_compdists is not None
+                else self.default_max_compdists
+            ),
+            max_page_accesses=(
+                max_page_accesses
+                if max_page_accesses is not None
+                else self.default_max_page_accesses
+            ),
+            strict=self.strict if strict is None else strict,
+            cancel_token=cancel_token or CancelToken(),
+        )
+        pending = PendingQuery(kind, args, context)
+        pending.deadline_ms = (
+            deadline_ms if deadline_ms is not None else self.default_deadline_ms
+        )
+        try:
+            self._queue.put_nowait(pending)
+        except queue.Full:
+            with self._stats_lock:
+                self.rejected += 1
+            raise Overloaded(
+                f"admission queue full ({self._queue.maxsize} pending); "
+                f"retry later"
+            ) from None
+        return pending
+
+    # Blocking conveniences ------------------------------------------------
+
+    def range(self, query: Any, radius: float, **limits: Any) -> Any:
+        return self.submit("range", query, radius, **limits).result()
+
+    def knn(self, query: Any, k: int, **limits: Any) -> Any:
+        return self.submit("knn", query, k, **limits).result()
+
+    def count(self, query: Any, radius: float, **limits: Any) -> Any:
+        return self.submit("count", query, radius, **limits).result()
+
+    # --------------------------------------------------------------- workers
+
+    def _worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                break
+            try:
+                result = self._execute(item)
+            except BaseException as exc:  # noqa: BLE001 — relayed to caller
+                with self._stats_lock:
+                    self.failed += 1
+                item._finish(error=exc)
+            else:
+                with self._stats_lock:
+                    self.served += 1
+                    if not getattr(result, "complete", True):
+                        self.degraded += 1
+                item._finish(result=result)
+
+    def _execute(self, pending: PendingQuery) -> Any:
+        ctx = pending.context
+        # Arm the deadline now: it covers execution (including retries),
+        # not time spent queued.
+        if pending.deadline_ms is not None:
+            ctx.started = time.monotonic()
+            ctx.deadline = ctx.started + pending.deadline_ms / 1000.0
+
+        def attempt() -> Any:
+            # Fresh counters per attempt: a successful attempt reports only
+            # its own costs, as if the transient fault had never happened.
+            ctx.reset_counters()
+            return self._run(pending.kind, pending.args, ctx)
+
+        return retry_io(
+            attempt,
+            attempts=self.retry_attempts,
+            base_delay=self.retry_base_delay,
+            retry_on=(OSError,),
+        )
+
+    def _run(self, kind: str, args: tuple, ctx: QueryContext) -> Any:
+        if kind == "range":
+            return self.tree.range_query(*args, context=ctx)
+        if kind == "knn":
+            return self.tree.knn_query(*args, context=ctx)
+        return self.tree.range_count(*args, context=ctx)

@@ -10,8 +10,49 @@ wraps its distance function in a counting wrapper (see
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
+
+# --------------------------------------------------------------- stat shards
+#
+# Concurrent queries cannot share the tree-global counters: two queries
+# racing on ``counter.reads += 1`` clobber each other's deltas.  A *stat
+# shard* is any object with integer ``page_accesses`` and ``compdists``
+# attributes (in practice a :class:`repro.service.QueryContext`).  A thread
+# registers its active shard here and every page access / distance
+# computation performed *on that thread* is tallied into it as well as into
+# the global counters — per-query accounting becomes exact without touching
+# the single-threaded paper experiments, which never register a shard.
+
+_local = threading.local()
+
+
+def push_stat_shard(shard: object) -> None:
+    """Make ``shard`` the current thread's accounting sink (stackable)."""
+    stack = getattr(_local, "shards", None)
+    if stack is None:
+        stack = _local.shards = []
+    stack.append(shard)
+
+
+def pop_stat_shard() -> None:
+    """Undo the most recent :func:`push_stat_shard` on this thread."""
+    _local.shards.pop()
+
+
+def record_page_access() -> None:
+    """Credit one page access to the current thread's shard, if any."""
+    stack = getattr(_local, "shards", None)
+    if stack:
+        stack[-1].page_accesses += 1
+
+
+def record_compdist() -> None:
+    """Credit one distance computation to the current thread's shard."""
+    stack = getattr(_local, "shards", None)
+    if stack:
+        stack[-1].compdists += 1
 
 
 @dataclass
@@ -31,6 +72,16 @@ class PageAccessCounter:
     @property
     def total(self) -> int:
         return self.reads + self.writes
+
+    def count_read(self) -> None:
+        """Count one page read (also credited to the active stat shard)."""
+        self.reads += 1
+        record_page_access()
+
+    def count_write(self) -> None:
+        """Count one page write (also credited to the active stat shard)."""
+        self.writes += 1
+        record_page_access()
 
     def reset(self) -> None:
         self.reads = 0

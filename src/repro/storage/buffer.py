@@ -8,10 +8,17 @@ costs no page access; a miss costs exactly one.
 The pool surfaces :class:`~repro.storage.pagefile.PageCorruptionError` from
 checksummed page files unchanged: a page that fails verification is never
 cached, so every retry re-reads (and re-verifies) the medium.
+
+All operations are guarded by an internal lock, so a pool shared by the
+concurrent workers of :class:`repro.service.QueryEngine` neither corrupts
+its LRU ordering nor double-fetches under contention.  (Page-access
+*attribution* stays per-thread through the stat shards of
+:mod:`repro.stats`; the lock only protects the cache structure.)
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from repro.storage.pagefile import PageFile
@@ -31,39 +38,52 @@ class BufferPool:
         self.pagefile = pagefile
         self.capacity = capacity
         self._cache: OrderedDict[int, bytes] = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
     def read_page(self, page_id: int) -> bytes:
         """Read through the cache; only misses reach the page file."""
-        if self.capacity and page_id in self._cache:
-            self._cache.move_to_end(page_id)
-            self.hits += 1
-            return self._cache[page_id]
-        data = self.pagefile.read_page(page_id)
-        self.misses += 1
-        if self.capacity:
-            self._cache[page_id] = data
-            if len(self._cache) > self.capacity:
-                self._cache.popitem(last=False)
-        return data
+        with self._lock:
+            if self.capacity and page_id in self._cache:
+                self._cache.move_to_end(page_id)
+                self.hits += 1
+                return self._cache[page_id]
+            data = self.pagefile.read_page(page_id)
+            self.misses += 1
+            if self.capacity:
+                self._cache[page_id] = data
+                if len(self._cache) > self.capacity:
+                    self._cache.popitem(last=False)
+            return data
 
     def write_page(self, page_id: int, data: bytes) -> None:
         """Write-through: the page file is updated and the cache refreshed."""
-        self.pagefile.write_page(page_id, data)
-        if self.capacity:
-            page_size = self.pagefile.page_size
-            if len(data) < page_size:
-                data = data + bytes(page_size - len(data))
-            self._cache[page_id] = data
-            self._cache.move_to_end(page_id)
-            if len(self._cache) > self.capacity:
-                self._cache.popitem(last=False)
+        with self._lock:
+            self.pagefile.write_page(page_id, data)
+            if self.capacity:
+                page_size = self.pagefile.page_size
+                if len(data) < page_size:
+                    data = data + bytes(page_size - len(data))
+                self._cache[page_id] = data
+                self._cache.move_to_end(page_id)
+                if len(self._cache) > self.capacity:
+                    self._cache.popitem(last=False)
 
-    def flush(self) -> None:
-        """Empty the pool (called before each query in Fig. 10's protocol)."""
-        self._cache.clear()
+    def flush(self, reset_stats: bool = False) -> None:
+        """Empty the pool (called before each query in Fig. 10's protocol).
+
+        ``reset_stats=True`` also restarts the hit/miss tallies, so a
+        flush-between-queries protocol measures each query on its own
+        instead of silently accumulating across the run.
+        """
+        with self._lock:
+            self._cache.clear()
+            if reset_stats:
+                self.hits = 0
+                self.misses = 0
 
     def reset_stats(self) -> None:
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self.hits = 0
+            self.misses = 0

@@ -123,7 +123,7 @@ class PageFile:
         the page's contents no longer match its trailer.
         """
         self._check(page_id)
-        self.counter.reads += 1
+        self.counter.count_read()
         data = self._pages[page_id]
         if self.checksums and zlib.crc32(data) != self._crcs[page_id]:
             raise PageCorruptionError(page_id, self.path)
@@ -136,7 +136,7 @@ class PageFile:
             raise ValueError(
                 f"data of {len(data)} bytes exceeds page size {self.page_size}"
             )
-        self.counter.writes += 1
+        self.counter.count_write()
         padded = data if len(data) == self.page_size else data + bytes(
             self.page_size - len(data)
         )

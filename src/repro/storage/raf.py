@@ -189,8 +189,8 @@ class RandomAccessFile:
                 yield offset, obj_id, self.serializer.deserialize(payload)
             offset += _HEADER.size + length
 
-    def flush_cache(self) -> None:
-        self.buffer_pool.flush()
+    def flush_cache(self, reset_stats: bool = False) -> None:
+        self.buffer_pool.flush(reset_stats=reset_stats)
 
     # ------------------------------------------------------------ lifecycle
 

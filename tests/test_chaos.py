@@ -1,0 +1,225 @@
+"""Chaos harness: concurrent mixed queries against a fault-injected store.
+
+The serving layer's whole contract is exercised at once here: N concurrent
+range/kNN/count queries — some unlimited, some budget-limited — run through
+the :class:`~repro.service.QueryEngine` over a store that injects transient
+I/O errors.  Every query must finish (no deadlock), and every result must be
+either complete-and-correct or flagged partial with sound contents.  Because
+the tree caches no pages (``cache_pages=0``) and a successful attempt is by
+construction fault-free (a faulted attempt retries with fresh counters),
+each query's per-context counters must *exactly* match a serial fault-free
+replay with the same limits — that is the counter-isolation guarantee.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.spbtree import SPBTree
+from repro.distance import EuclideanDistance
+from repro.service import QueryContext, QueryEngine
+from repro.storage.faults import FaultInjector
+
+
+def _pairs_key(items):
+    return [(d, repr(o)) for d, o in items]
+
+
+def _objs_key(items):
+    return [repr(o) for o in items]
+
+
+@pytest.fixture()
+def chaos_tree(small_vectors):
+    """A checksummed, cache-less tree whose RAF injects transient faults."""
+    tree = SPBTree.build(
+        small_vectors, EuclideanDistance(), seed=7, cache_pages=0, checksums=True
+    )
+    injector = FaultInjector(tree.raf.pagefile, seed=37, io_error_rate=0.01)
+    tree.raf.pagefile = injector
+    tree.raf.buffer_pool.pagefile = injector
+    yield tree, injector
+    tree.raf.pagefile = injector.inner
+    tree.raf.buffer_pool.pagefile = injector.inner
+
+
+@pytest.fixture()
+def clean_tree(small_vectors):
+    """An identical tree with no fault injection, for serial ground truth."""
+    return SPBTree.build(
+        small_vectors, EuclideanDistance(), seed=7, cache_pages=0, checksums=True
+    )
+
+
+def _workload(vectors):
+    """24 mixed queries: (kind, args, limits) — budgeted and unlimited."""
+    jobs = []
+    for i in range(8):
+        q = vectors[i * 17 % len(vectors)]
+        jobs.append(("range", (q, 0.6), {}))
+        jobs.append(("knn", (q, 5), {}))
+        jobs.append(("count", (q, 0.8), {}))
+    # Budget-limited variants: these must degrade identically every run.
+    for i, budget in enumerate((10, 25, 60)):
+        q = vectors[i * 31 % len(vectors)]
+        jobs[i * 3] = ("range", (q, 0.9), {"max_compdists": budget})
+        jobs[i * 3 + 1] = ("knn", (q, 8), {"max_compdists": budget})
+    return jobs
+
+
+class TestChaosHarness:
+    def test_concurrent_mixed_queries_survive_faults(
+        self, chaos_tree, clean_tree, small_vectors
+    ):
+        tree, injector = chaos_tree
+        jobs = _workload(small_vectors)
+        assert len(jobs) >= 8  # the acceptance floor for concurrency
+
+        with QueryEngine(
+            tree, workers=4, max_queue=len(jobs), retry_attempts=25,
+            retry_base_delay=0.001,
+        ) as engine:
+            pending = [
+                engine.submit(kind, *args, **limits)
+                for kind, args, limits in jobs
+            ]
+            # No deadlock: every handle resolves well within the timeout.
+            results = [p.result(timeout=120) for p in pending]
+
+        assert engine.served == len(jobs)
+        assert engine.failed == 0
+
+        # Every result is complete-and-correct or flagged-partial-and-sound,
+        # and its counters exactly match a serial fault-free replay.
+        for (kind, args, limits), pend, result in zip(jobs, pending, results):
+            ctx = QueryContext.with_limits(**limits)
+            if kind == "range":
+                serial = clean_tree.range_query(*args, context=ctx)
+                assert _objs_key(result) == _objs_key(serial)
+            elif kind == "knn":
+                serial = clean_tree.knn_query(*args, context=ctx)
+                assert _pairs_key(result) == _pairs_key(serial)
+            else:
+                serial = clean_tree.range_count(*args, context=ctx)
+                assert result.count == serial.count
+            assert result.complete == serial.complete
+            if not result.complete:
+                assert result.reason.kind == serial.reason.kind
+            # Exact counter isolation under concurrency.
+            assert pend.context.compdists == ctx.compdists
+            assert pend.context.page_accesses == ctx.page_accesses
+
+    def test_partial_results_remain_sound_under_faults(
+        self, chaos_tree, clean_tree, small_vectors
+    ):
+        """Budgeted kNN under faults still yields a prefix of the true
+        distances; budgeted range still yields verified hits."""
+        tree, _ = chaos_tree
+        q = small_vectors[5]
+        true_d = [d for d, _ in clean_tree.knn_query(q, 8)]
+        full_range = set(_objs_key(clean_tree.range_query(q, 0.9)))
+        metric = EuclideanDistance()
+        with QueryEngine(tree, workers=3, retry_attempts=25,
+                         retry_base_delay=0.001) as engine:
+            handles = []
+            for budget in (8, 15, 30, 60, 120):
+                handles.append(engine.submit("knn", q, 8, max_compdists=budget))
+                handles.append(engine.submit("range", q, 0.9, max_compdists=budget))
+            for i, pend in enumerate(handles):
+                result = pend.result(timeout=120)
+                if i % 2 == 0:  # knn
+                    got = [d for d, _ in result]
+                    assert got == true_d[: len(got)]
+                else:  # range
+                    for obj in result:
+                        assert metric(q, obj) <= 0.9
+                        assert repr(obj) in full_range
+
+    def test_no_deadlock_on_engine_stop_with_queued_work(
+        self, chaos_tree, small_vectors
+    ):
+        """stop() drains queued queries and joins all workers."""
+        tree, _ = chaos_tree
+        engine = QueryEngine(tree, workers=2, max_queue=16,
+                             retry_attempts=25, retry_base_delay=0.001).start()
+        pending = [
+            engine.submit("count", small_vectors[i], 0.5) for i in range(6)
+        ]
+        engine.stop(wait=True)
+        for p in pending:
+            assert p.done
+            p.result(timeout=1)  # must not raise
+
+
+class TestCounterIsolation:
+    """Satellite: interleaved queries on two raw threads account their own
+    compdists / page accesses exactly (no engine involved)."""
+
+    def test_two_threads_match_serial_counters(self, clean_tree, small_vectors):
+        tree = clean_tree
+        q_range, q_knn = small_vectors[3], small_vectors[11]
+        rounds = 5
+
+        # Serial ground truth, one context per query.
+        serial_range = [QueryContext() for _ in range(rounds)]
+        serial_knn = [QueryContext() for _ in range(rounds)]
+        range_truth = [
+            _objs_key(tree.range_query(q_range, 0.7, context=c))
+            for c in serial_range
+        ]
+        knn_truth = [
+            _pairs_key(tree.knn_query(q_knn, 6, context=c)) for c in serial_knn
+        ]
+
+        barrier = threading.Barrier(2)
+        thread_range = [QueryContext() for _ in range(rounds)]
+        thread_knn = [QueryContext() for _ in range(rounds)]
+        out: dict = {}
+        errors: list = []
+
+        def run(name, fn):
+            try:
+                barrier.wait(timeout=30)
+                out[name] = fn()
+            except BaseException as exc:  # noqa: BLE001 — surfaced below
+                errors.append(exc)
+
+        t1 = threading.Thread(
+            target=run,
+            args=(
+                "range",
+                lambda: [
+                    _objs_key(tree.range_query(q_range, 0.7, context=c))
+                    for c in thread_range
+                ],
+            ),
+        )
+        t2 = threading.Thread(
+            target=run,
+            args=(
+                "knn",
+                lambda: [
+                    _pairs_key(tree.knn_query(q_knn, 6, context=c))
+                    for c in thread_knn
+                ],
+            ),
+        )
+        t1.start(), t2.start()
+        t1.join(timeout=60), t2.join(timeout=60)
+        assert not t1.is_alive() and not t2.is_alive()
+        assert not errors
+
+        assert out["range"] == range_truth
+        assert out["knn"] == knn_truth
+        for got, want in zip(thread_range, serial_range):
+            assert (got.compdists, got.page_accesses) == (
+                want.compdists,
+                want.page_accesses,
+            )
+        for got, want in zip(thread_knn, serial_knn):
+            assert (got.compdists, got.page_accesses) == (
+                want.compdists,
+                want.page_accesses,
+            )

@@ -53,3 +53,80 @@ class TestCli:
         assert result.returncode == 0, result.stderr
         for method in ("SPB-tree", "M-tree", "OmniR-tree", "M-Index"):
             assert method in result.stdout
+
+    def test_query_complete(self):
+        result = run_cli(
+            "query", "--dataset", "words", "--size", "300",
+            "--mode", "knn", "--k", "3",
+        )
+        assert result.returncode == 0, result.stderr
+        assert "kNN(q, 3)" in result.stdout
+        assert "status    : complete" in result.stdout
+        assert "spent" in result.stdout
+
+    def test_query_partial_on_budget(self):
+        result = run_cli(
+            "query", "--dataset", "words", "--size", "300",
+            "--mode", "knn", "--k", "8", "--max-compdists", "10",
+        )
+        assert result.returncode == 0, result.stderr
+        assert "PARTIAL" in result.stdout
+        assert "compdists budget exceeded" in result.stdout
+
+    def test_query_strict_exits_nonzero(self):
+        result = run_cli(
+            "query", "--dataset", "words", "--size", "300",
+            "--mode", "range", "--radius", "3",
+            "--max-compdists", "10", "--strict",
+        )
+        assert result.returncode == 1
+        assert "query aborted (strict)" in result.stderr
+
+    def test_serve(self):
+        result = run_cli(
+            "serve", "--dataset", "words", "--size", "300",
+            "--num-queries", "9", "--workers", "2", "--queue-size", "4",
+        )
+        assert result.returncode == 0, result.stderr
+        assert "served 9 queries" in result.stdout
+        assert "failures  : 0" in result.stdout
+
+
+@pytest.mark.slow
+class TestCliVerifySalvage:
+    """Satellite: verify/salvage must exit non-zero with a one-line
+    stderr summary when the index is damaged."""
+
+    def _build_index(self, tmp_path):
+        out = str(tmp_path / "idx")
+        result = run_cli(
+            "build", "--dataset", "words", "--size", "300", "--out", out
+        )
+        assert result.returncode == 0, result.stderr
+        return out
+
+    def test_verify_ok(self, tmp_path):
+        out = self._build_index(tmp_path)
+        result = run_cli("verify", "--dir", out)
+        assert result.returncode == 0, result.stderr
+        assert result.stderr == ""
+
+    def test_verify_detects_corruption(self, tmp_path):
+        out = self._build_index(tmp_path)
+        raf = tmp_path / "idx" / "raf.1.pages"
+        data = bytearray(raf.read_bytes())
+        data[600] ^= 0xFF  # one flipped byte in a stored object page
+        raf.write_bytes(bytes(data))
+        result = run_cli("verify", "--dir", out)
+        assert result.returncode == 1
+        summary = [line for line in result.stderr.splitlines() if line]
+        assert len(summary) == 1
+        assert summary[0].startswith("verify: FAILED — ")
+
+    def test_salvage_failure_is_one_stderr_line(self, tmp_path):
+        missing = str(tmp_path / "nope")
+        result = run_cli("salvage", "--dir", missing, "--metric", "edit")
+        assert result.returncode == 1
+        summary = [line for line in result.stderr.splitlines() if line]
+        assert len(summary) == 1
+        assert summary[0].startswith("salvage: FAILED — ")

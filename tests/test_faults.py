@@ -157,3 +157,75 @@ class TestFaultInjectorAsPageFile:
             FaultInjector(torn_write_rate=1.5)
         with pytest.raises(ValueError):
             retry_io(lambda: 1, attempts=0)
+
+
+class TestRetryBackoffSchedule:
+    """Satellite: pin the exact retry_io backoff contract so the engine's
+    retry loop (repro.service.engine) stays predictable."""
+
+    def test_exponential_schedule_with_cap(self):
+        sleeps = []
+        calls = []
+
+        def always_fails():
+            calls.append(1)
+            raise TransientIOError("nope")
+
+        with pytest.raises(TransientIOError):
+            retry_io(
+                always_fails,
+                attempts=8,
+                base_delay=0.01,
+                max_delay=0.05,
+                sleep=sleeps.append,
+            )
+        # attempts bounds the total number of calls …
+        assert len(calls) == 8
+        # … with one sleep between consecutive attempts, doubling from
+        # base_delay and capped at max_delay.
+        assert sleeps == [0.01, 0.02, 0.04, 0.05, 0.05, 0.05, 0.05]
+
+    def test_no_sleep_after_final_failure(self):
+        sleeps = []
+        with pytest.raises(TransientIOError):
+            retry_io(
+                lambda: (_ for _ in ()).throw(TransientIOError("x")),
+                attempts=3,
+                base_delay=0.5,
+                sleep=sleeps.append,
+            )
+        assert len(sleeps) == 2  # never sleeps when it will not retry again
+
+    def test_success_stops_retrying(self):
+        sleeps = []
+        state = {"left": 2}
+
+        def flaky():
+            if state["left"]:
+                state["left"] -= 1
+                raise TransientIOError("transient")
+            return "done"
+
+        assert retry_io(flaky, attempts=5, base_delay=0.01,
+                        sleep=sleeps.append) == "done"
+        assert sleeps == [0.01, 0.02]
+
+    def test_last_exception_is_reraised(self):
+        errors = [TransientIOError("first"), TransientIOError("second")]
+
+        def fails_twice():
+            raise errors.pop(0)
+
+        with pytest.raises(TransientIOError, match="second"):
+            retry_io(fails_twice, attempts=2, sleep=lambda _: None)
+
+    def test_non_retryable_propagates_immediately(self):
+        calls = []
+
+        def crashes():
+            calls.append(1)
+            raise SimulatedCrash("died")
+
+        with pytest.raises(SimulatedCrash):
+            retry_io(crashes, attempts=5, sleep=lambda _: None)
+        assert len(calls) == 1

@@ -1,0 +1,387 @@
+"""Tests for the query-serving robustness layer (repro.service)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.join import similarity_join
+from repro.core.spbtree import SPBTree
+from repro.distance import EditDistance, EuclideanDistance
+from repro.service import (
+    BudgetExceeded,
+    CancelToken,
+    Overloaded,
+    QueryCancelled,
+    QueryContext,
+    QueryEngine,
+    QueryResult,
+)
+from repro.storage.faults import FaultInjector
+
+
+@pytest.fixture(scope="module")
+def word_tree(small_words):
+    return SPBTree.build(small_words, EditDistance(), seed=7), small_words
+
+
+class TestQueryContext:
+    def test_no_limits_never_exhausts(self):
+        ctx = QueryContext()
+        ctx.compdists = 10**9
+        ctx.page_accesses = 10**9
+        assert ctx.exhausted() is None
+
+    def test_budget_is_inclusive(self):
+        ctx = QueryContext(max_compdists=5)
+        ctx.compdists = 5
+        assert ctx.exhausted() is None
+        ctx.compdists = 6
+        reason = ctx.exhausted()
+        assert reason is not None and reason.kind == "compdists"
+        assert reason.limit == 5 and reason.spent == 6
+
+    def test_page_budget(self):
+        ctx = QueryContext(max_page_accesses=3)
+        ctx.page_accesses = 4
+        assert ctx.exhausted().kind == "page_accesses"
+
+    def test_deadline(self):
+        ctx = QueryContext.with_limits(deadline_ms=0.0)
+        time.sleep(0.002)
+        assert ctx.exhausted().kind == "deadline"
+
+    def test_cancellation(self):
+        token = CancelToken()
+        ctx = QueryContext(cancel_token=token)
+        assert ctx.exhausted() is None
+        token.cancel()
+        assert ctx.exhausted().kind == "cancelled"
+
+    def test_shard_attribution_is_per_thread(self, small_words):
+        tree = SPBTree.build(small_words, EditDistance(), seed=7)
+        ctx = QueryContext()
+        before = tree.distance_computations
+        with ctx.activate():
+            tree.range_query(small_words[0], 1)
+        # Everything the query spent was credited to the context as well.
+        assert ctx.compdists == tree.distance_computations - before
+        assert ctx.compdists > 0
+        assert ctx.page_accesses > 0
+
+
+class TestQueryResultContract:
+    def test_no_context_returns_plain_list(self, word_tree):
+        tree, words = word_tree
+        out = tree.range_query(words[0], 1)
+        assert isinstance(out, list) and not isinstance(out, QueryResult)
+        out = tree.knn_query(words[0], 3)
+        assert isinstance(out, list)
+        assert isinstance(tree.range_count(words[0], 1), int)
+
+    def test_unlimited_context_matches_plain(self, word_tree):
+        tree, words = word_tree
+        q = words[1]
+        plain_range = tree.range_query(q, 2)
+        plain_knn = tree.knn_query(q, 5)
+        plain_count = tree.range_count(q, 2)
+        ctx = QueryContext()
+        r = tree.range_query(q, 2, context=ctx)
+        assert isinstance(r, QueryResult) and r.complete and r.reason is None
+        assert list(r) == plain_range
+        k = tree.knn_query(q, 5, context=QueryContext())
+        assert k.complete and list(k) == plain_knn
+        c = tree.range_count(q, 2, context=QueryContext())
+        assert c.complete and c.count == plain_count
+
+    def test_context_counters_match_global_deltas(self, word_tree):
+        tree, words = word_tree
+        q = words[2]
+        ctx = QueryContext()
+        pa0, dc0 = tree.page_accesses, tree.distance_computations
+        tree.knn_query(q, 4, context=ctx)
+        assert ctx.compdists == tree.distance_computations - dc0
+        assert ctx.page_accesses == tree.page_accesses - pa0
+
+    def test_sequence_protocol(self):
+        r = QueryResult([("a", 1), ("b", 2)])
+        assert len(r) == 2
+        assert r[0] == ("a", 1)
+        assert list(r) == [("a", 1), ("b", 2)]
+        assert r == [("a", 1), ("b", 2)]
+        assert "partial" not in repr(r)
+
+
+class TestGracefulDegradation:
+    def test_knn_partial_is_prefix_of_true_distances(self, word_tree):
+        tree, words = word_tree
+        q = words[3]
+        k = 10
+        true_d = [d for d, _ in tree.knn_query(q, k)]
+        saw_partial = False
+        for budget in (6, 12, 25, 50, 100, 200, 400):
+            ctx = QueryContext(max_compdists=budget)
+            result = tree.knn_query(q, k, context=ctx)
+            assert len(result) <= k
+            got = [d for d, _ in result]
+            if not result.complete:
+                saw_partial = True
+                assert result.reason.kind == "compdists"
+            # Complete or not, the distances must be a prefix of the truth.
+            assert got == true_d[: len(got)]
+        assert saw_partial
+
+    def test_knn_partial_under_page_budget(self, word_tree):
+        tree, words = word_tree
+        q = words[4]
+        true_d = [d for d, _ in tree.knn_query(q, 8)]
+        ctx = QueryContext(max_page_accesses=2)
+        result = tree.knn_query(q, 8, context=ctx)
+        got = [d for d, _ in result]
+        assert got == true_d[: len(got)]
+
+    def test_range_partial_hits_are_verified_subset(self, word_tree):
+        tree, words = word_tree
+        q = words[5]
+        full = tree.range_query(q, 3)
+        ctx = QueryContext(max_compdists=15)
+        result = tree.range_query(q, 3, context=ctx)
+        assert not result.complete
+        assert result.reason.kind == "compdists"
+        metric = EditDistance()
+        for obj in result:
+            assert metric(q, obj) <= 3
+            assert obj in full
+
+    def test_count_partial_is_lower_bound(self, word_tree):
+        tree, words = word_tree
+        q = words[6]
+        full = tree.range_count(q, 3)
+        ctx = QueryContext(max_compdists=10)
+        result = tree.range_count(q, 3, context=ctx)
+        assert not result.complete
+        assert 0 <= result.count <= full
+
+    def test_strict_mode_raises(self, word_tree):
+        tree, words = word_tree
+        ctx = QueryContext(max_compdists=5, strict=True)
+        with pytest.raises(BudgetExceeded) as exc_info:
+            tree.knn_query(words[0], 5, context=ctx)
+        assert exc_info.value.reason.kind == "compdists"
+        with pytest.raises(BudgetExceeded):
+            tree.range_query(
+                words[0], 2, context=QueryContext(max_compdists=5, strict=True)
+            )
+
+    def test_cancellation_mid_query(self, word_tree):
+        tree, words = word_tree
+        token = CancelToken()
+        token.cancel()  # cancelled before it starts: nothing gets done
+        ctx = QueryContext(cancel_token=token)
+        result = tree.knn_query(words[0], 5, context=ctx)
+        assert not result.complete
+        assert result.reason.kind == "cancelled"
+        assert len(result) == 0
+
+    def test_cancellation_strict_raises(self, word_tree):
+        tree, words = word_tree
+        token = CancelToken()
+        token.cancel()
+        ctx = QueryContext(cancel_token=token, strict=True)
+        with pytest.raises(QueryCancelled):
+            tree.range_query(words[0], 2, context=ctx)
+
+    def test_deadline_degrades_not_raises(self, word_tree):
+        tree, words = word_tree
+        ctx = QueryContext.with_limits(deadline_ms=0.0)
+        result = tree.knn_query(words[0], 5, context=ctx)
+        assert not result.complete
+        assert result.reason.kind == "deadline"
+
+
+class TestJoinDegradation:
+    @pytest.fixture(scope="class")
+    def join_trees(self, small_words):
+        half = len(small_words) // 2
+        set_q, set_o = small_words[:half], small_words[half:]
+        metric = EditDistance()
+        tree_o = SPBTree.build(set_o, metric, curve="z", seed=7)
+        tree_q = SPBTree.build(
+            set_q,
+            metric,
+            curve="z",
+            pivots=tree_o.space.pivots,
+            d_plus=tree_o.space.d_plus,
+            delta=tree_o.space.delta,
+            seed=7,
+        )
+        return tree_q, tree_o
+
+    def test_unlimited_context_matches_plain(self, join_trees):
+        tree_q, tree_o = join_trees
+        plain = similarity_join(tree_q, tree_o, 2.0)
+        ctx = QueryContext()
+        with_ctx = similarity_join(tree_q, tree_o, 2.0, context=ctx)
+        assert with_ctx.complete
+        assert sorted(map(repr, with_ctx.pairs)) == sorted(map(repr, plain.pairs))
+        assert ctx.compdists > 0
+
+    def test_budget_partial_pairs_are_correct_subset(self, join_trees):
+        tree_q, tree_o = join_trees
+        plain = similarity_join(tree_q, tree_o, 2.0)
+        ctx = QueryContext(max_compdists=plain.stats.distance_computations // 3)
+        partial = similarity_join(tree_q, tree_o, 2.0, context=ctx)
+        assert not partial.complete
+        assert partial.reason.kind == "compdists"
+        assert len(partial.pairs) <= len(plain.pairs)
+        all_pairs = {(repr(a), repr(b)) for a, b in plain.pairs}
+        for a, b in partial.pairs:
+            assert (repr(a), repr(b)) in all_pairs
+
+    def test_strict_mode_raises(self, join_trees):
+        tree_q, tree_o = join_trees
+        ctx = QueryContext(max_compdists=1, strict=True)
+        with pytest.raises(BudgetExceeded):
+            similarity_join(tree_q, tree_o, 2.0, context=ctx)
+
+
+def _same_pairs(got, expected):
+    """Compare (distance, object) lists where objects may be numpy arrays."""
+    assert len(got) == len(expected)
+    for (d1, o1), (d2, o2) in zip(got, expected):
+        assert d1 == d2 and repr(o1) == repr(o2)
+
+
+def _same_objects(got, expected):
+    assert [repr(o) for o in got] == [repr(o) for o in expected]
+
+
+class _GatedMetric(EuclideanDistance):
+    """A metric that can be made to block, for backpressure tests."""
+
+    def __init__(self):
+        super().__init__()
+        self.gate = threading.Event()
+        self.gate.set()
+
+    def __call__(self, a, b):
+        self.gate.wait(timeout=30)
+        return super().__call__(a, b)
+
+
+class TestQueryEngine:
+    def test_submit_requires_started_engine(self, small_vectors):
+        tree = SPBTree.build(small_vectors, EuclideanDistance(), seed=7)
+        engine = QueryEngine(tree)
+        with pytest.raises(RuntimeError):
+            engine.submit("range", small_vectors[0], 0.5)
+
+    def test_basic_serving(self, small_vectors):
+        tree = SPBTree.build(small_vectors, EuclideanDistance(), seed=7)
+        expected = tree.knn_query(small_vectors[0], 4)
+        with QueryEngine(tree, workers=2) as engine:
+            result = engine.knn(small_vectors[0], 4)
+            assert result.complete
+            _same_pairs(list(result), expected)
+            assert engine.served == 1 and engine.failed == 0
+
+    def test_mixed_kinds(self, small_vectors):
+        tree = SPBTree.build(small_vectors, EuclideanDistance(), seed=7)
+        q = small_vectors[1]
+        with QueryEngine(tree, workers=3) as engine:
+            r = engine.range(q, 0.5)
+            k = engine.knn(q, 3)
+            c = engine.count(q, 0.5)
+        _same_objects(list(r), tree.range_query(q, 0.5))
+        _same_pairs(list(k), tree.knn_query(q, 3))
+        assert c.count == tree.range_count(q, 0.5)
+
+    def test_per_query_budgets_degrade(self, small_vectors):
+        tree = SPBTree.build(small_vectors, EuclideanDistance(), seed=7)
+        with QueryEngine(tree, workers=2) as engine:
+            result = engine.knn(small_vectors[0], 8, max_compdists=10)
+            assert not result.complete
+            assert engine.degraded == 1
+
+    def test_overloaded_rejection(self, small_vectors):
+        metric = _GatedMetric()
+        tree = SPBTree.build(small_vectors, metric, seed=7)
+        metric.gate.clear()  # every query now blocks inside the metric
+        engine = QueryEngine(tree, workers=1, max_queue=2).start()
+        try:
+            held = [engine.submit("knn", small_vectors[0], 2)]
+            deadline = time.monotonic() + 5
+            # Fill the worker plus the whole queue, then expect rejection.
+            with pytest.raises(Overloaded):
+                while time.monotonic() < deadline:
+                    held.append(engine.submit("knn", small_vectors[0], 2))
+            assert engine.rejected >= 1
+        finally:
+            metric.gate.set()
+            for pending in held:
+                pending.result(timeout=30)
+            engine.stop()
+
+    def test_cancel_pending_query(self, small_vectors):
+        metric = _GatedMetric()
+        tree = SPBTree.build(small_vectors, metric, seed=7)
+        metric.gate.clear()
+        engine = QueryEngine(tree, workers=1, max_queue=4).start()
+        try:
+            pending = engine.submit("knn", small_vectors[0], 4)
+            pending.cancel()
+            metric.gate.set()
+            result = pending.result(timeout=30)
+            assert not result.complete
+            assert result.reason.kind == "cancelled"
+        finally:
+            metric.gate.set()
+            engine.stop()
+
+    def test_transient_faults_are_retried(self, small_vectors):
+        tree = SPBTree.build(
+            small_vectors, EuclideanDistance(), seed=7,
+            cache_pages=0, checksums=True,
+        )
+        q = small_vectors[2]
+        expected = tree.knn_query(q, 4)
+        injector = FaultInjector(tree.raf.pagefile, seed=11, io_error_rate=0.02)
+        tree.raf.pagefile = injector
+        tree.raf.buffer_pool.pagefile = injector
+        try:
+            with QueryEngine(tree, workers=2, retry_attempts=8,
+                             retry_base_delay=0.001) as engine:
+                for _ in range(5):
+                    result = engine.knn(q, 4)
+                    assert result.complete
+                    _same_pairs(list(result), expected)
+            assert injector.injected["io_error"] > 0
+        finally:
+            tree.raf.pagefile = injector.inner
+            tree.raf.buffer_pool.pagefile = injector.inner
+
+    def test_retry_reports_clean_attempt_counters(self, small_vectors):
+        """A retried query's counters match a fault-free run of the same
+        query (fresh per attempt), with caching disabled for determinism."""
+        tree = SPBTree.build(
+            small_vectors, EuclideanDistance(), seed=7, cache_pages=0
+        )
+        q = small_vectors[3]
+        clean_ctx = QueryContext()
+        tree.knn_query(q, 4, context=clean_ctx)
+        injector = FaultInjector(tree.raf.pagefile, seed=2, io_error_rate=0.05)
+        tree.raf.pagefile = injector
+        tree.raf.buffer_pool.pagefile = injector
+        try:
+            with QueryEngine(tree, workers=1, retry_attempts=10,
+                             retry_base_delay=0.001) as engine:
+                pending = engine.submit("knn", q, 4)
+                result = pending.result(timeout=60)
+                assert result.complete
+                assert pending.context.compdists == clean_ctx.compdists
+                assert pending.context.page_accesses == clean_ctx.page_accesses
+        finally:
+            tree.raf.pagefile = injector.inner
+            tree.raf.buffer_pool.pagefile = injector.inner

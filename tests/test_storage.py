@@ -130,6 +130,30 @@ class TestBufferPool:
         pool.read_page(pid)
         assert pf.counter.reads == before + 1
 
+    def test_flush_keeps_stats_by_default(self):
+        pf = PageFile(page_size=64)
+        pool = BufferPool(pf, capacity=4)
+        pid = pf.allocate()
+        pf.write_page(pid, b"x")
+        pool.read_page(pid)  # miss
+        pool.read_page(pid)  # hit
+        pool.flush()
+        assert (pool.hits, pool.misses) == (1, 1)
+
+    def test_flush_reset_stats(self):
+        """Satellite: flush(reset_stats=True) restarts the hit/miss tallies,
+        so a flush-between-queries protocol measures each query alone."""
+        pf = PageFile(page_size=64)
+        pool = BufferPool(pf, capacity=4)
+        pid = pf.allocate()
+        pf.write_page(pid, b"x")
+        pool.read_page(pid)
+        pool.read_page(pid)
+        pool.flush(reset_stats=True)
+        assert (pool.hits, pool.misses) == (0, 0)
+        pool.read_page(pid)  # cache emptied: a miss again
+        assert (pool.hits, pool.misses) == (0, 1)
+
 
 class TestSerializers:
     def test_string_round_trip(self):
