@@ -29,6 +29,7 @@ from repro.core import (
     CostModel,
     knn_join,
     load_tree,
+    open_tree,
     save_tree,
     similarity_self_join,
     PivotSpace,
@@ -64,6 +65,7 @@ from repro.recovery import SalvageReport, salvage_tree
 from repro.service import (
     BudgetExceeded,
     CancelToken,
+    EpochLock,
     ExhaustionReason,
     Overloaded,
     QueryCancelled,
@@ -76,6 +78,7 @@ from repro.storage import (
     PageCorruptionError,
     SimulatedCrash,
     TransientIOError,
+    WriteAheadLog,
     retry_io,
 )
 
@@ -92,6 +95,7 @@ __all__ = [
     "knn_join",
     "save_tree",
     "load_tree",
+    "open_tree",
     "select_pivots",
     "pivot_set_precision",
     "intrinsic_dimensionality",
@@ -123,7 +127,9 @@ __all__ = [
     "retry_io",
     "salvage_tree",
     "SalvageReport",
+    "WriteAheadLog",
     # serving & degradation
+    "EpochLock",
     "QueryContext",
     "QueryResult",
     "QueryEngine",

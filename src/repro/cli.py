@@ -8,6 +8,10 @@
     python -m repro.cli build     --dataset words --out ./index
     python -m repro.cli verify    --dir ./index
     python -m repro.cli salvage   --dir ./index --out ./recovered
+    python -m repro.cli insert    --dir ./index --object defoliate
+    python -m repro.cli delete    --dir ./index --object defoliate
+    python -m repro.cli log-stats --dir ./index
+    python -m repro.cli checkpoint --dir ./index
 
 ``info`` prints dataset statistics (intrinsic dimensionality, d+, pivot-set
 precision); ``range``/``knn`` build an SPB-tree and run one query with cost
@@ -16,6 +20,12 @@ runs the same kNN query on all four access methods; ``build`` saves an
 index directory; ``verify`` audits a saved index for corruption (exit code
 1 when damage is found); ``salvage`` rebuilds a consistent index from
 whatever records survive in a damaged directory.
+
+Incremental writes: ``insert``/``delete`` open a saved index with its
+write-ahead log and apply one durable mutation; ``log-stats`` inspects the
+log without loading the index; ``checkpoint`` folds the log into a fresh
+on-disk generation.  ``serve --mutations N`` mixes concurrent writes into
+the query workload.
 """
 
 from __future__ import annotations
@@ -31,7 +41,7 @@ from typing import Optional, Sequence
 from repro.baselines import MIndex, MTree, OmniRTree
 from repro.core.costmodel import CostModel
 from repro.core.join import similarity_join
-from repro.core.persist import load_tree, save_tree
+from repro.core.persist import load_tree, open_tree, save_tree
 from repro.core.pivots import (
     intrinsic_dimensionality,
     pivot_set_precision,
@@ -318,6 +328,16 @@ def cmd_serve(args: argparse.Namespace) -> None:
     if dataset.metric.is_discrete:
         radius = max(1.0, round(radius))
     kinds = ["range", "knn", "count"]
+    ops = []
+    for i, q in enumerate(queries):
+        kind = kinds[i % len(kinds)]
+        ops.append((kind, (q, args.k) if kind == "knn" else (q, radius)))
+    rng = random.Random(args.seed)
+    for j in range(args.mutations):
+        # Writers churn existing objects: re-insert a copy, then delete one.
+        obj = dataset.objects[rng.randrange(len(dataset.objects))]
+        ops.append(("insert" if j % 2 == 0 else "delete", (obj,)))
+    rng.shuffle(ops)
     t0 = time.perf_counter()
     partial = 0
     with QueryEngine(
@@ -327,29 +347,29 @@ def cmd_serve(args: argparse.Namespace) -> None:
         **{f"default_{k}": v for k, v in _limits(args).items()},
     ) as engine:
         pending = []
-        for i, q in enumerate(queries):
-            kind = kinds[i % len(kinds)]
-            query_args = (q, args.k) if kind == "knn" else (q, radius)
+        for kind, op_args in ops:
             while True:
                 try:
-                    pending.append(engine.submit(kind, *query_args))
+                    pending.append(engine.submit(kind, *op_args))
                     break
                 except Overloaded:
                     # Backpressure: wait for the queue to drain a little.
                     time.sleep(0.005)
         for p in pending:
             result = p.result()
-            if not result.complete:
+            if not getattr(result, "complete", True):
                 partial += 1
         elapsed = time.perf_counter() - t0
         print(
-            f"\nserved {engine.served} queries ({n} submitted) with "
-            f"{args.workers} workers in {elapsed:.2f}s "
-            f"({n / elapsed:.0f} q/s)"
+            f"\nserved {engine.served} operations ({len(ops)} submitted) "
+            f"with {args.workers} workers in {elapsed:.2f}s "
+            f"({len(ops) / elapsed:.0f} ops/s)"
         )
         print(
-            f"complete  : {engine.served - partial}\n"
+            f"complete  : {engine.served - partial - engine.mutated}\n"
             f"partial   : {partial}\n"
+            f"mutations : {engine.mutated} "
+            f"(tree now holds {tree.object_count:,} objects)\n"
             f"rejections: {engine.rejected} (resubmitted after backpressure)\n"
             f"failures  : {engine.failed}"
         )
@@ -378,6 +398,105 @@ def cmd_verify(args: argparse.Namespace) -> None:
             file=sys.stderr,
         )
         raise SystemExit(1)
+
+
+def _parse_object(directory: str, value: str):
+    """Parse a command-line object literal per the catalog's serializer."""
+    try:
+        with open(os.path.join(directory, "spbtree.json")) as fh:
+            name = json.load(fh).get("serializer")
+    except (OSError, ValueError):
+        name = None
+    if name in (None, "string"):
+        return value
+    if name in ("vector-f64", "vector-u8"):
+        cast = float if name == "vector-f64" else int
+        try:
+            return tuple(cast(part) for part in value.split(","))
+        except ValueError as exc:
+            raise SystemExit(
+                f"error: cannot parse {value!r} as a {name} vector "
+                f"(expected comma-separated numbers)"
+            ) from exc
+    if name == "bytes":
+        return value.encode("utf-8")
+    raise SystemExit(
+        f"error: objects stored with serializer {name!r} cannot be expressed "
+        f"on the command line; use the library API (repro.open_tree)"
+    )
+
+
+def cmd_insert(args: argparse.Namespace) -> None:
+    metric = _directory_metric(args.dir, args.metric)
+    obj = _parse_object(args.dir, args.object)
+    tree = open_tree(args.dir, metric)
+    try:
+        tree.insert(obj)
+        print(
+            f"inserted {obj!r} (index now holds {tree.object_count:,} objects; "
+            f"WAL holds {tree.wal.record_count} records)"
+        )
+    finally:
+        tree.wal.close()
+
+
+def cmd_delete(args: argparse.Namespace) -> None:
+    metric = _directory_metric(args.dir, args.metric)
+    obj = _parse_object(args.dir, args.object)
+    tree = open_tree(args.dir, metric)
+    try:
+        if not tree.delete(obj):
+            print(f"not found: {obj!r}", file=sys.stderr)
+            raise SystemExit(1)
+        print(
+            f"deleted {obj!r} (index now holds {tree.object_count:,} objects; "
+            f"WAL holds {tree.wal.record_count} records)"
+        )
+    finally:
+        tree.wal.close()
+
+
+def cmd_checkpoint(args: argparse.Namespace) -> None:
+    metric = _directory_metric(args.dir, args.metric)
+    tree = open_tree(args.dir, metric)
+    try:
+        folded = tree.wal.record_count
+        generation = tree.checkpoint()
+        print(
+            f"checkpoint: folded {folded} WAL records into generation "
+            f"{generation} ({tree.object_count:,} objects)"
+        )
+    finally:
+        tree.wal.close()
+
+
+def cmd_log_stats(args: argparse.Namespace) -> None:
+    from repro.storage.wal import OP_INSERT, WAL_FILE, scan_wal
+
+    path = os.path.join(args.dir, WAL_FILE)
+    if not os.path.exists(path):
+        print("no write-ahead log (index is checkpoint-only)")
+        return
+    header, records, valid_end, torn = scan_wal(path)
+    size = os.path.getsize(path)
+    inserts = sum(1 for r in records if r.op == OP_INSERT)
+    print(f"WAL       : {path}")
+    print(f"size      : {size:,} bytes ({valid_end:,} valid)")
+    if torn:
+        print(f"torn tail : yes — {size - valid_end:,} bytes beyond the last "
+              f"intact frame will be dropped on open")
+    else:
+        print("torn tail : no")
+    if header is None:
+        print("header    : missing (log never started)")
+    else:
+        print(
+            f"base      : generation {header.base_generation} "
+            f"({header.base_object_count:,} objects, "
+            f"next id {header.base_next_id})"
+        )
+    print(f"records   : {len(records)} ({inserts} inserts, "
+          f"{len(records) - inserts} deletes)")
 
 
 def cmd_salvage(args: argparse.Namespace) -> None:
@@ -464,6 +583,10 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     p_serve.add_argument("--queue-size", type=int, default=16)
     p_serve.add_argument("--k", type=int, default=8)
     p_serve.add_argument("--radius-percent", type=float, default=8.0)
+    p_serve.add_argument(
+        "--mutations", type=int, default=0,
+        help="number of concurrent insert/delete operations to mix in",
+    )
     _add_limits(p_serve)
     p_serve.set_defaults(fn=cmd_serve)
 
@@ -485,6 +608,44 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         help="skip per-object SFC key re-verification",
     )
     p_verify.set_defaults(fn=cmd_verify)
+
+    def _index_dir_parser(name: str, help_text: str) -> argparse.ArgumentParser:
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--dir", required=True, help="index directory")
+        p.add_argument(
+            "--metric", default=None,
+            help="metric name override (default: the catalog's metric_name)",
+        )
+        return p
+
+    p_insert = _index_dir_parser(
+        "insert", "durably insert one object into a saved index"
+    )
+    p_insert.add_argument(
+        "--object", required=True,
+        help="the object (string, or comma-separated numbers for vectors)",
+    )
+    p_insert.set_defaults(fn=cmd_insert)
+
+    p_delete = _index_dir_parser(
+        "delete", "durably delete one object from a saved index"
+    )
+    p_delete.add_argument(
+        "--object", required=True,
+        help="the object (string, or comma-separated numbers for vectors)",
+    )
+    p_delete.set_defaults(fn=cmd_delete)
+
+    p_ckpt = _index_dir_parser(
+        "checkpoint", "fold the write-ahead log into a new on-disk generation"
+    )
+    p_ckpt.set_defaults(fn=cmd_checkpoint)
+
+    p_log = sub.add_parser(
+        "log-stats", help="inspect an index's write-ahead log"
+    )
+    p_log.add_argument("--dir", required=True, help="index directory")
+    p_log.set_defaults(fn=cmd_log_stats)
 
     p_salvage = sub.add_parser(
         "salvage", help="rebuild a consistent index from a damaged directory"

@@ -8,7 +8,7 @@ from repro.core.join import (
     similarity_self_join,
 )
 from repro.core.mapping import PivotSpace
-from repro.core.persist import load_tree, save_tree
+from repro.core.persist import load_tree, open_tree, save_tree
 from repro.core.pivots import (
     intrinsic_dimensionality,
     pivot_set_precision,
@@ -33,6 +33,7 @@ __all__ = [
     "knn_join",
     "save_tree",
     "load_tree",
+    "open_tree",
     "select_pivots",
     "select_hfi",
     "select_hf",

@@ -31,6 +31,16 @@ the process dies between any two writes.  ``save_tree`` therefore:
 directories (fixed file names, no digests).  A ``FaultInjector`` may be
 passed to ``save_tree`` to place a simulated crash at any page-write or
 rename boundary; the crash-consistency tests exercise every one.
+
+Incremental durability.  A directory may also hold a write-ahead log
+(``wal.log``, see :mod:`repro.storage.wal`) of mutations made since the
+catalog's generation was committed.  ``load_tree`` replays a live WAL —
+one whose header binds it to the loaded generation — on top of the loaded
+state; a stale WAL (its base generation predates the catalog's, because a
+checkpoint crashed between the catalog rename and the log truncation) is
+ignored, since its records are already folded in.  :func:`open_tree` is
+the writing-process entry point: load + replay + attach the WAL so further
+mutations keep logging.
 """
 
 from __future__ import annotations
@@ -54,6 +64,7 @@ from repro.storage.serializers import (
     UInt8VectorSerializer,
     VectorSerializer,
 )
+from repro.storage.wal import WAL_FILE, WriteAheadLog, scan_wal
 
 FORMAT_VERSION = 2
 
@@ -81,13 +92,14 @@ def save_tree(
     tree: SPBTree,
     directory: str,
     faults: Optional[FaultInjector] = None,
-) -> None:
+) -> int:
     """Persist ``tree`` into ``directory`` (created if needed), atomically.
 
     Either the save completes — the catalog's rename commits the new
     generation — or the previously saved index remains fully loadable.
     ``faults``, if given, marks every page write and rename as a crash
-    boundary via :meth:`FaultInjector.checkpoint`.
+    boundary via :meth:`FaultInjector.checkpoint`.  Returns the committed
+    generation number (``SPBTree.checkpoint`` binds the WAL to it).
     """
     if tree.raf is None:
         raise ValueError("cannot save an empty tree")
@@ -130,6 +142,7 @@ def save_tree(
             "end_offset": tree.raf._end_offset,
             "tail_page_id": tree.raf._tail_page_id,
             "tail": base64.b64encode(bytes(tree.raf._tail)).decode("ascii"),
+            "tail_flushed": tree.raf._tail_flushed,
             "object_count": tree.raf.object_count,
             "deleted": sorted(tree.raf._deleted),
         },
@@ -150,15 +163,24 @@ def save_tree(
     )
     _fsync_dir(directory)
     _cleanup_old_generations(directory, keep={btree_file, raf_file}, faults=faults)
+    return generation
 
 
-def load_tree(directory: str, metric: Metric) -> SPBTree:
+def load_tree(
+    directory: str, metric: Metric, replay_wal: bool = True
+) -> SPBTree:
     """Reopen a tree saved with :func:`save_tree`.
 
     ``metric`` must be the same distance function the tree was built with;
     its name is checked against the stored fingerprint.  Page-file digests
     (format v2) are verified before any page is trusted; a stale or damaged
     catalog raises :class:`CatalogError`.
+
+    When the directory holds a live WAL — header bound to the loaded
+    generation — its records are replayed on top of the loaded state
+    (``replay_wal=False`` skips this, yielding the bare generation).  The
+    returned tree is read-only durable: call :func:`open_tree` instead to
+    continue logging mutations.
     """
     meta = _read_catalog(directory)
     version = meta.get("format_version")
@@ -215,12 +237,19 @@ def load_tree(directory: str, metric: Metric) -> SPBTree:
     raf._end_offset = meta["raf"]["end_offset"]
     raf._tail_page_id = meta["raf"]["tail_page_id"]
     raf._tail = bytearray(base64.b64decode(meta["raf"]["tail"]))
+    # Catalogs predating tail_flushed never mixed flush modes: the tail is
+    # fully on its disk page when it has one, wholly in memory otherwise.
+    raf._tail_flushed = meta["raf"].get(
+        "tail_flushed",
+        len(raf._tail) if raf._tail_page_id is not None else 0,
+    )
     raf.object_count = meta["raf"]["object_count"]
     raf._deleted = set(meta["raf"]["deleted"])
     tree.raf = raf
 
     tree.object_count = meta["object_count"]
     tree._next_id = meta["next_id"]
+    tree._generation = int(meta.get("generation", 0))
     stats = meta["statistics"]
     tree.grid_sample = [tuple(g) for g in stats["grid_sample"]]
     tree._sampled_from = stats["sampled_from"]
@@ -230,7 +259,47 @@ def load_tree(directory: str, metric: Metric) -> SPBTree:
     tree.ndk_corrections = {
         int(k): v for k, v in stats["ndk_corrections"].items()
     }
+    if replay_wal:
+        _replay_wal(tree, directory)
     tree.reset_counters()
+    return tree
+
+
+def _replay_wal(tree: SPBTree, directory: str) -> None:
+    """Apply a live WAL's records to a freshly loaded tree.
+
+    A header bound to a different generation means the log is stale (an
+    interrupted checkpoint already folded its records into the generation
+    just loaded) — replaying it would double-apply, so it is skipped.
+    """
+    wal_path = os.path.join(directory, WAL_FILE)
+    if not os.path.exists(wal_path):
+        return
+    header, records, _, _ = scan_wal(wal_path)
+    if header is None or header.base_generation != tree._generation:
+        return
+    for record in records:
+        tree._apply_wal_record(record)
+
+
+def open_tree(
+    directory: str,
+    metric: Metric,
+    wal_fsync: bool = True,
+    faults: Optional[FaultInjector] = None,
+) -> SPBTree:
+    """Reopen a tree *for writing*: load, replay, and attach the WAL.
+
+    The returned tree logs every subsequent ``insert``/``delete`` to
+    ``<directory>/wal.log`` before applying it, and ``tree.checkpoint()``
+    folds the log into a new generation.  ``faults`` is threaded into the
+    WAL so tests can crash at its append/truncate boundaries.
+    """
+    tree = load_tree(directory, metric)
+    wal = WriteAheadLog(
+        os.path.join(directory, WAL_FILE), fsync=wal_fsync, faults=faults
+    )
+    tree.begin_logging(wal)
     return tree
 
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import os
 import time
 from typing import Any, Callable, Iterator, Optional, Sequence
 
@@ -43,11 +44,12 @@ from repro.sfc.region import (
     point_in_box,
     sfc_values_in_box,
 )
-from repro.service.context import QueryContext, QueryResult, _Exhausted
+from repro.service.context import EpochLock, QueryContext, QueryResult, _Exhausted
 from repro.sfc.zorder import ZCurve
 from repro.storage.pagefile import DEFAULT_PAGE_SIZE
 from repro.storage.raf import RandomAccessFile
 from repro.storage.serializers import Serializer, serializer_for
+from repro.storage.wal import OP_INSERT, WalRecord, WriteAheadLog
 
 _CURVES: dict[str, type[SpaceFillingCurve]] = {
     "hilbert": HilbertCurve,
@@ -94,6 +96,12 @@ class SPBTree:
         self.raf: Optional[RandomAccessFile] = None
         self.object_count = 0
         self._next_id = 0
+        #: Write-ahead log for incremental durability (begin_logging attaches).
+        self.wal: Optional[WriteAheadLog] = None
+        #: Single-writer / multi-reader lock with snapshot-epoch pinning.
+        self._epoch_lock = EpochLock()
+        #: The on-disk generation this in-memory state extends (0 = unsaved).
+        self._generation = 0
         #: Reservoir sample of mapped grid points, for the cost models.
         self.grid_sample: list[tuple[int, ...]] = []
         #: Sorted sample of actual pairwise distances (kNN cost model).
@@ -322,33 +330,161 @@ class SPBTree:
 
     def insert(self, obj: Any) -> None:
         """Insert one object (Appendix C): |P| distance computations plus a
-        B+-tree descent and one RAF page write."""
-        raf = self._ensure_raf(obj)
+        B+-tree descent and one RAF page write.
+
+        With a WAL attached (:meth:`begin_logging`) the record is made
+        durable in the log *before* any in-memory structure changes, and
+        the RAF append skips the per-insert partial-page flush (the log
+        already guarantees durability).  Mutations serialize through the
+        writer side of the epoch lock, so in-flight queries never observe
+        a half-applied insert.
+        """
         grid = self.space.grid(obj)
         key = self.curve.encode(grid)
-        offset = raf.append(self._next_id, obj, flush=True)
-        self._next_id += 1
-        self.btree.insert(key, offset)
-        self.object_count += 1
-        self._observe(grid)
+        with self._epoch_lock.write():
+            raf = self._ensure_raf(obj)
+            obj_id = self._next_id
+            if self.wal is not None:
+                self.wal.append_insert(obj_id, key, raf.serializer.serialize(obj))
+            self._apply_insert(obj, obj_id, key, grid, flush=self.wal is None)
 
     def delete(self, obj: Any) -> bool:
-        """Delete one object; True if it was present."""
+        """Delete one object; True if it was present.
+
+        Duplicate-SFC-key objects are distinguished by a byte-level compare
+        of their serialized forms, so exactly the matching object goes.
+        With a WAL attached, the delete record commits to the log before
+        the B+-tree entry and tombstone change.
+        """
         if self.raf is None:
             return False
         grid = self.space.grid(obj)
         key = self.curve.encode(grid)
         target = self.raf.serializer.serialize(obj)
+        with self._epoch_lock.write():
+            entry = self._find_live_entry(key, target)
+            if entry is None:
+                return False
+            if self.wal is not None:
+                self.wal.append_delete(key, target)
+            self.btree.delete(key, entry.ptr)
+            self.raf.mark_deleted(entry.ptr)
+            self.object_count -= 1
+            self._unobserve(grid)
+            return True
+
+    def _find_live_entry(self, key: int, target: bytes):
+        """The first live leaf entry at ``key`` whose record byte-matches
+        ``target`` — the shared lookup rule of delete and WAL replay."""
+        assert self.raf is not None
         for entry in self.btree.find_entries(key):
             if self.raf.is_deleted(entry.ptr):
                 continue
             _, stored = self.raf.read(entry.ptr)
             if self.raf.serializer.serialize(stored) == target:
-                self.btree.delete(key, entry.ptr)
-                self.raf.mark_deleted(entry.ptr)
-                self.object_count -= 1
-                return True
-        return False
+                return entry
+        return None
+
+    def _apply_insert(
+        self, obj: Any, obj_id: int, key: int, grid: tuple[int, ...], flush: bool
+    ) -> None:
+        """The in-memory half of an insert (live path and WAL replay)."""
+        raf = self._ensure_raf(obj)
+        offset = raf.append(obj_id, obj, flush=flush)
+        if obj_id >= self._next_id:
+            self._next_id = obj_id + 1
+        self.btree.insert(key, offset)
+        self.object_count += 1
+        self._observe(grid)
+
+    def _apply_wal_record(self, record: WalRecord) -> None:
+        """Re-apply one logged mutation during recovery.
+
+        Replay is deterministic and costs zero distance computations: the
+        grid cell comes back from the recorded SFC key, the object from the
+        recorded bytes, and the id from the recorded id, so a replayed tree
+        is byte-for-byte the tree that logged the records.
+        """
+        grid = tuple(self.curve.decode(record.key))
+        if record.op == OP_INSERT:
+            serializer = (
+                self.raf.serializer if self.raf is not None else self._serializer
+            )
+            assert serializer is not None
+            obj = serializer.deserialize(record.payload)
+            self._apply_insert(obj, record.obj_id, record.key, grid, flush=False)
+            return
+        assert self.raf is not None
+        entry = self._find_live_entry(record.key, record.payload)
+        if entry is not None:
+            self.btree.delete(record.key, entry.ptr)
+            self.raf.mark_deleted(entry.ptr)
+            self.object_count -= 1
+            self._unobserve(grid)
+
+    # ----------------------------------------------------- WAL & checkpoint
+
+    def begin_logging(self, wal: WriteAheadLog) -> None:
+        """Attach a write-ahead log; subsequent mutations commit to it first.
+
+        A fresh log gets a header binding it to this tree's generation.  A
+        log whose header predates the loaded generation is *stale* — its
+        records were folded in by a checkpoint that crashed before
+        truncating — and is reset rather than double-applied.  A log from a
+        *future* generation means the caller mixed up directories; refuse.
+        """
+        if wal.header is None:
+            wal.start(self._generation, self.object_count, self._next_id)
+        elif wal.header.base_generation < self._generation:
+            wal.truncate(self._generation, self.object_count, self._next_id)
+        elif wal.header.base_generation > self._generation:
+            raise ValueError(
+                f"WAL base generation {wal.header.base_generation} is newer "
+                f"than the tree's generation {self._generation}; wrong "
+                f"directory or rolled-back catalog"
+            )
+        self.wal = wal
+
+    def checkpoint(
+        self, directory: Optional[str] = None, faults: Optional[Any] = None
+    ) -> int:
+        """Fold the WAL into a new on-disk generation and truncate the log.
+
+        Runs under the writer lock: saves the whole tree through the atomic
+        ``save_tree`` commit point (the catalog rename), then rebinds the
+        log to the committed generation.  A crash before the rename leaves
+        the old generation + full log; a crash after it leaves the new
+        generation + a stale log that load ignores — both replay to exactly
+        this tree.  Returns the committed generation number.
+        """
+        from repro.core.persist import save_tree
+
+        if self.wal is None:
+            raise ValueError("no WAL attached; call begin_logging() first")
+        if directory is None:
+            directory = os.path.dirname(self.wal.path) or "."
+        with self._epoch_lock.write():
+            generation = save_tree(self, directory, faults=faults)
+            self._generation = generation
+            self.wal.truncate(generation, self.object_count, self._next_id)
+        return generation
+
+    def _unobserve(self, grid: tuple[int, ...]) -> None:
+        """Compensate the cost-model reservoir for one deletion.
+
+        Removes one matching grid point from the sample (if present) and
+        shrinks the population counter, so the sample keeps estimating the
+        *live* distribution.  This is an approximation: when the deleted
+        object was never sampled, the decrement slightly raises the
+        inclusion probability of future inserts; the drift is bounded and
+        tested (cost estimates, not correctness, depend on the sample).
+        """
+        if self._sampled_from > 0:
+            self._sampled_from -= 1
+        try:
+            self.grid_sample.remove(grid)
+        except ValueError:
+            pass
 
     # ---------------------------------------------------------- range query
 
@@ -371,17 +507,20 @@ class SPBTree:
             raise ValueError("radius must be non-negative")
         if context is None:
             results: list[Any] = []
-            if self.raf is None or self.object_count == 0:
-                return results
-            self._range_search(query, radius, results, None)
+            with self._epoch_lock.read():
+                if self.raf is None or self.object_count == 0:
+                    return results
+                self._range_search(query, radius, results, None)
             return results
         with context.activate():
             t0 = time.perf_counter()
             results = []
             complete, reason = True, None
             try:
-                if self.raf is not None and self.object_count:
-                    self._range_search(query, radius, results, context)
+                with self._epoch_lock.read() as epoch:
+                    context.epoch = epoch
+                    if self.raf is not None and self.object_count:
+                        self._range_search(query, radius, results, context)
             except _Exhausted as exc:
                 if context.strict:
                     raise context.raise_for(exc.reason) from None
@@ -538,11 +677,12 @@ class SPBTree:
         if traversal not in ("incremental", "greedy"):
             raise ValueError("traversal must be 'incremental' or 'greedy'")
         if context is None:
-            if self.raf is None or self.object_count == 0:
-                return []
-            result: list[tuple[float, int, Any]] = []
-            heap: list[tuple[float, int, int, object]] = []
-            self._knn_search(query, k, traversal, result, heap, None)
+            with self._epoch_lock.read():
+                if self.raf is None or self.object_count == 0:
+                    return []
+                result: list[tuple[float, int, Any]] = []
+                heap: list[tuple[float, int, int, object]] = []
+                self._knn_search(query, k, traversal, result, heap, None)
             ordered = sorted((-negd, tb, obj) for negd, tb, obj in result)
             return [(d, obj) for d, _, obj in ordered]
         with context.activate():
@@ -551,8 +691,10 @@ class SPBTree:
             heap = []
             complete, reason = True, None
             try:
-                if self.raf is not None and self.object_count:
-                    self._knn_search(query, k, traversal, result, heap, context)
+                with self._epoch_lock.read() as epoch:
+                    context.epoch = epoch
+                    if self.raf is not None and self.object_count:
+                        self._knn_search(query, k, traversal, result, heap, context)
             except _Exhausted as exc:
                 if context.strict:
                     raise context.raise_for(exc.reason) from None
@@ -683,18 +825,21 @@ class SPBTree:
         if radius < 0:
             raise ValueError("radius must be non-negative")
         if context is None:
-            if self.raf is None or self.object_count == 0:
-                return 0
-            tally = [0]
-            self._count_search(query, radius, tally, None)
+            with self._epoch_lock.read():
+                if self.raf is None or self.object_count == 0:
+                    return 0
+                tally = [0]
+                self._count_search(query, radius, tally, None)
             return tally[0]
         with context.activate():
             t0 = time.perf_counter()
             tally = [0]
             complete, reason = True, None
             try:
-                if self.raf is not None and self.object_count:
-                    self._count_search(query, radius, tally, context)
+                with self._epoch_lock.read() as epoch:
+                    context.epoch = epoch
+                    if self.raf is not None and self.object_count:
+                        self._count_search(query, radius, tally, context)
             except _Exhausted as exc:
                 if context.strict:
                     raise context.raise_for(exc.reason) from None

@@ -18,7 +18,11 @@ Checked invariants:
 * recorded entry/leaf counts match the walked structure;
 * RAF records frame correctly (headers and lengths stay inside the file);
 * leaf entries and live RAF records are in bijection (no dangling pointers,
-  no orphaned records), and tombstones reference real records;
+  no orphaned records), tombstones reference real records, and no leaf
+  entry points at a tombstoned (``mark_deleted``) slot;
+* with a WAL attached, the tree agrees with its log: object count and next
+  id follow from the header base plus the logged mutations, and every
+  net-inserted record is present with byte-identical content;
 * optionally, every stored object re-maps to exactly the SFC key its leaf
   entry carries — the contract between the pivot table and the index.
 
@@ -104,6 +108,8 @@ def verify_tree(tree: "SPBTree", check_objects: bool = True) -> VerifyReport:
     try:
         leaf_entries = _verify_btree(tree, report)
         _verify_raf(tree, report, leaf_entries, check_objects)
+        if tree.wal is not None:
+            _verify_wal(tree, report, leaf_entries)
     finally:
         (
             btree.pagefile.counter.reads,
@@ -302,8 +308,10 @@ def _raw_range(raf, start: int, length: int, bad: set[int]) -> Optional[bytes]:
         return None
     page_size = raf.pagefile.page_size
     pages = raf.pagefile._pages
-    if raf._tail and raf._tail_page_id is None:
-        mem_start = raf._end_offset - len(raf._tail)
+    # Mirror RandomAccessFile._read_bytes: the first _tail_flushed tail
+    # bytes are on the disk tail page; the rest exist only in memory.
+    if raf._tail:
+        mem_start = raf._end_offset - len(raf._tail) + raf._tail_flushed
     else:
         mem_start = raf._end_offset
     parts: list[bytes] = []
@@ -442,4 +450,75 @@ def _verify_raf(
             _note(
                 report.errors,
                 f"{label} is {value} but {expected_live} live records exist",
+            )
+
+
+# -------------------------------------------------------------------- WAL
+
+
+def _verify_wal(tree: "SPBTree", report: VerifyReport, leaf_entries: list) -> None:
+    """Audit agreement between the attached WAL and the in-memory tree.
+
+    The tree's state must equal *header base + logged mutations*: the
+    object count and next id follow arithmetically, and every net-inserted
+    (key, bytes) pair must exist as a live, byte-identical record behind a
+    leaf entry at that key.  Deletes of base-generation objects cannot be
+    attributed without the base snapshot, so only net inserts are matched.
+    """
+    from repro.storage.wal import OP_INSERT
+
+    wal = tree.wal
+    assert wal is not None
+    if wal.header is None:
+        _note(report.warnings, "WAL attached but has no header (never started)")
+        return
+    records = wal.records()
+    inserts = sum(1 for r in records if r.op == OP_INSERT)
+    deletes = len(records) - inserts
+    expected_count = wal.header.base_object_count + inserts - deletes
+    if tree.object_count != expected_count:
+        _note(
+            report.errors,
+            f"WAL implies {expected_count} objects (base "
+            f"{wal.header.base_object_count} + {inserts} inserts - "
+            f"{deletes} deletes) but tree holds {tree.object_count}",
+        )
+    expected_next = wal.header.base_next_id + inserts
+    if tree._next_id != expected_next:
+        _note(
+            report.errors,
+            f"WAL implies next id {expected_next} but tree records "
+            f"{tree._next_id}",
+        )
+    net: list[tuple[int, bytes]] = []
+    for record in records:
+        if record.op == OP_INSERT:
+            net.append((record.key, record.payload))
+        else:
+            pair = (record.key, record.payload)
+            if pair in net:
+                net.remove(pair)
+            # else: the delete hit a base-generation object; nothing to match
+    raf = tree.raf
+    assert raf is not None
+    by_key: dict[int, list[int]] = {}
+    for entry in leaf_entries:
+        by_key.setdefault(entry.key, []).append(entry.ptr)
+    for key, payload in net:
+        found = False
+        for ptr in by_key.get(key, ()):
+            if raf.is_deleted(ptr):
+                continue
+            try:
+                _, stored = raf.read(ptr)
+            except Exception:
+                continue  # already reported by the RAF walk
+            if raf.serializer.serialize(stored) == payload:
+                found = True
+                break
+        if not found:
+            _note(
+                report.errors,
+                f"WAL-logged insert (key={key}, {len(payload)} bytes) has no "
+                f"matching live record in the tree",
             )

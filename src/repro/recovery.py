@@ -17,7 +17,11 @@ B+-tree and catalog are derived structures), so salvage:
    later record boundaries are unknown), mines surviving B+-tree leaf
    pages for their RAF pointers — each leaf entry frames one record
    independently of its neighbours;
-4. bulk-loads a fresh SPB-tree over the recovered objects, reusing the
+4. if a live write-ahead log is present and its base generation matches
+   the recovered catalog (or the generation is unknowable), replays its
+   logged inserts and deletes on top of the recovered base state, so
+   mutations committed after the last checkpoint survive salvage too;
+5. bulk-loads a fresh SPB-tree over the recovered objects, reusing the
    catalog's pivot table when available (so query results match a fresh
    rebuild exactly) or re-selecting pivots otherwise.
 
@@ -56,6 +60,7 @@ class SalvageReport:
     used_catalog: bool = False
     used_pivots: bool = False
     used_btree: bool = False
+    used_wal: bool = False
     notes: list[str] = field(default_factory=list)
 
     def summary(self) -> str:
@@ -65,6 +70,7 @@ class SalvageReport:
             f"  catalog usable : {'yes' if self.used_catalog else 'no'}",
             f"  pivots reused  : {'yes' if self.used_pivots else 'no'}",
             f"  B+-tree mined  : {'yes' if self.used_btree else 'no'}",
+            f"  WAL replayed   : {'yes' if self.used_wal else 'no'}",
         ]
         for note in self.notes:
             lines.append(f"  note: {note}")
@@ -110,19 +116,21 @@ def salvage_tree(
     end_offset = _plausible_end(meta, len(data), report)
     deleted = set(meta.get("raf", {}).get("deleted") or [])
     tail = _recover_tail(meta, report)
-    if end_offset > len(data):
-        # Bytes past the dumped pages can only come from the catalog's copy
-        # of the in-memory tail, which occupies [end_offset - len(tail),
-        # end_offset); graft the missing suffix back when it covers the gap.
+    if tail:
+        # The catalog's copy of the in-memory tail occupies
+        # [end_offset - len(tail), end_offset) and is authoritative for its
+        # generation: the disk tail page may be partial (batch-mode appends
+        # flush it lazily) or stale (a post-checkpoint write reused it), so
+        # overlay the whole region rather than just grafting missing bytes.
         tail_origin = end_offset - len(tail)
-        if tail and tail_origin <= len(data):
-            data = data + tail[len(data) - tail_origin :]
-        else:
-            report.notes.append(
-                f"{end_offset - len(data)} trailing bytes unrecoverable; "
-                f"scanning what is present"
-            )
-            end_offset = len(data)
+        if 0 <= tail_origin <= len(data):
+            data = data[:tail_origin] + tail
+    if end_offset > len(data):
+        report.notes.append(
+            f"{end_offset - len(data)} trailing bytes unrecoverable; "
+            f"scanning what is present"
+        )
+        end_offset = len(data)
 
     objects, lost, framing_broken = _sequential_scan(
         data, end_offset, page_size, bad_pages, serializer, report
@@ -166,6 +174,7 @@ def salvage_tree(
         )
 
     live = [obj for offset, obj in sorted(objects.items()) if offset not in deleted]
+    live = _apply_wal(directory, meta, serializer, live, report)
     report.records_recovered = len(live)
     report.records_lost = lost
 
@@ -310,6 +319,84 @@ def _plausible_end(meta: dict, data_len: int, report: SalvageReport) -> int:
     if end is not None:
         report.notes.append(f"implausible end_offset {end!r} in catalog; ignored")
     return data_len
+
+
+# -------------------------------------------------------------- WAL replay
+
+
+def _apply_wal(
+    directory: str,
+    meta: dict,
+    serializer: Serializer,
+    live: list,
+    report: SalvageReport,
+) -> list:
+    """Replay a surviving write-ahead log on top of the recovered base state.
+
+    The catalog (and therefore the scanned RAF state) reflects the last
+    checkpoint; mutations logged after it exist only in the WAL.  Inserts
+    append their payload objects; deletes remove the first byte-identical
+    recovered object.  A WAL whose base generation provably differs from
+    the recovered catalog is ignored (it describes a different snapshot).
+    """
+    from repro.storage.wal import OP_INSERT, WAL_FILE, scan_wal
+
+    path = os.path.join(directory, WAL_FILE)
+    if not os.path.exists(path):
+        return live
+    header, records, _, torn = scan_wal(path)
+    if header is None:
+        report.notes.append("WAL present but has no readable header; ignored")
+        return live
+    generation = meta.get("generation")
+    if generation is not None and header.base_generation != int(generation):
+        report.notes.append(
+            f"WAL base generation {header.base_generation} does not match "
+            f"catalog generation {generation}; WAL ignored"
+        )
+        return live
+    if generation is None:
+        report.notes.append(
+            "catalog generation unrecoverable; assuming the WAL extends the "
+            "recovered state"
+        )
+    if torn:
+        report.notes.append("WAL tail torn; replaying the valid prefix")
+    live = list(live)
+    payloads = [serializer.serialize(obj) for obj in live]
+    applied = skipped = 0
+    for record in records:
+        if record.op == OP_INSERT:
+            try:
+                obj = serializer.deserialize(record.payload)
+            except Exception as exc:
+                report.notes.append(
+                    f"undecodable WAL insert skipped: {type(exc).__name__}"
+                )
+                skipped += 1
+                continue
+            live.append(obj)
+            payloads.append(record.payload)
+            applied += 1
+        else:
+            try:
+                idx = payloads.index(record.payload)
+            except ValueError:
+                report.notes.append(
+                    "WAL delete targets an unrecovered object; skipped"
+                )
+                skipped += 1
+                continue
+            del live[idx]
+            del payloads[idx]
+            applied += 1
+    if applied or not skipped:
+        report.used_wal = True
+    if applied:
+        report.notes.append(
+            f"{applied} WAL mutations replayed on top of the recovered state"
+        )
+    return live
 
 
 # ------------------------------------------------------------ record scan

@@ -8,6 +8,7 @@ See :mod:`repro.service.context` for the per-query primitives and
 from repro.service.context import (
     BudgetExceeded,
     CancelToken,
+    EpochLock,
     ExhaustionReason,
     Overloaded,
     QueryCancelled,
@@ -20,6 +21,7 @@ from repro.service.engine import PendingQuery, QueryEngine
 __all__ = [
     "BudgetExceeded",
     "CancelToken",
+    "EpochLock",
     "ExhaustionReason",
     "Overloaded",
     "PendingQuery",

@@ -88,6 +88,94 @@ class ExhaustionReason:
         return f"{self.kind} budget exceeded ({self.spent:.0f} of {self.limit:.0f})"
 
 
+class EpochLock:
+    """Single-writer / multi-reader lock with snapshot-epoch pinning.
+
+    The SPB-tree's mutations (insert/delete/checkpoint) take the write
+    side; queries take the read side and receive the **epoch** — a counter
+    bumped after every completed write — that their whole traversal runs
+    under.  Readers exclude writers, so a query never observes a
+    half-applied mutation; a :class:`QueryContext` records the pinned
+    epoch for observability.
+
+    Semantics chosen for the tree's access patterns:
+
+    * **re-entrant reads** — a traversal that re-enters ``read()`` on the
+      same thread (joins iterate queries) nests without deadlocking, even
+      against a waiting writer;
+    * **writer preference** — new first-time readers wait while a writer
+      is waiting, so a steady query stream cannot starve mutations;
+    * **writer may read** — the mutating thread can run lookups mid-write
+      (delete's byte-compare probe) without self-deadlock;
+    * **no upgrades** — acquiring the write side while holding a read view
+      raises ``RuntimeError`` (upgrade deadlocks are bugs, not waits).
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_owner: Optional[int] = None
+        self._writers_waiting = 0
+        self._local = threading.local()
+        #: Number of completed writes; the snapshot id readers pin.
+        self.epoch = 0
+
+    def _read_depth(self) -> int:
+        return getattr(self._local, "depth", 0)
+
+    @contextmanager
+    def read(self) -> Iterator[int]:
+        """Acquire (or nest) a read view; yields the pinned epoch."""
+        me = threading.get_ident()
+        depth = self._read_depth()
+        # Nested reads and the writer's own reads piggyback on the lock
+        # already held; only a first-time outside reader must queue.
+        acquire = depth == 0 and self._writer_owner != me
+        if acquire:
+            with self._cond:
+                while self._writer_owner is not None or self._writers_waiting:
+                    self._cond.wait()
+                self._readers += 1
+        self._local.depth = depth + 1
+        try:
+            yield self.epoch
+        finally:
+            self._local.depth = depth
+            if acquire:
+                with self._cond:
+                    self._readers -= 1
+                    if self._readers == 0:
+                        self._cond.notify_all()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        """Acquire exclusive write access; bumps the epoch on release."""
+        me = threading.get_ident()
+        if self._writer_owner == me:
+            yield  # nested write: already exclusive, no second epoch bump
+            return
+        if self._read_depth():
+            raise RuntimeError(
+                "cannot upgrade a read view to a write lock (release the "
+                "read side first)"
+            )
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_owner is not None or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_owner = me
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer_owner = None
+                self.epoch += 1
+                self._cond.notify_all()
+
+
 class CancelToken:
     """Thread-safe cooperative cancellation flag.
 
@@ -139,6 +227,8 @@ class QueryContext:
     #: Per-query counters, filled in while the context is active.
     compdists: int = 0
     page_accesses: int = 0
+    #: The EpochLock snapshot the query ran under (set by the tree).
+    epoch: Optional[int] = None
     started: float = field(default=0.0, repr=False)
 
     @classmethod

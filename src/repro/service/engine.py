@@ -18,9 +18,17 @@ into a small serving layer:
   worker; ``strict=True`` turns exhaustion into
   :class:`~repro.service.BudgetExceeded` raised from ``result()``.
 
-The tree itself is only read (range/kNN/count are read-only), and the one
-mutable shared structure on that path — the RAF's LRU buffer pool — locks
-internally, so workers need no global tree lock and genuinely overlap.
+The engine also accepts **mutations** (``"insert"`` / ``"delete"``): they
+run on the same worker pool, serialized against queries by the tree's
+:class:`~repro.service.EpochLock`, so a concurrent query never observes a
+half-applied write.  Mutations are *not* retried on transient I/O errors —
+an insert is not idempotent, and when a write-ahead log is attached the
+failed attempt may already be durable; the error propagates to the caller
+instead.
+
+Queries themselves stay concurrent: range/kNN/count take the lock's read
+side and the one mutable shared structure on that path — the RAF's LRU
+buffer pool — locks internally, so read-only workers genuinely overlap.
 """
 
 from __future__ import annotations
@@ -35,8 +43,11 @@ from repro.storage.faults import retry_io
 
 _STOP = object()
 
-#: Query kinds the engine knows how to execute.
-_KINDS = ("range", "knn", "count")
+#: Work kinds the engine knows how to execute.
+_KINDS = ("range", "knn", "count", "insert", "delete")
+
+#: The subset of kinds that mutate the tree (never retried: not idempotent).
+_MUTATIONS = ("insert", "delete")
 
 
 class PendingQuery:
@@ -125,6 +136,7 @@ class QueryEngine:
         self.degraded = 0
         self.rejected = 0
         self.failed = 0
+        self.mutated = 0
         self._stats_lock = threading.Lock()
 
     # ------------------------------------------------------------- lifecycle
@@ -176,13 +188,15 @@ class QueryEngine:
         strict: Optional[bool] = None,
         cancel_token: Optional[CancelToken] = None,
     ) -> PendingQuery:
-        """Enqueue one query; raises :class:`Overloaded` when the queue is full.
+        """Enqueue one work item; raises :class:`Overloaded` when the queue is full.
 
         ``kind`` is ``"range"`` (args: query, radius), ``"knn"`` (args:
-        query, k[, traversal]) or ``"count"`` (args: query, radius).  The
-        deadline clock starts when the query begins *executing*, so queue
-        wait does not eat the budget (admission control is what bounds the
-        wait).
+        query, k[, traversal]), ``"count"`` (args: query, radius),
+        ``"insert"`` (args: obj) or ``"delete"`` (args: obj).  The deadline
+        clock starts when the query begins *executing*, so queue wait does
+        not eat the budget (admission control is what bounds the wait).
+        Deadlines and budgets do not apply to mutations (a write either
+        commits whole or fails), and mutations are never retried.
         """
         if kind not in _KINDS:
             raise ValueError(f"unknown query kind {kind!r}; expected {_KINDS}")
@@ -229,6 +243,14 @@ class QueryEngine:
     def count(self, query: Any, radius: float, **limits: Any) -> Any:
         return self.submit("count", query, radius, **limits).result()
 
+    def insert(self, obj: Any) -> Any:
+        """Insert ``obj`` through the worker pool; blocks until durable."""
+        return self.submit("insert", obj).result()
+
+    def delete(self, obj: Any) -> bool:
+        """Delete ``obj`` through the worker pool; True if a copy was removed."""
+        return self.submit("delete", obj).result()
+
     # --------------------------------------------------------------- workers
 
     def _worker(self) -> None:
@@ -245,7 +267,9 @@ class QueryEngine:
             else:
                 with self._stats_lock:
                     self.served += 1
-                    if not getattr(result, "complete", True):
+                    if item.kind in _MUTATIONS:
+                        self.mutated += 1
+                    elif not getattr(result, "complete", True):
                         self.degraded += 1
                 item._finish(result=result)
 
@@ -263,9 +287,12 @@ class QueryEngine:
             ctx.reset_counters()
             return self._run(pending.kind, pending.args, ctx)
 
+        # Mutations get exactly one attempt: an insert is not idempotent,
+        # and a failed attempt may already have committed to the WAL.
+        attempts = 1 if pending.kind in _MUTATIONS else self.retry_attempts
         return retry_io(
             attempt,
-            attempts=self.retry_attempts,
+            attempts=attempts,
             base_delay=self.retry_base_delay,
             retry_on=(OSError,),
         )
@@ -275,4 +302,9 @@ class QueryEngine:
             return self.tree.range_query(*args, context=ctx)
         if kind == "knn":
             return self.tree.knn_query(*args, context=ctx)
-        return self.tree.range_count(*args, context=ctx)
+        if kind == "count":
+            return self.tree.range_count(*args, context=ctx)
+        if kind == "insert":
+            self.tree.insert(*args)
+            return True
+        return self.tree.delete(*args)

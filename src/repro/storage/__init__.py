@@ -12,6 +12,11 @@ verified on every read (:class:`PageCorruptionError` on mismatch);
 :class:`FaultInjector` wraps a page file to inject torn writes, bit flips,
 transient I/O errors, and crash points deterministically; :func:`retry_io`
 retries transient failures with bounded exponential backoff.
+
+Incremental durability: :class:`WriteAheadLog` is an append-only,
+CRC32-framed, fsync-on-commit log of insert/delete records.  The SPB-tree
+logs every mutation *before* applying it, so a crash at any point loses at
+most the uncommitted suffix; see :mod:`repro.storage.wal`.
 """
 
 from repro.storage.buffer import BufferPool
@@ -37,6 +42,13 @@ from repro.storage.serializers import (
     VectorSerializer,
     serializer_for,
 )
+from repro.storage.wal import (
+    WAL_FILE,
+    WalHeader,
+    WalRecord,
+    WriteAheadLog,
+    scan_wal,
+)
 
 __all__ = [
     "PageFile",
@@ -56,4 +68,9 @@ __all__ = [
     "BytesSerializer",
     "PickleSerializer",
     "serializer_for",
+    "WriteAheadLog",
+    "WalHeader",
+    "WalRecord",
+    "scan_wal",
+    "WAL_FILE",
 ]

@@ -103,6 +103,7 @@ class FaultInjector:
         bit_flip_rate: float = 0.0,
         io_error_rate: float = 0.0,
         crash_after: Optional[int] = None,
+        chain: Optional["FaultInjector"] = None,
     ) -> None:
         for name, rate in (
             ("torn_write_rate", torn_write_rate),
@@ -116,6 +117,11 @@ class FaultInjector:
         self.bit_flip_rate = bit_flip_rate
         self.io_error_rate = io_error_rate
         self.crash_after = crash_after
+        #: Another injector whose crash counter this one feeds.  A mutation
+        #: crosses several stores (WAL file, RAF pages, B+-tree pages); to
+        #: place one global crash point across all of them, wrap each page
+        #: file with an injector chained to a single master counter.
+        self.chain = chain
         self._rng = random.Random(seed)
         #: Operations that completed successfully (crash-point counter).
         self.ops = 0
@@ -128,8 +134,13 @@ class FaultInjector:
         """Pass one crash boundary, or die at it.
 
         Raises :class:`SimulatedCrash` when ``crash_after`` boundaries have
-        already been passed; otherwise counts this one and returns.
+        already been passed; otherwise counts this one and returns.  With a
+        ``chain``, the boundary is counted against the chained injector
+        instead, so several wrappers share one crash schedule.
         """
+        if self.chain is not None:
+            self.chain.checkpoint(label)
+            return
         if self.crash_after is not None and self.ops >= self.crash_after:
             raise SimulatedCrash(
                 f"simulated crash at operation {self.ops}"

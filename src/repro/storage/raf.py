@@ -14,11 +14,19 @@ hits.
 
 Two write modes exist:
 
-* *bulk mode* (``append(..., flush=False)``) — records accumulate in memory
-  and full pages are written once, used while bulk-loading in SFC order;
-* *durable mode* (the default) — each append write-throughs the partial
-  last page, which is what a single-object insertion (Appendix C / Table 7)
-  costs.
+* *batch mode* (``append(..., flush=False)``) — records accumulate in
+  memory and full pages are written once; call :meth:`flush` (or
+  :meth:`finalize`) to write the partial tail.  Used while bulk-loading in
+  SFC order, and by WAL-backed inserts, where the write-ahead log already
+  guarantees durability and a per-insert partial-page flush would only
+  inflate PA counts;
+* *write-through mode* (the default) — each append flushes the partial
+  last page, which is what a single unlogged insertion (Appendix C /
+  Table 7) costs.
+
+The two modes may interleave: ``_tail_flushed`` tracks how many tail bytes
+the on-disk tail page already holds, so reads always know which byte ranges
+live on pages and which only in the in-memory tail.
 
 With ``checksums=True`` the underlying page file verifies a CRC32 trailer
 on every read, so a record overlapping a damaged page surfaces a
@@ -54,6 +62,7 @@ class RandomAccessFile:
         self.buffer_pool = BufferPool(self.pagefile, capacity=cache_pages)
         self._tail = bytearray()  # bytes of the (partial) last page
         self._tail_page_id: Optional[int] = None  # where the tail lives on disk
+        self._tail_flushed = 0  # how many tail bytes the disk tail page holds
         self._end_offset = 0  # logical end of data (bytes)
         self.object_count = 0
         self._deleted: set[int] = set()
@@ -78,6 +87,7 @@ class RandomAccessFile:
             self.buffer_pool.write_page(page_id, bytes(self._tail[:page_size]))
             del self._tail[:page_size]
             self._tail_page_id = None
+            self._tail_flushed = 0
         if flush:
             self._flush_partial()
         self.object_count += 1
@@ -93,11 +103,12 @@ class RandomAccessFile:
         return self.pagefile.allocate()
 
     def _flush_partial(self) -> None:
-        if not self._tail:
+        if not self._tail or self._tail_flushed == len(self._tail):
             return
         page_id = self._take_tail_page()
         self.buffer_pool.write_page(page_id, bytes(self._tail))
         self._tail_page_id = page_id
+        self._tail_flushed = len(self._tail)
 
     def mark_deleted(self, offset: int) -> None:
         """Tombstone a record; space is reclaimed on the next rebuild."""
@@ -132,10 +143,12 @@ class RandomAccessFile:
                 f"read of [{offset}, {end}) beyond end {self._end_offset}"
             )
         page_size = self.pagefile.page_size
-        # Bytes at or beyond ``mem_start`` are only in the in-memory tail
-        # (bulk loading in progress); everything below it is on a page.
-        if self._tail and self._tail_page_id is None:
-            mem_start = self._end_offset - len(self._tail)
+        # Bytes at or beyond ``mem_start`` are only in the in-memory tail;
+        # everything below it is on a page.  The first ``_tail_flushed``
+        # tail bytes are on the disk tail page too (mixed batch/write-through
+        # appends leave the tail partially flushed), so the disk serves them.
+        if self._tail:
+            mem_start = self._end_offset - len(self._tail) + self._tail_flushed
         else:
             mem_start = self._end_offset
         parts: list[bytes] = []

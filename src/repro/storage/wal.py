@@ -1,0 +1,322 @@
+"""Write-ahead log for incremental SPB-tree mutations.
+
+PR 1 made *saves* atomic (generation-numbered page files behind a catalog
+rename), but everything mutated since the last ``save_tree`` lived only in
+memory.  This module closes that gap: every insert/delete is appended to an
+on-disk log and fsync'd *before* the in-memory tree structures are touched,
+so after a crash the state is always *base generation + logged mutations* —
+never a half-applied write.
+
+Log layout.  The file is a sequence of CRC32-framed records::
+
+    frame   := <u32 payload_len> <u32 crc32(payload)> <payload>
+    payload := <u8 op> <body>
+
+``op`` is HEADER (0), INSERT (1), or DELETE (2).  The header is always the
+first frame and binds the log to the generation it extends::
+
+    header body := <u64 base_generation> <u64 base_object_count>
+                   <i64 base_next_id>
+
+A log whose ``base_generation`` does not match the loaded catalog is
+*stale* (its records were already folded in by a checkpoint that crashed
+before truncating the log) and must be ignored — that rule is what makes
+the checkpoint lifecycle crash-safe without a second commit point.
+
+Mutation bodies carry everything replay needs with zero distance
+computations (the SFC key is recorded, so the pivot mapping need not be
+recomputed)::
+
+    insert body := <i64 obj_id> <u16 key_len> <key bytes, big-endian>
+                   <object bytes>
+    delete body := <i64 -1>     <u16 key_len> <key bytes, big-endian>
+                   <object bytes>
+
+Torn-tail tolerance: replay walks frames front to back and stops cleanly at
+the first short or CRC-failing frame — exactly what a crash mid-append
+leaves behind.  :class:`WriteAheadLog` truncates such a tail on open so
+subsequent appends land on a valid prefix and stay replayable.
+
+A :class:`~repro.storage.faults.FaultInjector` may be attached; every
+append and the truncation rename pass through its :meth:`checkpoint`, so
+the crash-matrix tests can kill the "process" at every WAL boundary.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.storage.faults import FaultInjector
+
+#: Conventional WAL file name inside an index directory.
+WAL_FILE = "wal.log"
+
+_FRAME = struct.Struct("<II")  # (payload length, CRC32 of payload)
+_HEADER_BODY = struct.Struct("<QQq")  # (base gen, base object count, base next id)
+_MUTATION_PREFIX = struct.Struct("<qH")  # (obj id, key byte length)
+
+OP_HEADER = 0
+OP_INSERT = 1
+OP_DELETE = 2
+
+
+@dataclass(frozen=True)
+class WalHeader:
+    """The first frame of a log: which generation the records extend."""
+
+    base_generation: int
+    base_object_count: int
+    base_next_id: int
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One logged mutation.
+
+    ``obj_id`` is the id assigned at insert time (-1 for deletes, which
+    identify their target by ``key`` + byte-exact ``payload`` instead, the
+    same rule ``SPBTree.delete`` uses to distinguish duplicate-key objects).
+    """
+
+    op: int
+    obj_id: int
+    key: int
+    payload: bytes
+
+
+def _encode_frame(payload: bytes) -> bytes:
+    return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def _encode_header(header: WalHeader) -> bytes:
+    body = _HEADER_BODY.pack(
+        header.base_generation, header.base_object_count, header.base_next_id
+    )
+    return _encode_frame(bytes([OP_HEADER]) + body)
+
+
+def _encode_mutation(record: WalRecord) -> bytes:
+    key_bytes = record.key.to_bytes((record.key.bit_length() + 7) // 8 or 1, "big")
+    body = (
+        bytes([record.op])
+        + _MUTATION_PREFIX.pack(record.obj_id, len(key_bytes))
+        + key_bytes
+        + record.payload
+    )
+    return _encode_frame(body)
+
+
+def _decode_payload(payload: bytes) -> "WalHeader | WalRecord | None":
+    """Decode one frame payload; None when the opcode or shape is invalid."""
+    if not payload:
+        return None
+    op = payload[0]
+    body = payload[1:]
+    if op == OP_HEADER:
+        if len(body) != _HEADER_BODY.size:
+            return None
+        gen, count, next_id = _HEADER_BODY.unpack(body)
+        return WalHeader(gen, count, next_id)
+    if op in (OP_INSERT, OP_DELETE):
+        if len(body) < _MUTATION_PREFIX.size:
+            return None
+        obj_id, key_len = _MUTATION_PREFIX.unpack_from(body)
+        rest = body[_MUTATION_PREFIX.size :]
+        if len(rest) < key_len:
+            return None
+        key = int.from_bytes(rest[:key_len], "big")
+        return WalRecord(op, obj_id, key, rest[key_len:])
+    return None
+
+
+def scan_wal(
+    path: str,
+) -> tuple[Optional[WalHeader], list[WalRecord], int, bool]:
+    """Parse a log file tolerantly.
+
+    Returns ``(header, records, valid_end, torn)``: the header (None if the
+    first frame is missing or not a header), the mutation records in append
+    order, the byte length of the valid frame prefix, and whether trailing
+    bytes past it had to be dropped (a torn tail).  Never raises for damage
+    — a log is readable up to its first bad frame, by design.
+    """
+    try:
+        with open(path, "rb") as fh:
+            data = fh.read()
+    except OSError:
+        return None, [], 0, False
+    header: Optional[WalHeader] = None
+    records: list[WalRecord] = []
+    offset = 0
+    while offset + _FRAME.size <= len(data):
+        length, crc = _FRAME.unpack_from(data, offset)
+        start = offset + _FRAME.size
+        payload = data[start : start + length]
+        if len(payload) != length or zlib.crc32(payload) != crc:
+            break
+        decoded = _decode_payload(payload)
+        if decoded is None:
+            break
+        if isinstance(decoded, WalHeader):
+            if offset != 0:
+                break  # a header anywhere but first is garbage
+            header = decoded
+        else:
+            if header is None:
+                break  # mutations before a header are unreplayable
+            records.append(decoded)
+        offset = start + length
+    return header, records, offset, offset != len(data)
+
+
+class WriteAheadLog:
+    """An append-only, fsync-on-commit mutation log.
+
+    Opening an existing file scans it, drops any torn tail (truncating the
+    file to the valid prefix so later appends stay reachable), and exposes
+    the surviving header/records.  ``fsync=False`` trades durability for
+    speed (tests, bulk back-fills); the frame CRCs still catch torn writes.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        fsync: bool = True,
+        faults: Optional[FaultInjector] = None,
+    ) -> None:
+        self.path = path
+        self.fsync = fsync
+        self.faults = faults
+        header, records, valid_end, torn = scan_wal(path)
+        self.header = header
+        self._records = records
+        self.torn_tail = torn
+        mode = "r+b" if os.path.exists(path) else "w+b"
+        self._file = open(path, mode)
+        if torn:
+            self._file.truncate(valid_end)
+        self._file.seek(valid_end)
+        self._size = valid_end
+
+    # ---------------------------------------------------------------- write
+
+    def start(
+        self,
+        base_generation: int,
+        base_object_count: int,
+        base_next_id: int,
+    ) -> None:
+        """Write the header frame binding this log to a base generation."""
+        if self.header is not None:
+            raise ValueError("WAL already has a header; truncate() to rebind")
+        self.header = WalHeader(base_generation, base_object_count, base_next_id)
+        self._commit(_encode_header(self.header), "wal header")
+
+    def append_insert(self, obj_id: int, key: int, payload: bytes) -> None:
+        self._append(WalRecord(OP_INSERT, obj_id, key, payload))
+
+    def append_delete(self, key: int, payload: bytes) -> None:
+        self._append(WalRecord(OP_DELETE, -1, key, payload))
+
+    def _append(self, record: WalRecord) -> None:
+        if self.header is None:
+            raise ValueError("WAL has no header; call start() first")
+        self._commit(_encode_mutation(record), "wal append")
+        self._records.append(record)
+
+    def _commit(self, frame: bytes, label: str) -> None:
+        # Crash boundaries on both sides: before the write (nothing logged,
+        # nothing applied) and after the fsync (logged, not yet applied).
+        if self.faults is not None:
+            self.faults.checkpoint(label)
+        self._file.write(frame)
+        self._file.flush()
+        if self.fsync:
+            os.fsync(self._file.fileno())
+        if self.faults is not None:
+            self.faults.checkpoint(f"{label} committed")
+        self._size += len(frame)
+
+    def truncate(
+        self,
+        base_generation: int,
+        base_object_count: int,
+        base_next_id: int,
+    ) -> None:
+        """Atomically reset the log to a fresh header for a new generation.
+
+        Written tmp + fsync + rename, so a crash leaves either the old log
+        (stale once the catalog advanced — ignored on load) or the new
+        empty one; the records being dropped are already folded into the
+        generation the caller just committed.
+        """
+        header = WalHeader(base_generation, base_object_count, base_next_id)
+        frame = _encode_header(header)
+        tmp_path = self.path + ".tmp"
+        with open(tmp_path, "wb") as fh:
+            fh.write(frame)
+            fh.flush()
+            os.fsync(fh.fileno())
+        if self.faults is not None:
+            self.faults.checkpoint("wal truncate rename")
+        os.replace(tmp_path, self.path)
+        _fsync_parent(self.path)
+        self._file.close()
+        self._file = open(self.path, "r+b")
+        self._file.seek(len(frame))
+        self._size = len(frame)
+        self.header = header
+        self._records = []
+        self.torn_tail = False
+
+    # ----------------------------------------------------------------- read
+
+    def records(self) -> list[WalRecord]:
+        return list(self._records)
+
+    @property
+    def record_count(self) -> int:
+        return len(self._records)
+
+    @property
+    def insert_count(self) -> int:
+        return sum(1 for r in self._records if r.op == OP_INSERT)
+
+    @property
+    def delete_count(self) -> int:
+        return sum(1 for r in self._records if r.op == OP_DELETE)
+
+    @property
+    def size_in_bytes(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------ lifecycle
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+            if self.fsync:
+                os.fsync(self._file.fileno())
+            self._file.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def _fsync_parent(path: str) -> None:
+    parent = os.path.dirname(path) or "."
+    try:
+        fd = os.open(parent, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)

@@ -1,0 +1,207 @@
+"""Chaos writes: a concurrent writer under chaos queries, plus epoch views.
+
+The snapshot-consistency contract under test: a writer mutating the tree
+while queries run concurrently must never let a reader observe a
+half-applied mutation.  Every query result must be *sound* — every returned
+object genuinely within range of the query at some epoch — and the final
+tree must pass ``verify()`` exactly.  A second harness pushes WAL-backed
+inserts through the :class:`~repro.service.QueryEngine` while queries
+retry injected transient I/O faults (mutations themselves are never
+retried; they must simply succeed or fail atomically).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.persist import load_tree, open_tree, save_tree
+from repro.core.spbtree import SPBTree
+from repro.core.verify import verify_tree
+from repro.distance import EuclideanDistance
+from repro.service import EpochLock, QueryContext, QueryEngine
+from repro.storage.faults import FaultInjector
+
+
+@pytest.fixture()
+def vec_tree(small_vectors):
+    return SPBTree.build(
+        small_vectors[:200], EuclideanDistance(), seed=7, cache_pages=0
+    )
+
+
+class TestConcurrentWriterAndQueries:
+    def test_queries_stay_sound_during_mutation(self, vec_tree, small_vectors):
+        tree = vec_tree
+        metric = EuclideanDistance()
+        to_insert = small_vectors[200:240]
+        to_delete = small_vectors[:20]
+        writer_errors: list[BaseException] = []
+
+        def writer():
+            try:
+                for i, vec in enumerate(to_insert):
+                    tree.insert(vec)
+                    if i < len(to_delete):
+                        assert tree.delete(to_delete[i])
+            except BaseException as exc:  # noqa: BLE001 — surfaced below
+                writer_errors.append(exc)
+
+        thread = threading.Thread(target=writer)
+        results = []
+        with QueryEngine(tree, workers=3, max_queue=64) as engine:
+            thread.start()
+            pending = []
+            for i in range(36):
+                q = small_vectors[(i * 13) % 200]
+                kind = ("range", "knn", "count")[i % 3]
+                args = (q, 6) if kind == "knn" else (q, 0.8)
+                pending.append((kind, q, engine.submit(kind, *args)))
+            for kind, q, p in pending:
+                results.append((kind, q, p.result(timeout=120)))
+            thread.join(timeout=120)
+        assert not thread.is_alive() and not writer_errors
+
+        # Soundness: every returned object is genuinely within range; every
+        # kNN list is sorted by true distance.  (Completeness relative to a
+        # moving dataset is epoch-dependent; soundness never is.)
+        for kind, q, result in results:
+            assert result.complete
+            assert result.stats is not None
+            if kind == "range":
+                for obj in result:
+                    assert metric(q, obj) <= 0.8 + 1e-9
+            elif kind == "knn":
+                dists = [d for d, obj in result]
+                assert dists == sorted(dists)
+                for d, obj in result:
+                    assert metric(q, obj) == pytest.approx(d)
+            else:
+                assert result.count >= 0
+
+        # The mutations all landed; the final structure audits clean.
+        assert tree.object_count == 200 + len(to_insert) - len(to_delete)
+        report = verify_tree(tree)
+        assert report.ok, report.errors
+        final = sorted(repr(o) for _, _, o in tree.raf.scan())
+        want = sorted(
+            repr(o)
+            for o in list(small_vectors[20:200]) + list(to_insert)
+        )
+        assert final == want
+
+    def test_epoch_is_pinned_on_query_contexts(self, vec_tree, small_vectors):
+        tree = vec_tree
+        ctx = QueryContext()
+        tree.range_query(small_vectors[0], 0.5, context=ctx)
+        assert ctx.epoch == tree._epoch_lock.epoch
+        tree.insert(small_vectors[250])
+        ctx2 = QueryContext()
+        tree.knn_query(small_vectors[1], 4, context=ctx2)
+        assert ctx2.epoch == ctx.epoch + 1
+
+
+class TestWalBackedChaos:
+    def test_engine_mutations_with_chaos_queries(
+        self, small_vectors, tmp_path
+    ):
+        """WAL-backed inserts through the engine while queries retry
+        injected transient faults; afterwards the log replays to exactly
+        the served state."""
+        metric = EuclideanDistance()
+        directory = str(tmp_path / "idx")
+        save_tree(
+            SPBTree.build(small_vectors[:150], metric, seed=7, cache_pages=0),
+            directory,
+        )
+        tree = open_tree(directory, metric, wal_fsync=False)
+        injector = FaultInjector(tree.raf.pagefile, seed=37, io_error_rate=0.01)
+        tree.raf.pagefile = injector
+        tree.raf.buffer_pool.pagefile = injector
+        inserts = list(small_vectors[200:225])
+        with QueryEngine(
+            tree, workers=4, max_queue=128, retry_attempts=25,
+            retry_base_delay=0.001,
+        ) as engine:
+            pending = []
+            for i in range(25):
+                q = small_vectors[(i * 11) % 150]
+                pending.append(engine.submit("insert", inserts[i]))
+                pending.append(engine.submit("range", q, 0.7))
+                pending.append(engine.submit("knn", q, 5))
+            outcomes = [p.result(timeout=120) for p in pending]
+        assert engine.failed == 0
+        assert engine.mutated == len(inserts)
+        assert all(o is not None for o in outcomes)
+        assert tree.wal.insert_count == len(inserts)
+        assert tree.object_count == 150 + len(inserts)
+        tree.raf.pagefile = injector.inner
+        tree.raf.buffer_pool.pagefile = injector.inner
+        report = verify_tree(tree)
+        assert report.ok, report.errors
+        expected = sorted(repr(o) for _, _, o in tree.raf.scan())
+        tree.wal.close()
+        recovered = load_tree(directory, metric)
+        assert sorted(repr(o) for _, _, o in recovered.raf.scan()) == expected
+
+
+class TestEpochLock:
+    def test_epoch_bumps_once_per_write(self):
+        lock = EpochLock()
+        assert lock.epoch == 0
+        with lock.write():
+            pass
+        with lock.write():
+            with lock.write():  # nested write: one logical mutation
+                pass
+        assert lock.epoch == 2
+
+    def test_reads_are_reentrant_and_epoch_stable(self):
+        lock = EpochLock()
+        with lock.write():
+            pass
+        with lock.read() as e1:
+            with lock.read() as e2:
+                assert e1 == e2 == 1
+
+    def test_read_to_write_upgrade_refused(self):
+        lock = EpochLock()
+        with lock.read():
+            with pytest.raises(RuntimeError, match="upgrade"):
+                with lock.write():
+                    pass
+
+    def test_writer_may_read_its_own_snapshot(self):
+        lock = EpochLock()
+        with lock.write():
+            with lock.read() as epoch:  # delete's byte-compare probe
+                assert epoch == lock.epoch
+
+    def test_readers_exclude_writers(self):
+        lock = EpochLock()
+        order: list[str] = []
+        entered = threading.Event()
+        release = threading.Event()
+
+        def reader():
+            with lock.read():
+                order.append("read-start")
+                entered.set()
+                release.wait(timeout=30)
+                order.append("read-end")
+
+        def writer():
+            entered.wait(timeout=30)
+            with lock.write():
+                order.append("write")
+
+        t_read = threading.Thread(target=reader)
+        t_write = threading.Thread(target=writer)
+        t_read.start(), t_write.start()
+        entered.wait(timeout=30)
+        release.set()
+        t_read.join(timeout=30), t_write.join(timeout=30)
+        assert order == ["read-start", "read-end", "write"]
+        assert lock.epoch == 1

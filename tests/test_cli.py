@@ -88,7 +88,18 @@ class TestCli:
             "--num-queries", "9", "--workers", "2", "--queue-size", "4",
         )
         assert result.returncode == 0, result.stderr
-        assert "served 9 queries" in result.stdout
+        assert "served 9 operations" in result.stdout
+        assert "failures  : 0" in result.stdout
+
+    def test_serve_with_mutations(self):
+        result = run_cli(
+            "serve", "--dataset", "words", "--size", "300",
+            "--num-queries", "6", "--mutations", "4", "--workers", "2",
+            "--queue-size", "4",
+        )
+        assert result.returncode == 0, result.stderr
+        assert "served 10 operations" in result.stdout
+        assert "mutations : 4" in result.stdout
         assert "failures  : 0" in result.stdout
 
 
@@ -130,3 +141,59 @@ class TestCliVerifySalvage:
         summary = [line for line in result.stderr.splitlines() if line]
         assert len(summary) == 1
         assert summary[0].startswith("salvage: FAILED — ")
+
+
+@pytest.mark.slow
+class TestCliIncrementalWrites:
+    """The write-path subcommands: insert, delete, log-stats, checkpoint."""
+
+    def test_insert_delete_checkpoint_cycle(self, tmp_path):
+        d = str(tmp_path / "idx")
+        result = run_cli(
+            "build", "--dataset", "words", "--size", "200", "--out", d
+        )
+        assert result.returncode == 0, result.stderr
+
+        result = run_cli("insert", "--dir", d, "--object", "zzyzx")
+        assert result.returncode == 0, result.stderr
+        assert "inserted 'zzyzx'" in result.stdout
+        assert "201 objects" in result.stdout
+
+        result = run_cli("log-stats", "--dir", d)
+        assert result.returncode == 0, result.stderr
+        assert "1 inserts, 0 deletes" in result.stdout
+        assert "generation 1" in result.stdout
+
+        result = run_cli("delete", "--dir", d, "--object", "zzyzx")
+        assert result.returncode == 0, result.stderr
+        assert "200 objects" in result.stdout
+
+        result = run_cli("checkpoint", "--dir", d)
+        assert result.returncode == 0, result.stderr
+        assert "folded 2 WAL records into generation 2" in result.stdout
+
+        result = run_cli("log-stats", "--dir", d)
+        assert "0 inserts, 0 deletes" in result.stdout
+        assert "generation 2" in result.stdout
+
+        # The folded index still audits clean.
+        result = run_cli("verify", "--dir", d)
+        assert result.returncode == 0, result.stderr
+
+    def test_delete_missing_object_exits_nonzero(self, tmp_path):
+        d = str(tmp_path / "idx")
+        assert run_cli(
+            "build", "--dataset", "words", "--size", "120", "--out", d
+        ).returncode == 0
+        result = run_cli("delete", "--dir", d, "--object", "nonexistentword")
+        assert result.returncode == 1
+        assert "not found" in result.stderr
+
+    def test_log_stats_without_wal(self, tmp_path):
+        d = str(tmp_path / "idx")
+        assert run_cli(
+            "build", "--dataset", "words", "--size", "120", "--out", d
+        ).returncode == 0
+        result = run_cli("log-stats", "--dir", d)
+        assert result.returncode == 0, result.stderr
+        assert "no write-ahead log" in result.stdout

@@ -1,0 +1,207 @@
+"""Crash matrix: kill the process at *every* write boundary of a mutation.
+
+A logged mutation crosses three stores — the WAL file, the RAF pages, and
+the B+-tree pages.  Chained :class:`FaultInjector`\\ s give all of them one
+master crash counter, so the matrix places a :class:`SimulatedCrash` at
+every boundary in turn, reopens the directory, and asserts the recovered
+tree equals a *prefix* of the mutation script — each mutation is all (its
+WAL record committed, replayed on load) or nothing (it never reached the
+log); never a hybrid.  ``verify()`` must pass after every recovery.
+
+A second matrix does the same to ``checkpoint()``: wherever it dies — mid
+page dump, before the catalog rename, between the rename and the WAL
+truncation — a reload yields exactly the fully-mutated tree.
+"""
+
+from __future__ import annotations
+
+import shutil
+
+import pytest
+
+from repro.core.persist import load_tree, open_tree, save_tree
+from repro.core.spbtree import SPBTree
+from repro.core.verify import verify_tree
+from repro.storage.faults import FaultInjector, SimulatedCrash
+from repro.storage.wal import WriteAheadLog
+
+
+@pytest.fixture(scope="module")
+def base_dir(tmp_path_factory, small_words, edit):
+    """A saved generation-1 index the matrix copies for every crash point."""
+    tree = SPBTree.build(small_words[:60], edit, num_pivots=3, seed=7)
+    directory = str(tmp_path_factory.mktemp("crash") / "idx")
+    save_tree(tree, directory)
+    return directory
+
+
+def _script(words):
+    """The mutation sequence under test: inserts, deletes of base objects,
+    and a delete of an object inserted earlier in the same log."""
+    return [
+        ("insert", "zzyzx"),
+        ("delete", words[3]),
+        ("insert", "syzygy"),
+        ("delete", "zzyzx"),
+        ("insert", "qwerty"),
+    ]
+
+
+def _live(tree) -> list[str]:
+    return sorted(obj for _, _, obj in tree.raf.scan())
+
+
+def _chain_stores(tree, master: FaultInjector) -> None:
+    """Route every RAF and B+-tree page write through the master counter."""
+    raf_inj = FaultInjector(tree.raf.pagefile, chain=master)
+    tree.raf.pagefile = raf_inj
+    tree.raf.buffer_pool.pagefile = raf_inj
+    tree.btree.pagefile = FaultInjector(tree.btree.pagefile, chain=master)
+
+
+def _open_chained(directory: str, metric, master: FaultInjector):
+    tree = open_tree(directory, metric, faults=master)
+    _chain_stores(tree, master)
+    return tree
+
+
+def _run_script(tree, script) -> None:
+    for op, obj in script:
+        getattr(tree, op)(obj)
+
+
+@pytest.fixture(scope="module")
+def expected_states(base_dir, tmp_path_factory, small_words, edit):
+    """Live-object multisets after 0..m mutations (the only legal states)."""
+    directory = str(tmp_path_factory.mktemp("truth") / "idx")
+    shutil.copytree(base_dir, directory)
+    tree = open_tree(directory, edit)
+    states = [_live(tree)]
+    for op, obj in _script(small_words):
+        getattr(tree, op)(obj)
+        states.append(_live(tree))
+    tree.wal.close()
+    return states
+
+
+def _count_boundaries(base_dir, tmp_path, metric, script) -> int:
+    directory = str(tmp_path / "count")
+    shutil.copytree(base_dir, directory)
+    master = FaultInjector()  # no crash_after: just counts boundaries
+    tree = _open_chained(directory, metric, master)
+    _run_script(tree, script)
+    tree.wal.close()
+    return master.ops
+
+
+class TestMutationCrashMatrix:
+    def test_every_boundary_recovers_to_a_prefix_state(
+        self, base_dir, tmp_path, small_words, edit, expected_states
+    ):
+        script = _script(small_words)
+        total = _count_boundaries(base_dir, tmp_path, edit, script)
+        assert total >= 2 * len(script)  # at least the WAL commit boundaries
+        survived_all = 0
+        for n in range(total + 1):
+            directory = str(tmp_path / f"crash-{n}")
+            shutil.copytree(base_dir, directory)
+            master = FaultInjector(crash_after=n)
+            tree = None
+            try:
+                tree = _open_chained(directory, edit, master)
+                _run_script(tree, script)
+                survived_all += 1
+            except SimulatedCrash:
+                pass
+            finally:
+                if tree is not None and tree.wal is not None:
+                    tree.wal._file.close()  # drop the handle, no final fsync
+            # The "process" is dead; recovery sees only the disk state.
+            recovered = load_tree(directory, edit)
+            state = _live(recovered)
+            assert state in expected_states, (
+                f"crash point {n} left a hybrid state (not any mutation prefix)"
+            )
+            report = verify_tree(recovered)
+            assert report.ok, f"crash point {n}: {report.errors}"
+        # Only the fault-free tail of the matrix completes the script.
+        assert survived_all == 1
+
+    def test_crash_before_first_wal_commit_loses_nothing_applied(
+        self, base_dir, tmp_path, small_words, edit, expected_states
+    ):
+        """Crash point 0 dies before anything reaches the log: the reload
+        must be exactly the base generation."""
+        directory = str(tmp_path / "crash-first")
+        shutil.copytree(base_dir, directory)
+        master = FaultInjector(crash_after=0)
+        with pytest.raises(SimulatedCrash):
+            tree = _open_chained(directory, edit, master)
+            _run_script(tree, _script(small_words))
+        recovered = load_tree(directory, edit)
+        assert _live(recovered) == expected_states[0]
+
+
+class TestCheckpointCrashMatrix:
+    def _mutated_dir(self, base_dir, dst: str, metric, script):
+        shutil.copytree(base_dir, dst)
+        tree = open_tree(dst, metric)
+        _run_script(tree, script)
+        return tree
+
+    def test_checkpoint_crash_never_loses_a_mutation(
+        self, base_dir, tmp_path, small_words, edit
+    ):
+        script = _script(small_words)
+        # Count the checkpoint's own boundaries (page dumps, catalog rename,
+        # WAL truncation) on a throwaway copy.
+        probe = self._mutated_dir(base_dir, str(tmp_path / "probe"), edit, script)
+        expected = _live(probe)
+        master = FaultInjector()
+        _chain_stores(probe, master)
+        probe.wal.faults = master  # count the WAL truncation boundary too
+        probe.checkpoint(faults=master)
+        probe.wal.close()
+        total = master.ops
+        assert total >= 3
+        for n in range(total + 1):
+            directory = str(tmp_path / f"ckpt-{n}")
+            tree = self._mutated_dir(base_dir, directory, edit, script)
+            master = FaultInjector(crash_after=n)
+            _chain_stores(tree, master)
+            tree.wal.faults = master
+            try:
+                tree.checkpoint(faults=master)
+            except SimulatedCrash:
+                pass
+            finally:
+                tree.wal._file.close()
+            recovered = load_tree(directory, edit)
+            # Old generation + live WAL, or new generation + stale WAL:
+            # both must replay to exactly the fully-mutated tree.
+            assert _live(recovered) == expected, f"checkpoint crash point {n}"
+            assert recovered.object_count == tree.object_count
+            report = verify_tree(recovered)
+            assert report.ok, f"checkpoint crash point {n}: {report.errors}"
+
+    def test_begin_logging_after_checkpoint_crash_window(
+        self, base_dir, tmp_path, small_words, edit
+    ):
+        """After the stale-WAL crash window, reopening for writes rebinds
+        the log and new mutations land on the new generation."""
+        import os
+
+        directory = str(tmp_path / "rebind")
+        tree = self._mutated_dir(base_dir, directory, edit, _script(small_words))
+        # Crash between the catalog rename and the WAL truncation: commit
+        # the new generation but leave the old log behind.
+        save_tree(tree, directory)
+        tree.wal._file.close()
+        reopened = open_tree(directory, edit)  # resets the stale log
+        assert reopened.wal.record_count == 0
+        reopened.insert("postcrash")
+        expected = _live(reopened)
+        reopened.wal.close()
+        final = load_tree(directory, edit)
+        assert _live(final) == expected
+        assert os.path.exists(os.path.join(directory, "wal.log"))

@@ -1,0 +1,149 @@
+"""Mutate-then-persist: incremental writes must survive the save/load cycle.
+
+Three guarantees under test: (1) a tree mutated after construction saves
+and reloads to the identical state; (2) deleted objects stay deleted across
+every persistence path (save/load, WAL replay, checkpoint); (3) objects
+that collide on the same SFC key — equidistant from every pivot — are
+distinguished by the byte-level compare, so deleting one never takes the
+other with it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.persist import load_tree, open_tree, save_tree
+from repro.core.spbtree import SPBTree
+from repro.core.verify import verify_tree
+from repro.distance import EuclideanDistance
+
+
+def _live(tree) -> list[str]:
+    return sorted(repr(obj) for _, _, obj in tree.raf.scan())
+
+
+class TestMutateThenPersist:
+    def test_insert_delete_save_load_round_trip(self, small_words, edit, tmp_path):
+        tree = SPBTree.build(small_words[:100], edit, num_pivots=3, seed=7)
+        for word in ("zzyzx", "syzygy", "abcde"):
+            tree.insert(word)
+        assert tree.delete(small_words[3])
+        assert tree.delete("abcde")
+        directory = str(tmp_path / "idx")
+        save_tree(tree, directory)
+        loaded = load_tree(directory, edit)
+        assert _live(loaded) == _live(tree)
+        assert loaded.object_count == tree.object_count
+        assert verify_tree(loaded).ok
+        # Query parity between the mutated original and the reload.
+        for q in ("zzyzx", small_words[3], small_words[10]):
+            assert sorted(map(repr, loaded.range_query(q, 1))) == sorted(
+                map(repr, tree.range_query(q, 1))
+            )
+
+    def test_deleted_stay_deleted_across_reloads(self, small_words, edit, tmp_path):
+        tree = SPBTree.build(small_words[:60], edit, num_pivots=3, seed=7)
+        victims = small_words[:5]
+        for word in victims:
+            assert tree.delete(word)
+        directory = str(tmp_path / "idx")
+        save_tree(tree, directory)
+        # Two full save/load generations: tombstones must persist through both.
+        middle = load_tree(directory, edit)
+        save_tree(middle, directory)
+        final = load_tree(directory, edit)
+        assert final.object_count == 55
+        for word in victims:
+            assert final.range_query(word, 0) == []
+            assert not final.delete(word)  # really gone, not hidden
+        assert verify_tree(final).ok
+
+    def test_deleted_stay_deleted_through_wal_and_checkpoint(
+        self, small_words, edit, tmp_path
+    ):
+        directory = str(tmp_path / "idx")
+        save_tree(SPBTree.build(small_words[:60], edit, num_pivots=3, seed=7), directory)
+        tree = open_tree(directory, edit)
+        assert tree.delete(small_words[7])
+        tree.wal.close()
+        replayed = load_tree(directory, edit)  # tombstone via WAL replay
+        assert replayed.range_query(small_words[7], 0) == []
+        tree = open_tree(directory, edit)
+        assert tree.range_query(small_words[7], 0) == []
+        tree.checkpoint()  # tombstone folded into the new generation
+        tree.wal.close()
+        folded = load_tree(directory, edit)
+        assert folded.range_query(small_words[7], 0) == []
+        assert folded.object_count == 59
+
+    def test_delete_then_reinsert(self, small_words, edit, tmp_path):
+        directory = str(tmp_path / "idx")
+        save_tree(SPBTree.build(small_words[:60], edit, num_pivots=3, seed=7), directory)
+        tree = open_tree(directory, edit)
+        word = small_words[11]
+        assert tree.delete(word)
+        tree.insert(word)
+        assert tree.range_query(word, 0) == [word]
+        assert tree.object_count == 60
+        tree.wal.close()
+        recovered = load_tree(directory, edit)
+        assert recovered.range_query(word, 0) == [word]
+        assert recovered.object_count == 60
+        assert verify_tree(recovered).ok
+
+
+class TestDuplicateSfcKeys:
+    """Objects equidistant from every pivot share an SFC key; the byte-level
+    compare must still tell them apart."""
+
+    @pytest.fixture()
+    def twin_tree(self):
+        # v1/v2 are mirror images across the pivot axis: identical distance
+        # to both pivots, hence identical pivot mapping and SFC key.
+        self.v1 = np.array([5.0, 3.0])
+        self.v2 = np.array([5.0, -3.0])
+        pivots = [np.array([0.0, 0.0]), np.array([10.0, 0.0])]
+        filler = [np.array([float(i), float(i % 7)]) for i in range(20)]
+        tree = SPBTree.build(
+            filler, EuclideanDistance(), pivots=pivots, d_plus=20.0
+        )
+        tree.insert(self.v1)
+        tree.insert(self.v2)
+        return tree
+
+    def test_twins_share_a_key(self, twin_tree):
+        k1 = twin_tree.curve.encode(twin_tree.space.grid(self.v1))
+        k2 = twin_tree.curve.encode(twin_tree.space.grid(self.v2))
+        assert k1 == k2
+
+    def test_delete_removes_exactly_the_matching_twin(self, twin_tree):
+        assert twin_tree.delete(self.v1)
+        assert [repr(o) for o in twin_tree.range_query(self.v1, 0.01)] == []
+        assert [repr(o) for o in twin_tree.range_query(self.v2, 0.01)] == [
+            repr(self.v2)
+        ]
+        # Deleting the same twin again finds nothing; the other remains.
+        assert not twin_tree.delete(self.v1)
+        assert twin_tree.delete(self.v2)
+        assert verify_tree(twin_tree).ok
+
+    def test_twins_survive_wal_replay(self, tmp_path):
+        v1, v2 = np.array([5.0, 3.0]), np.array([5.0, -3.0])
+        pivots = [np.array([0.0, 0.0]), np.array([10.0, 0.0])]
+        filler = [np.array([float(i), float(i % 7)]) for i in range(20)]
+        tree = SPBTree.build(
+            filler, EuclideanDistance(), pivots=pivots, d_plus=20.0
+        )
+        directory = str(tmp_path / "idx")
+        save_tree(tree, directory)
+        live = open_tree(directory, EuclideanDistance())
+        live.insert(v1)
+        live.insert(v2)
+        assert live.delete(v1)  # logged as key + exact bytes
+        live.wal.close()
+        recovered = load_tree(directory, EuclideanDistance())
+        assert [repr(o) for o in recovered.range_query(v1, 0.01)] == []
+        assert [repr(o) for o in recovered.range_query(v2, 0.01)] == [repr(v2)]
+        assert recovered.object_count == 21
+        assert verify_tree(recovered).ok
