@@ -61,6 +61,8 @@ from repro.baselines import (
     quickjoin,
 )
 from repro.datasets import load_dataset
+from repro import obs
+from repro.obs import MetricsRegistry, QueryTrace, SlowQueryLog, get_registry
 from repro.recovery import SalvageReport, salvage_tree
 from repro.service import (
     BudgetExceeded,
@@ -138,4 +140,10 @@ __all__ = [
     "BudgetExceeded",
     "QueryCancelled",
     "Overloaded",
+    # observability
+    "obs",
+    "MetricsRegistry",
+    "get_registry",
+    "QueryTrace",
+    "SlowQueryLog",
 ]

@@ -12,6 +12,7 @@
     python -m repro.cli delete    --dir ./index --object defoliate
     python -m repro.cli log-stats --dir ./index
     python -m repro.cli checkpoint --dir ./index
+    python -m repro.cli metrics   --dataset words --size 2000
 
 ``info`` prints dataset statistics (intrinsic dimensionality, d+, pivot-set
 precision); ``range``/``knn`` build an SPB-tree and run one query with cost
@@ -26,17 +27,31 @@ write-ahead log and apply one durable mutation; ``log-stats`` inspects the
 log without loading the index; ``checkpoint`` folds the log into a fresh
 on-disk generation.  ``serve --mutations N`` mixes concurrent writes into
 the query workload.
+
+Observability: ``metrics`` runs a short instrumented workload and prints a
+Prometheus text exposition on stdout (everything else goes to stderr, so it
+pipes cleanly into a scraper); ``serve --metrics`` instruments the workload
+and emits the same exposition (``--metrics-out FILE`` to write it to a
+file), ``--slow-log FILE --slow-ms T`` appends JSON entries for queries over
+the threshold, and ``--snapshot-dir DIR`` writes periodic diffable counter
+snapshots.  ``verify`` and ``serve`` always end with a one-line buffer-pool
+hit-rate summary on stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import os
 import random
+import shutil
 import sys
+import tempfile
 import time
 from typing import Optional, Sequence
+
+from repro import obs
 
 from repro.baselines import MIndex, MTree, OmniRTree
 from repro.core.costmodel import CostModel
@@ -60,6 +75,7 @@ from repro.distance import (
 )
 from repro.recovery import salvage_tree
 from repro.service import BudgetExceeded, Overloaded, QueryContext, QueryEngine
+from repro.storage.wal import WriteAheadLog
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -319,9 +335,21 @@ def cmd_query(args: argparse.Namespace) -> None:
     )
 
 
-def cmd_serve(args: argparse.Namespace) -> None:
-    """Drive a concurrent mixed workload through the QueryEngine."""
-    dataset, tree = _build(args)
+def _hit_rate_line(prog: str, tree: SPBTree) -> str:
+    """The one-line buffer-pool summary verify/serve print on stderr."""
+    pool = tree.raf.buffer_pool if tree.raf is not None else None
+    hits = pool.hits if pool is not None else 0
+    misses = pool.misses if pool is not None else 0
+    total = hits + misses
+    rate = 100.0 * hits / total if total else 0.0
+    return (
+        f"{prog}: buffer hit-rate {rate:.1f}% "
+        f"({hits} hits / {misses} misses)"
+    )
+
+
+def _mixed_ops(args: argparse.Namespace, dataset) -> list:
+    """The serve/metrics workload: shuffled queries plus optional writers."""
     n = args.num_queries
     queries = [dataset.queries[i % len(dataset.queries)] for i in range(n)]
     radius = dataset.d_plus * args.radius_percent / 100.0
@@ -338,41 +366,136 @@ def cmd_serve(args: argparse.Namespace) -> None:
         obj = dataset.objects[rng.randrange(len(dataset.objects))]
         ops.append(("insert" if j % 2 == 0 else "delete", (obj,)))
     rng.shuffle(ops)
+    return ops
+
+
+def cmd_serve(args: argparse.Namespace) -> None:
+    """Drive a concurrent mixed workload through the QueryEngine."""
+    dataset, tree = _build(args)
+    ops = _mixed_ops(args, dataset)
+    slow_log = None
+    if args.slow_log is not None:
+        slow_log = obs.SlowQueryLog(
+            path=args.slow_log, threshold_ms=args.slow_ms
+        )
+    snapshots = None
+    if args.snapshot_dir is not None:
+        snapshots = obs.SnapshotWriter(
+            args.snapshot_dir, interval_seconds=args.snapshot_interval
+        )
+    if args.metrics:
+        obs.enable()
+    wal_dir = None
+    if args.metrics and args.mutations > 0:
+        # Give the in-memory tree a throwaway WAL so the write side of the
+        # workload populates the WAL metric families too.
+        wal_dir = tempfile.mkdtemp(prefix="repro-serve-wal-")
+        tree.begin_logging(WriteAheadLog(os.path.join(wal_dir, "wal.log")))
     t0 = time.perf_counter()
     partial = 0
-    with QueryEngine(
-        tree,
-        workers=args.workers,
-        max_queue=args.queue_size,
-        **{f"default_{k}": v for k, v in _limits(args).items()},
-    ) as engine:
-        pending = []
-        for kind, op_args in ops:
-            while True:
-                try:
-                    pending.append(engine.submit(kind, *op_args))
-                    break
-                except Overloaded:
-                    # Backpressure: wait for the queue to drain a little.
-                    time.sleep(0.005)
-        for p in pending:
-            result = p.result()
-            if not getattr(result, "complete", True):
-                partial += 1
-        elapsed = time.perf_counter() - t0
+    try:
+        with QueryEngine(
+            tree,
+            workers=args.workers,
+            max_queue=args.queue_size,
+            trace_queries=args.metrics,
+            slow_log=slow_log,
+            **{f"default_{k}": v for k, v in _limits(args).items()},
+        ) as engine:
+            pending = []
+            for kind, op_args in ops:
+                while True:
+                    try:
+                        pending.append(engine.submit(kind, *op_args))
+                        break
+                    except Overloaded:
+                        # Backpressure: wait for the queue to drain a little.
+                        time.sleep(0.005)
+                if snapshots is not None:
+                    snapshots.maybe_write()
+            for p in pending:
+                result = p.result()
+                if not getattr(result, "complete", True):
+                    partial += 1
+            elapsed = time.perf_counter() - t0
+            print(
+                f"\nserved {engine.served} operations ({len(ops)} submitted) "
+                f"with {args.workers} workers in {elapsed:.2f}s "
+                f"({len(ops) / elapsed:.0f} ops/s)"
+            )
+            print(
+                f"complete  : {engine.served - partial - engine.mutated}\n"
+                f"partial   : {partial}\n"
+                f"mutations : {engine.mutated} "
+                f"(tree now holds {tree.object_count:,} objects)\n"
+                f"rejections: {engine.rejected} (resubmitted after backpressure)\n"
+                f"failures  : {engine.failed}"
+            )
+    finally:
+        if wal_dir is not None:
+            tree.wal.close()
+            shutil.rmtree(wal_dir, ignore_errors=True)
+    if snapshots is not None:
+        snapshots.write(meta={"event": "final"})
+        print(f"snapshots : {snapshots.written} written to {args.snapshot_dir}")
+    if slow_log is not None:
         print(
-            f"\nserved {engine.served} operations ({len(ops)} submitted) "
-            f"with {args.workers} workers in {elapsed:.2f}s "
-            f"({len(ops) / elapsed:.0f} ops/s)"
+            f"slow log  : {slow_log.recorded} queries over "
+            f"{args.slow_ms:g} ms -> {args.slow_log}"
         )
+        slow_log.close()
+    print(_hit_rate_line("serve", tree), file=sys.stderr)
+    if args.metrics:
+        text = obs.render_text()
+        if args.metrics_out is not None:
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            print(f"metrics   : Prometheus text written to {args.metrics_out}")
+        else:
+            print(text, end="")
+
+
+def cmd_metrics(args: argparse.Namespace) -> None:
+    """Run a short instrumented workload; print Prometheus text on stdout.
+
+    Build progress and summaries go to stderr so stdout is *only* the
+    exposition — ``python -m repro.cli metrics | your-scraper`` just works.
+    """
+    obs.enable()
+    with contextlib.redirect_stdout(sys.stderr):
+        dataset, tree = _build(args)
+    ops = _mixed_ops(args, dataset)
+    wal_dir = tempfile.mkdtemp(prefix="repro-metrics-wal-")
+    try:
+        # A throwaway WAL: its header commit alone exercises the fsync and
+        # appended-bytes families even when --mutations is 0.
+        tree.begin_logging(WriteAheadLog(os.path.join(wal_dir, "wal.log")))
+        with QueryEngine(
+            tree, workers=args.workers, trace_queries=True
+        ) as engine:
+            pending = []
+            for kind, op_args in ops:
+                while True:
+                    try:
+                        pending.append(engine.submit(kind, *op_args))
+                        break
+                    except Overloaded:
+                        time.sleep(0.005)
+            for p in pending:
+                p.result()
+        if args.mutations > 0:
+            tree.checkpoint(os.path.join(wal_dir, "checkpoint"))
         print(
-            f"complete  : {engine.served - partial - engine.mutated}\n"
-            f"partial   : {partial}\n"
-            f"mutations : {engine.mutated} "
-            f"(tree now holds {tree.object_count:,} objects)\n"
-            f"rejections: {engine.rejected} (resubmitted after backpressure)\n"
-            f"failures  : {engine.failed}"
+            f"metrics: instrumented {len(ops)} operations over "
+            f"{args.dataset}; exposition follows on stdout",
+            file=sys.stderr,
         )
+        print(_hit_rate_line("metrics", tree), file=sys.stderr)
+    finally:
+        if tree.wal is not None:
+            tree.wal.close()
+        shutil.rmtree(wal_dir, ignore_errors=True)
+    sys.stdout.write(obs.render_text())
 
 
 def cmd_build(args: argparse.Namespace) -> None:
@@ -392,12 +515,19 @@ def cmd_verify(args: argparse.Namespace) -> None:
         raise SystemExit(1) from exc
     report = tree.verify(check_objects=not args.fast)
     print(report.summary())
+    rate = report.buffer_hit_rate * 100.0
     if not report.ok:
         print(
-            f"verify: FAILED — {args.dir}: {len(report.errors)} error(s) found",
+            f"verify: FAILED — {args.dir}: {len(report.errors)} error(s) found "
+            f"(buffer hit-rate {rate:.1f}%)",
             file=sys.stderr,
         )
         raise SystemExit(1)
+    print(
+        f"verify: OK — {args.dir}: buffer hit-rate {rate:.1f}% "
+        f"({report.buffer_hits} hits / {report.buffer_misses} misses)",
+        file=sys.stderr,
+    )
 
 
 def _parse_object(directory: str, value: str):
@@ -588,7 +718,46 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         help="number of concurrent insert/delete operations to mix in",
     )
     _add_limits(p_serve)
+    p_serve.add_argument(
+        "--metrics", action="store_true",
+        help="instrument the workload and emit a Prometheus text exposition",
+    )
+    p_serve.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write the exposition to FILE instead of stdout",
+    )
+    p_serve.add_argument(
+        "--slow-log", default=None, metavar="FILE",
+        help="append JSON entries for queries slower than --slow-ms",
+    )
+    p_serve.add_argument(
+        "--slow-ms", type=float, default=100.0,
+        help="slow-query threshold in milliseconds (default: 100)",
+    )
+    p_serve.add_argument(
+        "--snapshot-dir", default=None, metavar="DIR",
+        help="write periodic diffable metric snapshots into DIR",
+    )
+    p_serve.add_argument(
+        "--snapshot-interval", type=float, default=10.0,
+        help="seconds between periodic snapshots (default: 10)",
+    )
     p_serve.set_defaults(fn=cmd_serve)
+
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="run a short instrumented workload; Prometheus text on stdout",
+    )
+    _add_common(p_metrics)
+    p_metrics.add_argument("--num-queries", type=int, default=12)
+    p_metrics.add_argument("--workers", type=int, default=2)
+    p_metrics.add_argument("--k", type=int, default=8)
+    p_metrics.add_argument("--radius-percent", type=float, default=8.0)
+    p_metrics.add_argument(
+        "--mutations", type=int, default=4,
+        help="insert/delete operations mixed in (exercises the WAL families)",
+    )
+    p_metrics.set_defaults(fn=cmd_metrics)
 
     p_build = sub.add_parser("build", help="build and save an index directory")
     _add_common(p_build)

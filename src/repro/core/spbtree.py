@@ -31,6 +31,8 @@ from typing import Any, Callable, Iterator, Optional, Sequence
 
 from repro.btree.node import LeafEntry, Node
 from repro.btree.tree import BPlusTree
+from repro.obs import instruments as _instruments
+from repro.obs import registry as _obsreg
 from repro.core.mapping import PivotSpace
 from repro.core.pivots import select_pivots
 from repro.distance.base import CountingDistance, Metric
@@ -463,10 +465,15 @@ class SPBTree:
             raise ValueError("no WAL attached; call begin_logging() first")
         if directory is None:
             directory = os.path.dirname(self.wal.path) or "."
+        t0 = time.perf_counter() if _obsreg.ENABLED else 0.0
         with self._epoch_lock.write():
             generation = save_tree(self, directory, faults=faults)
             self._generation = generation
             self.wal.truncate(generation, self.object_count, self._next_id)
+        if _obsreg.ENABLED:
+            _instruments.wal().checkpoint_seconds.observe(
+                time.perf_counter() - t0
+            )
         return generation
 
     def _unobserve(self, grid: tuple[int, ...]) -> None:
@@ -525,6 +532,8 @@ class SPBTree:
                 if context.strict:
                     raise context.raise_for(exc.reason) from None
                 complete, reason = False, exc.reason
+            if context.trace is not None:
+                context.trace.finish(context, complete, reason)
             return QueryResult(
                 results,
                 complete=complete,
@@ -539,37 +548,71 @@ class SPBTree:
         results: list[Any],
         ctx: Optional[QueryContext],
     ) -> None:
-        phi_q = self.space.phi(query)
+        tr = ctx.trace if ctx is not None else None
+        if tr is not None:
+            with tr.region(tr.span("map"), ctx):
+                phi_q = self.space.phi(query)  # |P| compdists
+        else:
+            phi_q = self.space.phi(query)
         if ctx is not None:
             ctx.checkpoint()
-        rr_lo, rr_hi = self.space.range_region(phi_q, radius)
-        root = self.btree.read_node(self.btree.root_page)
-        if root.is_leaf:
-            box = self.btree.node_box(root)
-            if box is not None and boxes_intersect(rr_lo, rr_hi, *box):
-                self._range_leaf(
-                    root, box, query, radius, phi_q, (rr_lo, rr_hi), results, ctx
-                )
-            return
-        stack: list[tuple[int, tuple]] = []
-        for entry in root.entries:
-            box = self.btree.decode_box(entry)
-            if boxes_intersect(rr_lo, rr_hi, *box):  # Lemma 1
-                stack.append((entry.child, box))
+        rr = self.space.range_region(phi_q, radius)
+        # Depth-first over (page, parent MBB, level); the root carries no
+        # parent entry, so its box is None and leaf roots self-derive one.
+        stack: list[tuple[int, Optional[tuple], int]] = [
+            (self.btree.root_page, None, 0)
+        ]
         while stack:
             if ctx is not None:
                 ctx.checkpoint()
-            page_id, box = stack.pop()
-            node = self.btree.read_node(page_id)
-            if node.is_leaf:
-                self._range_leaf(
-                    node, box, query, radius, phi_q, (rr_lo, rr_hi), results, ctx
-                )
+            page_id, box, depth = stack.pop()
+            if tr is not None:
+                with tr.region(tr.level(depth), ctx):
+                    self._range_visit(
+                        page_id, box, depth, query, radius, phi_q, rr,
+                        results, stack, ctx, tr,
+                    )
             else:
-                for entry in node.entries:
-                    child_box = self.btree.decode_box(entry)
-                    if boxes_intersect(rr_lo, rr_hi, *child_box):  # Lemma 1
-                        stack.append((entry.child, child_box))
+                self._range_visit(
+                    page_id, box, depth, query, radius, phi_q, rr,
+                    results, stack, ctx, None,
+                )
+
+    def _range_visit(
+        self,
+        page_id: int,
+        box: Optional[tuple],
+        depth: int,
+        query: Any,
+        radius: float,
+        phi_q: tuple[float, ...],
+        rr: tuple,
+        results: list[Any],
+        stack: list,
+        ctx: Optional[QueryContext],
+        tr: Optional[Any],
+    ) -> None:
+        """Process one node of Algorithm 1's descent (all costs belong to
+        the caller-entered span of this node's level)."""
+        rr_lo, rr_hi = rr
+        node = self.btree.read_node(page_id)
+        if tr is not None:
+            tr.bump("nodes_visited")
+        if node.is_leaf:
+            if box is None:  # leaf root: derive the MBB a parent would hold
+                box = self.btree.node_box(node)
+                if box is None or not boxes_intersect(rr_lo, rr_hi, *box):
+                    return
+            self._range_leaf(
+                node, box, query, radius, phi_q, rr, results, ctx, tr
+            )
+            return
+        for entry in node.entries:
+            child_box = self.btree.decode_box(entry)
+            if boxes_intersect(rr_lo, rr_hi, *child_box):  # Lemma 1
+                stack.append((entry.child, child_box, depth + 1))
+            elif tr is not None:
+                tr.bump("children_pruned_lemma1")
 
     def _range_leaf(
         self,
@@ -581,6 +624,7 @@ class SPBTree:
         rr: tuple,
         results: list[Any],
         ctx: Optional[QueryContext] = None,
+        tr: Optional[Any] = None,
     ) -> None:
         """Leaf handling of Algorithm 1, lines 11–23."""
         rr_lo, rr_hi = rr
@@ -588,7 +632,7 @@ class SPBTree:
             # MBB(N) ⊆ RR: every entry is inside the range region.
             for entry in node.entries:
                 self._verify_range(
-                    entry, query, radius, phi_q, rr, False, results, ctx
+                    entry, query, radius, phi_q, rr, False, results, ctx, tr
                 )
             return
         inter = box_intersection(rr_lo, rr_hi, *box)
@@ -597,6 +641,8 @@ class SPBTree:
         if self.use_sfc_enumeration and box_cell_count(*inter) < node.count:
             # computeSFC fast path: enumerate the (few) SFC values in the
             # intersected region and merge against the sorted leaf keys.
+            if tr is not None:
+                tr.bump("sfc_fast_path")
             values = sfc_values_in_box(self.curve, *inter)
             vi, ei = 0, 0
             entries = node.entries
@@ -604,7 +650,8 @@ class SPBTree:
                 key = entries[ei].key
                 if key == values[vi]:
                     self._verify_range(
-                        entries[ei], query, radius, phi_q, rr, False, results, ctx
+                        entries[ei], query, radius, phi_q, rr, False, results,
+                        ctx, tr,
                     )
                     ei += 1
                 elif key > values[vi]:
@@ -613,7 +660,9 @@ class SPBTree:
                     ei += 1
             return
         for entry in node.entries:
-            self._verify_range(entry, query, radius, phi_q, rr, True, results, ctx)
+            self._verify_range(
+                entry, query, radius, phi_q, rr, True, results, ctx, tr
+            )
 
     def _verify_range(
         self,
@@ -625,6 +674,7 @@ class SPBTree:
         check_rr: bool,
         results: list[Any],
         ctx: Optional[QueryContext] = None,
+        tr: Optional[Any] = None,
     ) -> None:
         """VerifyRQ of Algorithm 1 (lines 25–29)."""
         assert self.raf is not None
@@ -632,6 +682,8 @@ class SPBTree:
             ctx.checkpoint()
         cell = self.curve.decode(entry.key)
         if check_rr and not point_in_box(cell, *rr):  # Lemma 1
+            if tr is not None:
+                tr.bump("entries_pruned_lemma1")
             return
         if self.raf.is_deleted(entry.ptr):
             return
@@ -640,8 +692,12 @@ class SPBTree:
         if self.use_lemma2:
             for coord, dq in zip(cell, phi_q):
                 if self.space.upper_bound_to_pivot(coord) <= radius - dq:
+                    if tr is not None:
+                        tr.bump("lemma2_accepts")
                     results.append(self.raf.read_object(entry.ptr))
                     return
+        if tr is not None:
+            tr.bump("entries_verified")
         obj = self.raf.read_object(entry.ptr)
         if self.distance(query, obj) <= radius:
             results.append(obj)
@@ -681,7 +737,7 @@ class SPBTree:
                 if self.raf is None or self.object_count == 0:
                     return []
                 result: list[tuple[float, int, Any]] = []
-                heap: list[tuple[float, int, int, object]] = []
+                heap: list[tuple[float, int, int, object, int]] = []
                 self._knn_search(query, k, traversal, result, heap, None)
             ordered = sorted((-negd, tb, obj) for negd, tb, obj in result)
             return [(d, obj) for d, _, obj in ordered]
@@ -708,6 +764,8 @@ class SPBTree:
                 # neighbours at or below the frontier are true kNN members.
                 frontier = heap[0][0] if heap else float("inf")
                 items = [(d, obj) for d, obj in items if d <= frontier]
+            if context.trace is not None:
+                context.trace.finish(context, complete, reason)
             return QueryResult(
                 items,
                 complete=complete,
@@ -721,13 +779,24 @@ class SPBTree:
         k: int,
         traversal: str,
         result: list[tuple[float, int, Any]],
-        heap: list[tuple[float, int, int, object]],
+        heap: list[tuple[float, int, int, object, int]],
         ctx: Optional[QueryContext],
     ) -> None:
         """Best-first NNA loop, filling ``result`` (a max-heap of
         ``(-distance, tiebreak, object)``) and leaving unexplored lower
-        bounds in ``heap`` when a context checkpoint aborts the search."""
-        phi_q = self.space.phi(query)
+        bounds in ``heap`` when a context checkpoint aborts the search.
+
+        Heap items are ``(mind, tiebreak, kind, payload, depth)``; the
+        depth is the B+-tree level the payload came from, so traced costs
+        land on the right per-level span.  The unique tiebreak guarantees
+        comparisons never reach payload or depth.
+        """
+        tr = ctx.trace if ctx is not None else None
+        if tr is not None:
+            with tr.region(tr.span("map"), ctx):
+                phi_q = self.space.phi(query)  # |P| compdists
+        else:
+            phi_q = self.space.phi(query)
         if ctx is not None:
             ctx.checkpoint()
         counter = itertools.count()
@@ -741,6 +810,8 @@ class SPBTree:
                 ctx.checkpoint()
             if self.raf.is_deleted(entry.ptr):
                 return
+            if tr is not None:
+                tr.bump("entries_verified")
             obj = self.raf.read_object(entry.ptr)
             d = self.distance(query, obj)
             if d < cur_ndk() or len(result) < k:
@@ -748,33 +819,48 @@ class SPBTree:
                 if len(result) > k:
                     heapq.heappop(result)
 
-        root = self.btree.read_node(self.btree.root_page)
+        record = tr.enter(tr.level(0), ctx) if tr is not None else None
         try:
-            self._knn_push_node(root, phi_q, heap, counter, cur_ndk, verify, traversal)
+            root = self.btree.read_node(self.btree.root_page)
+            if tr is not None:
+                tr.bump("nodes_visited")
+            self._knn_push_node(
+                root, phi_q, heap, counter, cur_ndk, verify, traversal, 0, tr
+            )
         except _Exhausted:
             # Entries of the root may be lost mid-push; a zero lower bound
             # keeps the confirmation frontier conservative.
-            heapq.heappush(heap, (0.0, next(counter), -1, None))
+            heapq.heappush(heap, (0.0, next(counter), -1, None, 0))
             raise
+        finally:
+            if record is not None:
+                tr.exit(record)
         while heap:
             if ctx is not None:
                 ctx.checkpoint()
-            mind, tb, kind, payload = heapq.heappop(heap)
+            mind, tb, kind, payload, depth = heapq.heappop(heap)
             if mind >= cur_ndk():  # Lemma 3: early termination
                 break
+            record = tr.enter(tr.level(depth), ctx) if tr is not None else None
             try:
                 if kind == 0:  # an object (leaf entry)
                     verify(payload)  # type: ignore[arg-type]
                     continue
                 node = self.btree.read_node(payload)  # type: ignore[arg-type]
+                if tr is not None:
+                    tr.bump("nodes_visited")
                 self._knn_push_node(
-                    node, phi_q, heap, counter, cur_ndk, verify, traversal
+                    node, phi_q, heap, counter, cur_ndk, verify, traversal,
+                    depth, tr,
                 )
             except _Exhausted:
                 # The popped item was not fully processed: restore its lower
                 # bound so the partial-result frontier stays sound.
-                heapq.heappush(heap, (mind, tb, kind, payload))
+                heapq.heappush(heap, (mind, tb, kind, payload, depth))
                 raise
+            finally:
+                if record is not None:
+                    tr.exit(record)
 
     def _knn_push_node(
         self,
@@ -785,6 +871,8 @@ class SPBTree:
         cur_ndk: Callable[[], float],
         verify: Callable[[LeafEntry], None],
         traversal: str,
+        depth: int,
+        tr: Optional[Any] = None,
     ) -> None:
         if node.is_leaf:
             if traversal == "greedy":
@@ -795,13 +883,19 @@ class SPBTree:
             for entry in node.entries:
                 mind = self.space.mind_to_cell(phi_q, self.curve.decode(entry.key))
                 if mind < cur_ndk():  # Lemma 3
-                    heapq.heappush(heap, (mind, next(counter), 0, entry))
+                    heapq.heappush(heap, (mind, next(counter), 0, entry, depth))
+                elif tr is not None:
+                    tr.bump("entries_pruned_lemma3")
             return
         for entry in node.entries:
             lo, hi = self.btree.decode_box(entry)
             mind = self.space.mind_to_box(phi_q, lo, hi)
             if mind < cur_ndk():  # Lemma 3
-                heapq.heappush(heap, (mind, next(counter), 1, entry.child))
+                heapq.heappush(
+                    heap, (mind, next(counter), 1, entry.child, depth + 1)
+                )
+            elif tr is not None:
+                tr.bump("children_pruned_lemma3")
 
     # ----------------------------------------------------------- maintenance
 
@@ -844,6 +938,8 @@ class SPBTree:
                 if context.strict:
                     raise context.raise_for(exc.reason) from None
                 complete, reason = False, exc.reason
+            if context.trace is not None:
+                context.trace.finish(context, complete, reason)
             return QueryResult(
                 [],
                 complete=complete,
@@ -860,39 +956,59 @@ class SPBTree:
         ctx: Optional[QueryContext],
     ) -> None:
         assert self.raf is not None
-        phi_q = self.space.phi(query)
+        tr = ctx.trace if ctx is not None else None
+        if tr is not None:
+            with tr.region(tr.span("map"), ctx):
+                phi_q = self.space.phi(query)  # |P| compdists
+        else:
+            phi_q = self.space.phi(query)
         if ctx is not None:
             ctx.checkpoint()
         rr_lo, rr_hi = self.space.range_region(phi_q, radius)
-        stack = [(self.btree.root_page, None)]
+        stack = [(self.btree.root_page, 0)]
         while stack:
             if ctx is not None:
                 ctx.checkpoint()
-            page_id, box = stack.pop()
-            node = self.btree.read_node(page_id)
-            if not node.is_leaf:
+            page_id, depth = stack.pop()
+            record = tr.enter(tr.level(depth), ctx) if tr is not None else None
+            try:
+                node = self.btree.read_node(page_id)
+                if tr is not None:
+                    tr.bump("nodes_visited")
+                if not node.is_leaf:
+                    for entry in node.entries:
+                        child_box = self.btree.decode_box(entry)
+                        if boxes_intersect(rr_lo, rr_hi, *child_box):  # Lemma 1
+                            stack.append((entry.child, depth + 1))
+                        elif tr is not None:
+                            tr.bump("children_pruned_lemma1")
+                    continue
                 for entry in node.entries:
-                    child_box = self.btree.decode_box(entry)
-                    if boxes_intersect(rr_lo, rr_hi, *child_box):  # Lemma 1
-                        stack.append((entry.child, child_box))
-                continue
-            for entry in node.entries:
-                if ctx is not None:
-                    ctx.checkpoint()
-                cell = self.curve.decode(entry.key)
-                if not point_in_box(cell, rr_lo, rr_hi):  # Lemma 1
-                    continue
-                if self.raf.is_deleted(entry.ptr):
-                    continue
-                if self.use_lemma2 and any(
-                    self.space.upper_bound_to_pivot(c) <= radius - dq
-                    for c, dq in zip(cell, phi_q)
-                ):
-                    tally[0] += 1  # Lemma 2: provably within r, no I/O at all
-                    continue
-                obj = self.raf.read_object(entry.ptr)
-                if self.distance(query, obj) <= radius:
-                    tally[0] += 1
+                    if ctx is not None:
+                        ctx.checkpoint()
+                    cell = self.curve.decode(entry.key)
+                    if not point_in_box(cell, rr_lo, rr_hi):  # Lemma 1
+                        if tr is not None:
+                            tr.bump("entries_pruned_lemma1")
+                        continue
+                    if self.raf.is_deleted(entry.ptr):
+                        continue
+                    if self.use_lemma2 and any(
+                        self.space.upper_bound_to_pivot(c) <= radius - dq
+                        for c, dq in zip(cell, phi_q)
+                    ):
+                        if tr is not None:
+                            tr.bump("lemma2_accepts")
+                        tally[0] += 1  # Lemma 2: within r, no I/O at all
+                        continue
+                    if tr is not None:
+                        tr.bump("entries_verified")
+                    obj = self.raf.read_object(entry.ptr)
+                    if self.distance(query, obj) <= radius:
+                        tally[0] += 1
+            finally:
+                if record is not None:
+                    tr.exit(record)
 
     def rebuild(self) -> "SPBTree":
         """Compact the index: rebuild from the live objects.

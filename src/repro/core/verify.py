@@ -57,10 +57,20 @@ class VerifyReport:
     #: after bulk loading, typically false after post-build insertions
     #: (appends go to the file tail regardless of key).  Informational.
     raf_sfc_ordered: bool = True
+    #: RAF buffer-pool traffic during the verification walk itself (the
+    #: pool's own tallies are restored afterwards; these keep the deltas).
+    buffer_hits: int = 0
+    buffer_misses: int = 0
 
     @property
     def ok(self) -> bool:
         return not self.errors
+
+    @property
+    def buffer_hit_rate(self) -> float:
+        """Fraction of verification reads served from the buffer pool."""
+        total = self.buffer_hits + self.buffer_misses
+        return self.buffer_hits / total if total else 0.0
 
     def summary(self) -> str:
         status = "OK" if self.ok else f"FAILED ({len(self.errors)} errors)"
@@ -70,6 +80,8 @@ class VerifyReport:
             f"  leaf entries          : {self.leaf_entries}",
             f"  RAF records           : {self.raf_records}",
             f"  RAF in SFC order      : {'yes' if self.raf_sfc_ordered else 'no'}",
+            f"  buffer hit rate       : {self.buffer_hit_rate * 100:.1f}% "
+            f"({self.buffer_hits} hits / {self.buffer_misses} misses)",
         ]
         for err in self.errors:
             lines.append(f"  ERROR: {err}")
@@ -111,6 +123,8 @@ def verify_tree(tree: "SPBTree", check_objects: bool = True) -> VerifyReport:
         if tree.wal is not None:
             _verify_wal(tree, report, leaf_entries)
     finally:
+        report.buffer_hits = raf.buffer_pool.hits - saved[4]
+        report.buffer_misses = raf.buffer_pool.misses - saved[5]
         (
             btree.pagefile.counter.reads,
             btree.pagefile.counter.writes,
@@ -301,13 +315,15 @@ def _verify_leaf_chain(btree, dfs_leaves, report: VerifyReport, read) -> None:
 
 
 def _raw_range(raf, start: int, length: int, bad: set[int]) -> Optional[bytes]:
-    """Read RAF bytes without counters or exceptions; None when the range
-    overlaps a corrupt page or exceeds the file."""
+    """Read RAF bytes without exceptions; None when the range overlaps a
+    corrupt page or exceeds the file.  Clean pages are read through the
+    buffer pool, so the verification walk shows up in the pool's hit/miss
+    tallies (the CLI surfaces the rate); ``verify_tree`` restores all
+    counters before returning."""
     end = start + length
     if start < 0 or end > raf._end_offset:
         return None
     page_size = raf.pagefile.page_size
-    pages = raf.pagefile._pages
     # Mirror RandomAccessFile._read_bytes: the first _tail_flushed tail
     # bytes are on the disk tail page; the rest exist only in memory.
     if raf._tail:
@@ -321,7 +337,9 @@ def _raw_range(raf, start: int, length: int, bad: set[int]) -> Optional[bytes]:
         last = (disk_end - 1) // page_size
         if any(pid in bad for pid in range(first, last + 1)):
             return None
-        data = b"".join(pages[first : last + 1])
+        data = b"".join(
+            raf.buffer_pool.read_page(pid) for pid in range(first, last + 1)
+        )
         lo = start - first * page_size
         parts.append(data[lo : lo + (disk_end - start)])
     if end > mem_start:

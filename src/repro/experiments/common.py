@@ -18,7 +18,7 @@ from typing import Any, Callable, Optional, Sequence
 
 from repro.core.spbtree import SPBTree
 from repro.datasets import Dataset, load_dataset
-from repro.stats import QueryStats
+from repro.stats import AveragedStats, QueryStats
 
 
 @dataclass
@@ -75,7 +75,7 @@ def measure_queries(
     queries: Sequence[Any],
     query_fn: Callable[[Any, Any], Any],
     flush: bool = True,
-) -> QueryStats:
+) -> AveragedStats:
     """Average PA / compdists / time of ``query_fn(index, q)`` over queries.
 
     Follows the paper's protocol: the cache "is flushed before each of the

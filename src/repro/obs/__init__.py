@@ -1,0 +1,92 @@
+"""Observability layer: metrics registry, trace spans, slow-query log.
+
+Everything here is **off by default** and zero-cost while off: the paper
+experiments and the counter-exactness tests run with no observability
+state allocated and bit-identical :class:`~repro.stats.StatsSession`
+tallies.  Instrumented call sites guard on ``registry.ENABLED`` (one
+module-attribute load) before touching a clock or a metric.
+
+Enable process-wide metrics with :func:`enable`; attach a
+:class:`~repro.obs.trace.QueryTrace` to a query context for per-query span
+trees (independent of the global switch — tracing is per-context).
+
+Public surface:
+
+* :class:`MetricsRegistry` / :func:`get_registry` — counters, gauges,
+  fixed-bucket histograms with p50/p95/p99 estimation.
+* :func:`render_text` / :func:`parse_text` — Prometheus text exposition
+  and its validating inverse.
+* :class:`QueryTrace` / :class:`Span` — per-query cost attribution whose
+  span sums reconcile exactly with the context's counters.
+* :class:`SlowQueryLog` / :func:`read_slow_log` — threshold-filtered
+  JSON-lines log of slow queries with their span trees.
+* :func:`snapshot` / :func:`diff_snapshots` / :class:`SnapshotWriter` —
+  diffable point-in-time metric dumps for benchmark harnesses.
+"""
+
+from __future__ import annotations
+
+from repro.obs import instruments, registry
+from repro.obs.exposition import parse_text, render_text
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.slowlog import SlowQueryLog, read_slow_log
+from repro.obs.snapshot import (
+    SnapshotWriter,
+    diff_snapshots,
+    load_snapshot,
+    snapshot,
+    write_snapshot,
+)
+from repro.obs.trace import QueryTrace, Span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "QueryTrace",
+    "SlowQueryLog",
+    "SnapshotWriter",
+    "Span",
+    "diff_snapshots",
+    "disable",
+    "enable",
+    "enabled",
+    "get_registry",
+    "instruments",
+    "load_snapshot",
+    "parse_text",
+    "read_slow_log",
+    "render_text",
+    "snapshot",
+    "write_snapshot",
+]
+
+
+def enable() -> None:
+    """Turn on process-wide metrics collection.
+
+    Preregisters every instrument bundle so an exposition rendered
+    immediately afterwards already shows the complete metric schema.
+    """
+    registry.ENABLED = True
+    instruments.preregister()
+
+
+def disable() -> None:
+    """Turn process-wide metrics collection back off (hot paths revert to
+    a single boolean check; already-collected values are kept until
+    ``get_registry().reset()``)."""
+    registry.ENABLED = False
+
+
+def enabled() -> bool:
+    return registry.ENABLED

@@ -1,0 +1,204 @@
+"""Prometheus text-format exposition of a :class:`MetricsRegistry`.
+
+:func:`render_text` produces the `text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ (version
+0.0.4): ``# HELP`` / ``# TYPE`` headers per family, one sample per line,
+histograms expanded into cumulative ``_bucket{le=...}`` series plus
+``_sum`` and ``_count``.  The ``serve`` and ``metrics`` CLI subcommands
+print this; any Prometheus scraper (or ``promtool check metrics``) accepts
+it.
+
+:func:`parse_text` is the inverse validator: it parses an exposition back
+into families and samples, raising ``ValueError`` with a line number on
+any malformed content.  The CI smoke job and the test suite use it to
+assert that what we serve actually *is* Prometheus text format — an
+exposition endpoint that only we can read is not observability.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Optional
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^{}]*)\})?"
+    r" (?P<value>-?(?:[0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?|Inf|NaN)|[+-]Inf)$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labelnames: tuple[str, ...], labelvalues: tuple[str, ...],
+                   extra: Optional[tuple[str, str]] = None) -> str:
+    pairs = [
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(labelnames, labelvalues)
+    ]
+    if extra is not None:
+        pairs.append(f'{extra[0]}="{extra[1]}"')
+    if not pairs:
+        return ""
+    return "{" + ",".join(pairs) + "}"
+
+
+def render_text(registry: Optional[MetricsRegistry] = None) -> str:
+    """Render ``registry`` (default: the process registry) as Prometheus text."""
+    registry = registry if registry is not None else get_registry()
+    lines: list[str] = []
+    for family in registry.collect():
+        if family.help:
+            lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.type}")
+        for labelvalues, metric in family.samples():
+            if isinstance(metric, Histogram):
+                for bound, cumulative in metric.bucket_counts():
+                    le = "+Inf" if math.isinf(bound) else _format_value(bound)
+                    labels = _format_labels(
+                        family.labelnames, labelvalues, extra=("le", le)
+                    )
+                    lines.append(f"{family.name}_bucket{labels} {cumulative}")
+                labels = _format_labels(family.labelnames, labelvalues)
+                lines.append(f"{family.name}_sum{labels} {_format_value(metric.sum)}")
+                lines.append(f"{family.name}_count{labels} {metric.count}")
+            elif isinstance(metric, (Counter, Gauge)):
+                labels = _format_labels(family.labelnames, labelvalues)
+                lines.append(f"{family.name}{labels} {_format_value(metric.value)}")
+            else:  # pragma: no cover - registry only creates the above
+                raise TypeError(f"unknown metric type {type(metric)!r}")
+    return "\n".join(lines) + "\n"
+
+
+def _parse_labels(raw: str, lineno: int) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    pos = 0
+    raw = raw.strip()
+    if raw.endswith(","):
+        raw = raw[:-1]
+    while pos < len(raw):
+        match = _LABEL_RE.match(raw, pos)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed label set {raw!r}")
+        labels[match.group(1)] = match.group(2)
+        pos = match.end()
+        if pos < len(raw):
+            if raw[pos] != ",":
+                raise ValueError(f"line {lineno}: malformed label set {raw!r}")
+            pos += 1
+    return labels
+
+
+def parse_text(text: str) -> dict[str, dict]:
+    """Parse (and thereby validate) a Prometheus text exposition.
+
+    Returns ``{family name: {"type": ..., "help": ..., "samples":
+    [(sample name, labels dict, value), ...]}}``.  Raises ``ValueError``
+    naming the offending line for any malformed content: bad sample
+    syntax, samples without a preceding ``# TYPE``, sample names that do
+    not belong to their family, or histograms missing their ``+Inf``
+    bucket / ``_sum`` / ``_count`` series.
+    """
+    families: dict[str, dict] = {}
+    types: dict[str, str] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 3:
+                raise ValueError(f"line {lineno}: malformed HELP line")
+            name = parts[2]
+            families.setdefault(
+                name, {"type": None, "help": "", "samples": []}
+            )["help"] = parts[3] if len(parts) > 3 else ""
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                raise ValueError(f"line {lineno}: malformed TYPE line")
+            _, _, name, type_ = parts
+            if type_ not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                raise ValueError(f"line {lineno}: unknown metric type {type_!r}")
+            if name in types:
+                raise ValueError(f"line {lineno}: duplicate TYPE for {name!r}")
+            types[name] = type_
+            families.setdefault(name, {"type": None, "help": "", "samples": []})
+            families[name]["type"] = type_
+            continue
+        if line.startswith("#"):
+            continue  # comment
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample {line!r}")
+        sample_name = match.group("name")
+        labels = _parse_labels(match.group("labels") or "", lineno)
+        raw_value = match.group("value")
+        value = float(raw_value.replace("Inf", "inf"))
+        family = None
+        for candidate in (sample_name,
+                          sample_name.rsplit("_bucket", 1)[0],
+                          sample_name.rsplit("_sum", 1)[0],
+                          sample_name.rsplit("_count", 1)[0]):
+            if candidate in types:
+                family = candidate
+                break
+        if family is None:
+            raise ValueError(
+                f"line {lineno}: sample {sample_name!r} has no preceding TYPE"
+            )
+        if types[family] == "histogram":
+            if sample_name == family:
+                raise ValueError(
+                    f"line {lineno}: histogram {family!r} exposes bare samples"
+                )
+        elif sample_name != family:
+            raise ValueError(
+                f"line {lineno}: sample {sample_name!r} does not match "
+                f"family {family!r} of type {types[family]!r}"
+            )
+        families[family]["samples"].append((sample_name, labels, value))
+    # Histogram completeness: every histogram family with samples must have
+    # a +Inf bucket, a _sum, and a _count.
+    for name, info in families.items():
+        if info["type"] != "histogram" or not info["samples"]:
+            continue
+        sample_names = {s[0] for s in info["samples"]}
+        has_inf = any(
+            s[0] == f"{name}_bucket" and s[1].get("le") == "+Inf"
+            for s in info["samples"]
+        )
+        if not has_inf:
+            raise ValueError(f"histogram {name!r} is missing its +Inf bucket")
+        if f"{name}_sum" not in sample_names or f"{name}_count" not in sample_names:
+            raise ValueError(f"histogram {name!r} is missing _sum or _count")
+    return families

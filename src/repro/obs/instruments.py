@@ -1,0 +1,176 @@
+"""Lazy, cached metric handles for every instrumented subsystem.
+
+Instrumented modules must not pay a registry lookup (dict access + lock)
+per operation, and must not allocate anything while observability is
+disabled.  This module gives each subsystem a tiny namespace of metric
+objects that is built once, on first use after :func:`repro.obs.enable`,
+and cached at module level::
+
+    if _obs.ENABLED:                       # registry.ENABLED, one attr load
+        _instruments.buffer_pool().hits.inc()
+
+The bundles double as the catalog of every metric the system exports;
+:func:`preregister` touches them all so an exposition rendered right after
+``enable()`` already lists the full schema (families with zero samples are
+still families — a scraper sees the shape of the system before traffic
+arrives).
+
+Metric naming follows Prometheus conventions: ``repro_`` prefix, base
+units (seconds, bytes), ``_total`` suffix on counters.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.registry import get_registry
+
+
+class BufferPoolInstruments:
+    """Hit/miss totals plus a collection-time hit-ratio gauge."""
+
+    __slots__ = ("hits", "misses", "hit_ratio")
+
+    def __init__(self) -> None:
+        reg = get_registry()
+        self.hits = reg.counter(
+            "repro_buffer_pool_hits_total",
+            "Page reads served from a buffer pool (no page access charged).",
+        )
+        self.misses = reg.counter(
+            "repro_buffer_pool_misses_total",
+            "Page reads that fell through a buffer pool to the page file.",
+        )
+        hits, misses = self.hits, self.misses
+
+        def ratio() -> float:
+            total = hits.value + misses.value
+            return hits.value / total if total else 0.0
+
+        self.hit_ratio = reg.gauge(
+            "repro_buffer_pool_hit_ratio",
+            "Fraction of buffered reads served from cache (process-wide).",
+            fn=ratio,
+        )
+
+
+class PageFileInstruments:
+    """Physical page read/write latency histograms."""
+
+    __slots__ = ("read_seconds", "write_seconds")
+
+    def __init__(self) -> None:
+        reg = get_registry()
+        self.read_seconds = reg.histogram(
+            "repro_pagefile_read_seconds",
+            "Latency of one page read from a page file.",
+        )
+        self.write_seconds = reg.histogram(
+            "repro_pagefile_write_seconds",
+            "Latency of one page write to a page file.",
+        )
+
+
+class WalInstruments:
+    """Write-ahead-log durability costs."""
+
+    __slots__ = ("fsync_seconds", "appended_bytes", "checkpoint_seconds")
+
+    def __init__(self) -> None:
+        reg = get_registry()
+        self.fsync_seconds = reg.histogram(
+            "repro_wal_fsync_seconds",
+            "Latency of one WAL commit (flush + fsync) making a record durable.",
+        )
+        self.appended_bytes = reg.counter(
+            "repro_wal_appended_bytes_total",
+            "Bytes appended to write-ahead logs (frames, including headers).",
+        )
+        self.checkpoint_seconds = reg.histogram(
+            "repro_wal_checkpoint_seconds",
+            "Duration of folding a WAL into a new on-disk generation.",
+        )
+
+
+class EngineInstruments:
+    """QueryEngine admission, retry, and latency signals."""
+
+    __slots__ = (
+        "queue_depth",
+        "admission_rejections",
+        "retries",
+        "degraded",
+        "failed",
+        "query_latency",
+    )
+
+    def __init__(self) -> None:
+        reg = get_registry()
+        self.queue_depth = reg.gauge(
+            "repro_engine_queue_depth",
+            "Operations waiting in the engine's admission queue.",
+        )
+        self.admission_rejections = reg.counter(
+            "repro_engine_admission_rejections_total",
+            "Submissions rejected because the admission queue was full.",
+        )
+        self.retries = reg.counter(
+            "repro_engine_retries_total",
+            "Query attempts re-run after a transient I/O error.",
+        )
+        self.degraded = reg.counter(
+            "repro_engine_degraded_total",
+            "Queries that returned a partial result (budget/deadline hit).",
+        )
+        self.failed = reg.counter(
+            "repro_engine_failed_total",
+            "Operations that raised to the caller.",
+        )
+        self.query_latency = reg.histogram(
+            "repro_query_latency_seconds",
+            "End-to-end engine execution latency per operation kind.",
+            labelnames=("kind",),
+        )
+
+
+_buffer_pool: Optional[BufferPoolInstruments] = None
+_pagefile: Optional[PageFileInstruments] = None
+_wal: Optional[WalInstruments] = None
+_engine: Optional[EngineInstruments] = None
+
+
+def buffer_pool() -> BufferPoolInstruments:
+    global _buffer_pool
+    if _buffer_pool is None:
+        _buffer_pool = BufferPoolInstruments()
+    return _buffer_pool
+
+
+def pagefile() -> PageFileInstruments:
+    global _pagefile
+    if _pagefile is None:
+        _pagefile = PageFileInstruments()
+    return _pagefile
+
+
+def wal() -> WalInstruments:
+    global _wal
+    if _wal is None:
+        _wal = WalInstruments()
+    return _wal
+
+
+def engine() -> EngineInstruments:
+    global _engine
+    if _engine is None:
+        _engine = EngineInstruments()
+    return _engine
+
+
+def preregister() -> None:
+    """Create every instrument bundle so the full metric schema is
+    registered before any traffic (``repro.obs.enable`` calls this)."""
+    buffer_pool()
+    pagefile()
+    wal()
+    engine()

@@ -1,0 +1,147 @@
+"""Structured JSON slow-query log.
+
+A latency histogram says *that* p99 regressed; the slow-query log says
+*why*: each offending query is recorded as one JSON line carrying its
+kind, cost counters, completeness, exhaustion reason, and — when tracing
+is enabled — the full span tree, so an operator can see which B+-tree
+level burned the budget and which pruning rule failed to fire.
+
+The threshold is configurable (``threshold_ms``); entries are appended as
+newline-delimited JSON (one object per line, flushed per entry) so the log
+tails cleanly and survives crashes mid-run.  Recording is fully
+thread-safe — the engine's workers share one log.
+
+The log is only consulted by code that already holds a query's elapsed
+time, so it adds nothing to the query hot path: a fast query costs one
+float comparison.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import time
+from typing import Any, Optional
+
+
+class SlowQueryLog:
+    """Threshold-filtered, newline-delimited JSON query log.
+
+    Give it a ``path`` (opened in append mode) or any writable text
+    ``stream``; with neither, entries accumulate in memory only (useful
+    for tests and for the engine's in-process ring of recent offenders).
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        stream: Optional[io.TextIOBase] = None,
+        threshold_ms: float = 100.0,
+        keep_recent: int = 32,
+    ) -> None:
+        if threshold_ms < 0:
+            raise ValueError("threshold_ms must be non-negative")
+        self.threshold_ms = threshold_ms
+        self.path = path
+        self._stream = stream
+        self._owns_stream = False
+        if path is not None:
+            if stream is not None:
+                raise ValueError("pass either path or stream, not both")
+            self._stream = open(path, "a", encoding="utf-8")
+            self._owns_stream = True
+        self._lock = threading.Lock()
+        self._recent: list[dict] = []
+        self._keep_recent = keep_recent
+        #: Total entries recorded (cheap health signal).
+        self.recorded = 0
+
+    # -------------------------------------------------------------- recording
+
+    def maybe_record(
+        self,
+        kind: str,
+        elapsed_seconds: float,
+        context: Any = None,
+        result: Any = None,
+    ) -> bool:
+        """Record the query iff it crossed the threshold; True when logged."""
+        if elapsed_seconds * 1000.0 < self.threshold_ms:
+            return False
+        entry: dict[str, Any] = {
+            "ts": time.time(),
+            "kind": kind,
+            "elapsed_ms": round(elapsed_seconds * 1000.0, 3),
+        }
+        if context is not None:
+            entry["compdists"] = context.compdists
+            entry["page_accesses"] = context.page_accesses
+            if context.epoch is not None:
+                entry["epoch"] = context.epoch
+            trace = getattr(context, "trace", None)
+            if trace is not None:
+                entry["complete"] = trace.complete
+                if trace.reason is not None:
+                    entry["reason"] = trace.reason
+                entry["trace"] = trace.as_dict()
+        if result is not None:
+            complete = getattr(result, "complete", None)
+            if complete is not None and "complete" not in entry:
+                entry["complete"] = complete
+            reason = getattr(result, "reason", None)
+            if reason is not None and "reason" not in entry:
+                entry["reason"] = str(reason)
+            try:
+                entry["result_size"] = len(result)
+            except TypeError:
+                pass
+        self.record(entry)
+        return True
+
+    def record(self, entry: dict) -> None:
+        line = json.dumps(entry, sort_keys=True)
+        with self._lock:
+            self.recorded += 1
+            self._recent.append(entry)
+            if len(self._recent) > self._keep_recent:
+                del self._recent[0]
+            if self._stream is not None:
+                self._stream.write(line + "\n")
+                self._stream.flush()
+
+    # ---------------------------------------------------------------- reading
+
+    def recent(self) -> list[dict]:
+        """The most recent entries (newest last), bounded by ``keep_recent``."""
+        with self._lock:
+            return list(self._recent)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._owns_stream and self._stream is not None:
+                self._stream.close()
+                self._stream = None
+
+    def __enter__(self) -> "SlowQueryLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_slow_log(path: str) -> list[dict]:
+    """Parse a slow-query log file back into entries (newest last)."""
+    entries = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entries.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: malformed slow-log entry"
+                ) from exc
+    return entries

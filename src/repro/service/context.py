@@ -229,6 +229,10 @@ class QueryContext:
     page_accesses: int = 0
     #: The EpochLock snapshot the query ran under (set by the tree).
     epoch: Optional[int] = None
+    #: Optional per-query span tree (:class:`repro.obs.QueryTrace`); the
+    #: traversal fills it in when attached.  ``None`` — the default — costs
+    #: the hot path one identity check per node.
+    trace: Optional[Any] = None
     started: float = field(default=0.0, repr=False)
 
     @classmethod
@@ -263,9 +267,13 @@ class QueryContext:
 
     def reset_counters(self) -> None:
         """Zero the per-query tallies (the engine does this before a retry,
-        so a successful attempt reports only its own costs)."""
+        so a successful attempt reports only its own costs).  An attached
+        trace resets with them — the final span tree must describe exactly
+        the attempt the counters describe."""
         self.compdists = 0
         self.page_accesses = 0
+        if self.trace is not None:
+            self.trace.reset()
 
     # ------------------------------------------------------------- checking
 

@@ -38,7 +38,12 @@ import threading
 import time
 from typing import Any, Optional
 
+from repro.obs import instruments as _instruments
+from repro.obs import registry as _obsreg
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.trace import QueryTrace
 from repro.service.context import CancelToken, Overloaded, QueryContext
+from repro.stats import shard_depth, trim_stat_shards
 from repro.storage.faults import retry_io
 
 _STOP = object()
@@ -114,6 +119,8 @@ class QueryEngine:
         default_max_compdists: Optional[int] = None,
         default_max_page_accesses: Optional[int] = None,
         strict: bool = False,
+        trace_queries: bool = False,
+        slow_log: Optional[SlowQueryLog] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -127,6 +134,11 @@ class QueryEngine:
         self.default_max_compdists = default_max_compdists
         self.default_max_page_accesses = default_max_page_accesses
         self.strict = strict
+        #: Attach a QueryTrace to every query so its span tree is available
+        #: on ``pending.context.trace`` (implied by a slow-query log, which
+        #: wants the span tree of its offenders).
+        self.trace_queries = trace_queries or slow_log is not None
+        self.slow_log = slow_log
         self._queue: queue.Queue = queue.Queue(maxsize=max_queue)
         self._threads: list[threading.Thread] = []
         self._started = False
@@ -137,6 +149,8 @@ class QueryEngine:
         self.rejected = 0
         self.failed = 0
         self.mutated = 0
+        #: Query attempts re-run after a transient I/O error.
+        self.retries = 0
         self._stats_lock = threading.Lock()
 
     # ------------------------------------------------------------- lifecycle
@@ -217,6 +231,8 @@ class QueryEngine:
             strict=self.strict if strict is None else strict,
             cancel_token=cancel_token or CancelToken(),
         )
+        if self.trace_queries and kind not in _MUTATIONS:
+            context.trace = QueryTrace(kind)
         pending = PendingQuery(kind, args, context)
         pending.deadline_ms = (
             deadline_ms if deadline_ms is not None else self.default_deadline_ms
@@ -226,10 +242,14 @@ class QueryEngine:
         except queue.Full:
             with self._stats_lock:
                 self.rejected += 1
+            if _obsreg.ENABLED:
+                _instruments.engine().admission_rejections.inc()
             raise Overloaded(
                 f"admission queue full ({self._queue.maxsize} pending); "
                 f"retry later"
             ) from None
+        if _obsreg.ENABLED:
+            _instruments.engine().queue_depth.set(self._queue.qsize())
         return pending
 
     # Blocking conveniences ------------------------------------------------
@@ -256,21 +276,39 @@ class QueryEngine:
     def _worker(self) -> None:
         while True:
             item = self._queue.get()
+            if _obsreg.ENABLED:
+                _instruments.engine().queue_depth.set(self._queue.qsize())
             if item is _STOP:
                 break
+            t0 = time.perf_counter()
             try:
                 result = self._execute(item)
             except BaseException as exc:  # noqa: BLE001 — relayed to caller
                 with self._stats_lock:
                     self.failed += 1
+                if _obsreg.ENABLED:
+                    _instruments.engine().failed.inc()
                 item._finish(error=exc)
             else:
+                elapsed = time.perf_counter() - t0
+                degraded = item.kind not in _MUTATIONS and not getattr(
+                    result, "complete", True
+                )
                 with self._stats_lock:
                     self.served += 1
                     if item.kind in _MUTATIONS:
                         self.mutated += 1
-                    elif not getattr(result, "complete", True):
+                    elif degraded:
                         self.degraded += 1
+                if _obsreg.ENABLED:
+                    eng = _instruments.engine()
+                    eng.query_latency.labels(kind=item.kind).observe(elapsed)
+                    if degraded:
+                        eng.degraded.inc()
+                if self.slow_log is not None and item.kind not in _MUTATIONS:
+                    self.slow_log.maybe_record(
+                        item.kind, elapsed, item.context, result
+                    )
                 item._finish(result=result)
 
     def _execute(self, pending: PendingQuery) -> Any:
@@ -281,7 +319,16 @@ class QueryEngine:
             ctx.started = time.monotonic()
             ctx.deadline = ctx.started + pending.deadline_ms / 1000.0
 
+        attempts_made = 0
+
         def attempt() -> Any:
+            nonlocal attempts_made
+            attempts_made += 1
+            if attempts_made > 1:
+                with self._stats_lock:
+                    self.retries += 1
+                if _obsreg.ENABLED:
+                    _instruments.engine().retries.inc()
             # Fresh counters per attempt: a successful attempt reports only
             # its own costs, as if the transient fault had never happened.
             ctx.reset_counters()
@@ -290,12 +337,20 @@ class QueryEngine:
         # Mutations get exactly one attempt: an insert is not idempotent,
         # and a failed attempt may already have committed to the WAL.
         attempts = 1 if pending.kind in _MUTATIONS else self.retry_attempts
-        return retry_io(
-            attempt,
-            attempts=attempts,
-            base_delay=self.retry_base_delay,
-            retry_on=(OSError,),
-        )
+        base_depth = shard_depth()
+        try:
+            return retry_io(
+                attempt,
+                attempts=attempts,
+                base_delay=self.retry_base_delay,
+                retry_on=(OSError,),
+            )
+        finally:
+            # An attempt that raised between a shard push and its matching
+            # pop (a buggy tree wrapper, an exception from user code) must
+            # not leave this worker's shard stack deeper than it found it —
+            # the next query on the thread would tally into a dead context.
+            trim_stat_shards(base_depth)
 
     def _run(self, kind: str, args: tuple, ctx: QueryContext) -> Any:
         if kind == "range":

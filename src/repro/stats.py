@@ -38,7 +38,33 @@ def push_stat_shard(shard: object) -> None:
 
 def pop_stat_shard() -> None:
     """Undo the most recent :func:`push_stat_shard` on this thread."""
-    _local.shards.pop()
+    stack = getattr(_local, "shards", None)
+    if not stack:
+        raise RuntimeError(
+            f"no stat shard to pop on thread "
+            f"{threading.current_thread().name!r}: push/pop are unbalanced "
+            f"(was a QueryContext deactivated twice?)"
+        )
+    stack.pop()
+
+
+def shard_depth() -> int:
+    """How many stat shards the current thread has pushed (0 = none)."""
+    stack = getattr(_local, "shards", None)
+    return len(stack) if stack else 0
+
+
+def trim_stat_shards(depth: int) -> int:
+    """Pop shards until the stack is back to ``depth``; returns how many
+    were leaked.  A cleanup guard for workers that run arbitrary query
+    code: an attempt that raises between a push and its matching pop must
+    not poison the *next* query's accounting on the same thread."""
+    stack = getattr(_local, "shards", None)
+    leaked = 0
+    while stack and len(stack) > depth:
+        stack.pop()
+        leaked += 1
+    return leaked
 
 
 def record_page_access() -> None:
@@ -103,16 +129,32 @@ class QueryStats:
         self.elapsed_seconds += other.elapsed_seconds
         self.result_size += other.result_size
 
-    def averaged(self, n: int) -> "QueryStats":
+    def averaged(self, n: int) -> "AveragedStats":
         """Return per-query averages over ``n`` queries."""
         if n <= 0:
             raise ValueError("n must be positive")
-        return QueryStats(
+        return AveragedStats(
             page_accesses=self.page_accesses / n,
             distance_computations=self.distance_computations / n,
             elapsed_seconds=self.elapsed_seconds / n,
             result_size=self.result_size / n,
         )
+
+
+@dataclass
+class AveragedStats:
+    """Per-query averages over a batch — honestly typed as floats.
+
+    Same field names as :class:`QueryStats` (so report formatting code is
+    interchangeable), but the fields are fractional by construction:
+    ``QueryStats.averaged`` used to stuff floats into int-annotated fields,
+    which type checkers — and readers — took at their word.
+    """
+
+    page_accesses: float = 0.0
+    distance_computations: float = 0.0
+    elapsed_seconds: float = 0.0
+    result_size: float = 0.0
 
 
 @dataclass

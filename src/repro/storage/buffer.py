@@ -21,6 +21,8 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 
+from repro.obs import instruments as _instruments
+from repro.obs import registry as _obsreg
 from repro.storage.pagefile import PageFile
 
 
@@ -48,9 +50,13 @@ class BufferPool:
             if self.capacity and page_id in self._cache:
                 self._cache.move_to_end(page_id)
                 self.hits += 1
+                if _obsreg.ENABLED:
+                    _instruments.buffer_pool().hits.inc()
                 return self._cache[page_id]
             data = self.pagefile.read_page(page_id)
             self.misses += 1
+            if _obsreg.ENABLED:
+                _instruments.buffer_pool().misses.inc()
             if self.capacity:
                 self._cache[page_id] = data
                 if len(self._cache) > self.capacity:

@@ -21,9 +21,12 @@ PA metric, and the Table 6 storage numbers are unaffected.
 from __future__ import annotations
 
 import os
+import time
 import zlib
 from typing import Optional
 
+from repro.obs import instruments as _instruments
+from repro.obs import registry as _obsreg
 from repro.stats import PageAccessCounter
 
 DEFAULT_PAGE_SIZE = 4096
@@ -122,15 +125,40 @@ class PageFile:
         Raises :class:`PageCorruptionError` when checksums are enabled and
         the page's contents no longer match its trailer.
         """
-        self._check(page_id)
-        self.counter.count_read()
-        data = self._pages[page_id]
-        if self.checksums and zlib.crc32(data) != self._crcs[page_id]:
-            raise PageCorruptionError(page_id, self.path)
-        return data
+        if not _obsreg.ENABLED:
+            self._check(page_id)
+            self.counter.count_read()
+            data = self._pages[page_id]
+            if self.checksums and zlib.crc32(data) != self._crcs[page_id]:
+                raise PageCorruptionError(page_id, self.path)
+            return data
+        t0 = time.perf_counter()
+        try:
+            self._check(page_id)
+            self.counter.count_read()
+            data = self._pages[page_id]
+            if self.checksums and zlib.crc32(data) != self._crcs[page_id]:
+                raise PageCorruptionError(page_id, self.path)
+            return data
+        finally:
+            _instruments.pagefile().read_seconds.observe(
+                time.perf_counter() - t0
+            )
 
     def write_page(self, page_id: int, data: bytes) -> None:
         """Write one page, counting one page access."""
+        if _obsreg.ENABLED:
+            t0 = time.perf_counter()
+            try:
+                self._write_page(page_id, data)
+            finally:
+                _instruments.pagefile().write_seconds.observe(
+                    time.perf_counter() - t0
+                )
+            return
+        self._write_page(page_id, data)
+
+    def _write_page(self, page_id: int, data: bytes) -> None:
         self._check(page_id)
         if len(data) > self.page_size:
             raise ValueError(

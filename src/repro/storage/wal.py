@@ -46,10 +46,13 @@ from __future__ import annotations
 
 import os
 import struct
+import time
 import zlib
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.obs import instruments as _instruments
+from repro.obs import registry as _obsreg
 from repro.storage.faults import FaultInjector
 
 #: Conventional WAL file name inside an index directory.
@@ -233,10 +236,15 @@ class WriteAheadLog:
         # nothing applied) and after the fsync (logged, not yet applied).
         if self.faults is not None:
             self.faults.checkpoint(label)
+        t0 = time.perf_counter() if _obsreg.ENABLED else 0.0
         self._file.write(frame)
         self._file.flush()
         if self.fsync:
             os.fsync(self._file.fileno())
+        if _obsreg.ENABLED:
+            wal = _instruments.wal()
+            wal.fsync_seconds.observe(time.perf_counter() - t0)
+            wal.appended_bytes.inc(len(frame))
         if self.faults is not None:
             self.faults.checkpoint(f"{label} committed")
         self._size += len(frame)

@@ -120,7 +120,10 @@ class TestCliVerifySalvage:
         out = self._build_index(tmp_path)
         result = run_cli("verify", "--dir", out)
         assert result.returncode == 0, result.stderr
-        assert result.stderr == ""
+        summary = [line for line in result.stderr.splitlines() if line]
+        assert len(summary) == 1
+        assert summary[0].startswith("verify: OK — ")
+        assert "buffer hit-rate" in summary[0]
 
     def test_verify_detects_corruption(self, tmp_path):
         out = self._build_index(tmp_path)

@@ -19,6 +19,7 @@ from repro.service import (
     QueryEngine,
     QueryResult,
 )
+from repro.stats import QueryStats, push_stat_shard
 from repro.storage.faults import FaultInjector
 
 
@@ -385,3 +386,46 @@ class TestQueryEngine:
         finally:
             tree.raf.pagefile = injector.inner
             tree.raf.buffer_pool.pagefile = injector.inner
+
+
+class _ShardLeakingTree:
+    """Delegating wrapper that fails its first query mid-flight with a stat
+    shard still pushed — simulating a buggy traversal that escapes between
+    a push and its matching pop."""
+
+    def __init__(self, tree):
+        self._tree = tree
+        self._leak_next = True
+
+    def __getattr__(self, name):
+        return getattr(self._tree, name)
+
+    def knn_query(self, *args, **kwargs):
+        if self._leak_next:
+            self._leak_next = False
+            push_stat_shard(QueryStats())
+            raise ValueError("failed mid-query with a shard still pushed")
+        return self._tree.knn_query(*args, **kwargs)
+
+
+class TestShardLeakGuard:
+    def test_leaked_shard_does_not_poison_next_query(self, small_vectors):
+        """The worker trims any shard an attempt leaked; the next query on
+        the same thread must tally into its own context, not a dead one."""
+        tree = SPBTree.build(
+            small_vectors, EuclideanDistance(), seed=7, cache_pages=0
+        )
+        q = small_vectors[4]
+        clean_ctx = QueryContext()
+        tree.knn_query(q, 4, context=clean_ctx)
+        leaky = _ShardLeakingTree(tree)
+        with QueryEngine(leaky, workers=1, retry_attempts=2,
+                         retry_base_delay=0.0) as engine:
+            first = engine.submit("knn", q, 4)
+            with pytest.raises(ValueError):
+                first.result(timeout=60)
+            probe = engine.submit("knn", q, 4)
+            result = probe.result(timeout=60)
+        assert result.complete
+        assert probe.context.compdists == clean_ctx.compdists
+        assert probe.context.page_accesses == clean_ctx.page_accesses

@@ -2,7 +2,16 @@
 
 import pytest
 
-from repro.stats import PageAccessCounter, QueryStats, StatsSession
+from repro.stats import (
+    AveragedStats,
+    PageAccessCounter,
+    QueryStats,
+    StatsSession,
+    pop_stat_shard,
+    push_stat_shard,
+    shard_depth,
+    trim_stat_shards,
+)
 
 
 class TestPageAccessCounter:
@@ -27,13 +36,38 @@ class TestQueryStats:
     def test_averaged(self):
         s = QueryStats(10, 20, 2.0, 4)
         avg = s.averaged(4)
+        assert isinstance(avg, AveragedStats)
         assert avg.page_accesses == 2.5
         assert avg.distance_computations == 5
         assert avg.elapsed_seconds == 0.5
 
+    def test_averaged_fields_are_floats(self):
+        avg = QueryStats(10, 20, 2.0, 4).averaged(2)
+        for value in (
+            avg.page_accesses,
+            avg.distance_computations,
+            avg.elapsed_seconds,
+            avg.result_size,
+        ):
+            assert isinstance(value, float)
+
     def test_averaged_rejects_nonpositive(self):
         with pytest.raises(ValueError):
             QueryStats().averaged(0)
+
+
+class TestStatShardStack:
+    def test_unbalanced_pop_names_the_thread(self):
+        with pytest.raises(RuntimeError, match="MainThread"):
+            pop_stat_shard()
+
+    def test_trim_recovers_leaked_shards(self):
+        base = shard_depth()
+        push_stat_shard(QueryStats())
+        push_stat_shard(QueryStats())
+        assert shard_depth() == base + 2
+        assert trim_stat_shards(base) == 2
+        assert shard_depth() == base
 
 
 class TestStatsSession:
