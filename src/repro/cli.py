@@ -28,6 +28,19 @@ log without loading the index; ``checkpoint`` folds the log into a fresh
 on-disk generation.  ``serve --mutations N`` mixes concurrent writes into
 the query workload.
 
+Sharding: ``shard-build`` partitions a dataset into an N-shard cluster and
+saves it; ``shard-query`` runs one budgeted scatter-gather query against a
+saved cluster; ``shard-rebalance`` splits a hot shard or merges cold
+neighbours (crash-safe catalog swap); ``shard-verify`` audits the cluster —
+ranges disjoint and covering, every object's key inside its shard's range —
+plus each shard's own integrity checks.  ``serve --shards N`` drives the
+mixed workload against a sharded cluster instead of a single tree.
+
+    python -m repro.cli shard-build     --dataset words --shards 4 --out ./cluster
+    python -m repro.cli shard-query     --dir ./cluster --mode knn --k 8
+    python -m repro.cli shard-rebalance --dir ./cluster
+    python -m repro.cli shard-verify    --dir ./cluster
+
 Observability: ``metrics`` runs a short instrumented workload and prints a
 Prometheus text exposition on stdout (everything else goes to stderr, so it
 pipes cleanly into a scraper); ``serve --metrics`` instruments the workload
@@ -54,6 +67,7 @@ from typing import Optional, Sequence
 from repro import obs
 
 from repro.baselines import MIndex, MTree, OmniRTree
+from repro.cluster import ShardedIndex
 from repro.core.costmodel import CostModel
 from repro.core.join import similarity_join
 from repro.core.persist import load_tree, open_tree, save_tree
@@ -262,18 +276,27 @@ def _metric_from_name(name: str) -> Metric:
     )
 
 
+def _catalog_field(directory: str, key: str):
+    """A field from the directory's catalog — single-tree or cluster."""
+    for name in ("spbtree.json", "cluster.json"):
+        try:
+            with open(os.path.join(directory, name)) as fh:
+                return json.load(fh).get(key)
+        except (OSError, ValueError):
+            continue
+    return None
+
+
 def _directory_metric(directory: str, override: Optional[str]) -> Metric:
     """The metric for a saved index: --metric wins, else the catalog's name."""
     if override is not None:
         return _metric_from_name(override)
-    try:
-        with open(os.path.join(directory, "spbtree.json")) as fh:
-            name = json.load(fh)["metric_name"]
-    except (OSError, ValueError, KeyError) as exc:
+    name = _catalog_field(directory, "metric_name")
+    if name is None:
         raise SystemExit(
-            f"error: cannot read the metric name from the catalog ({exc}); "
-            f"pass --metric explicitly"
-        ) from exc
+            f"error: cannot read the metric name from a catalog in "
+            f"{directory}; pass --metric explicitly"
+        )
     return _metric_from_name(name)
 
 
@@ -335,11 +358,18 @@ def cmd_query(args: argparse.Namespace) -> None:
     )
 
 
-def _hit_rate_line(prog: str, tree: SPBTree) -> str:
+def _hit_rate_line(prog: str, tree) -> str:
     """The one-line buffer-pool summary verify/serve print on stderr."""
-    pool = tree.raf.buffer_pool if tree.raf is not None else None
-    hits = pool.hits if pool is not None else 0
-    misses = pool.misses if pool is not None else 0
+    if isinstance(tree, ShardedIndex):
+        pools = [
+            s.tree.raf.buffer_pool
+            for s in tree.shards
+            if s.tree.raf is not None
+        ]
+    else:
+        pools = [tree.raf.buffer_pool] if tree.raf is not None else []
+    hits = sum(p.hits for p in pools)
+    misses = sum(p.misses for p in pools)
     total = hits + misses
     rate = 100.0 * hits / total if total else 0.0
     return (
@@ -371,7 +401,10 @@ def _mixed_ops(args: argparse.Namespace, dataset) -> list:
 
 def cmd_serve(args: argparse.Namespace) -> None:
     """Drive a concurrent mixed workload through the QueryEngine."""
-    dataset, tree = _build(args)
+    if getattr(args, "shards", 0) > 0:
+        dataset, tree = _build_cluster(args)
+    else:
+        dataset, tree = _build(args)
     ops = _mixed_ops(args, dataset)
     slow_log = None
     if args.slow_log is not None:
@@ -387,10 +420,14 @@ def cmd_serve(args: argparse.Namespace) -> None:
         obs.enable()
     wal_dir = None
     if args.metrics and args.mutations > 0:
-        # Give the in-memory tree a throwaway WAL so the write side of the
+        # Give the in-memory index a throwaway WAL so the write side of the
         # workload populates the WAL metric families too.
         wal_dir = tempfile.mkdtemp(prefix="repro-serve-wal-")
-        tree.begin_logging(WriteAheadLog(os.path.join(wal_dir, "wal.log")))
+        if isinstance(tree, ShardedIndex):
+            tree.save(wal_dir)
+            tree = ShardedIndex.open(wal_dir, dataset.metric)
+        else:
+            tree.begin_logging(WriteAheadLog(os.path.join(wal_dir, "wal.log")))
     t0 = time.perf_counter()
     partial = 0
     try:
@@ -433,7 +470,10 @@ def cmd_serve(args: argparse.Namespace) -> None:
             )
     finally:
         if wal_dir is not None:
-            tree.wal.close()
+            if isinstance(tree, ShardedIndex):
+                tree.close()
+            else:
+                tree.wal.close()
             shutil.rmtree(wal_dir, ignore_errors=True)
     if snapshots is not None:
         snapshots.write(meta={"event": "final"})
@@ -532,11 +572,7 @@ def cmd_verify(args: argparse.Namespace) -> None:
 
 def _parse_object(directory: str, value: str):
     """Parse a command-line object literal per the catalog's serializer."""
-    try:
-        with open(os.path.join(directory, "spbtree.json")) as fh:
-            name = json.load(fh).get("serializer")
-    except (OSError, ValueError):
-        name = None
+    name = _catalog_field(directory, "serializer")
     if name in (None, "string"):
         return value
     if name in ("vector-f64", "vector-u8"):
@@ -650,6 +686,157 @@ def cmd_salvage(args: argparse.Namespace) -> None:
     print(f"salvaged index ({len(tree):,} objects) saved to {out}")
 
 
+def _build_cluster(args: argparse.Namespace):
+    """Build an in-memory sharded cluster from a dataset (serve --shards)."""
+    dataset = load_dataset(args.dataset, size=args.size, seed=args.seed)
+    t0 = time.perf_counter()
+    cluster = ShardedIndex.build(
+        dataset.objects,
+        dataset.metric,
+        shards=args.shards,
+        num_pivots=args.pivots,
+        d_plus=dataset.d_plus,
+        seed=7,
+    )
+    elapsed = time.perf_counter() - t0
+    print(
+        f"built {cluster.num_shards}-shard SPB-tree cluster over "
+        f"{len(cluster):,} {args.dataset} objects in {elapsed:.2f}s "
+        f"({cluster.distance_computations:,} compdists)"
+    )
+    return dataset, cluster
+
+
+def _shard_table(cluster: ShardedIndex) -> str:
+    lines = ["shard  key range                                object count"]
+    for shard in cluster.shards:
+        lines.append(
+            f"{shard.shard_id:>5}  [{shard.key_lo}, {shard.key_hi})".ljust(46)
+            + f"{shard.tree.object_count:,}"
+        )
+    return "\n".join(lines)
+
+
+def cmd_shard_build(args: argparse.Namespace) -> None:
+    _, cluster = _build_cluster(args)
+    cluster.save(args.out)
+    print(f"saved cluster to {args.out}")
+    print(_shard_table(cluster))
+
+
+def _load_cluster(directory: str, metric, opener=ShardedIndex.load):
+    try:
+        return opener(directory, metric)
+    except ValueError as exc:
+        raise SystemExit(f"error: cannot load cluster: {exc}") from exc
+
+
+def cmd_shard_query(args: argparse.Namespace) -> None:
+    """One budgeted scatter-gather query against a saved cluster."""
+    metric = _directory_metric(args.dir, args.metric)
+    cluster = _load_cluster(args.dir, metric)
+    if args.query is not None:
+        query = _parse_object(args.dir, args.query)
+    else:
+        query = next(iter(cluster.objects()))
+    radius = args.radius
+    if radius is None:
+        radius = cluster.space.d_plus * args.radius_percent / 100.0
+        if metric.is_discrete:
+            radius = max(1.0, round(radius))
+    ctx = QueryContext.with_limits(strict=args.strict, **_limits(args))
+    cluster.reset_counters()
+    try:
+        if args.mode == "range":
+            result = cluster.range_query(query, radius, context=ctx)
+            print(f"RQ(q, O, {radius:g}) -> {len(result)} results")
+            for obj in result[:10]:
+                print(f"  {obj!r}"[:100])
+        elif args.mode == "knn":
+            result = cluster.knn_query(
+                query, args.k, context=ctx, strategy=args.strategy
+            )
+            print(f"kNN(q, {args.k}) -> {len(result)} neighbours")
+            for dist, obj in result:
+                print(f"  d={dist:.4g}  {obj!r}"[:100])
+        else:
+            result = cluster.range_count(query, radius, context=ctx)
+            print(f"|RQ(q, O, {radius:g})| >= {result.count}")
+    except BudgetExceeded as exc:
+        print(f"query aborted (strict): {exc}", file=sys.stderr)
+        raise SystemExit(1) from exc
+    state = "complete" if result.complete else f"PARTIAL — {result.reason}"
+    print(
+        f"status    : {state}\n"
+        f"shards    : {result.shards_visited} visited, "
+        f"{result.shards_pruned} pruned of {cluster.num_shards}\n"
+        f"spent     : {ctx.compdists} compdists, {ctx.page_accesses} page accesses"
+    )
+    for shard_id in sorted(result.per_shard):
+        out = result.per_shard[shard_id]
+        status = "complete" if out["complete"] else f"partial ({out['reason']})"
+        print(
+            f"  shard {shard_id}: {status}, {out['compdists']} compdists, "
+            f"{out['page_accesses']} page accesses"
+        )
+
+
+def cmd_shard_rebalance(args: argparse.Namespace) -> None:
+    metric = _directory_metric(args.dir, args.metric)
+    cluster = _load_cluster(args.dir, metric, opener=ShardedIndex.open)
+    try:
+        merge = tuple(args.merge) if args.merge is not None else None
+        try:
+            action = cluster.rebalance(split=args.split, merge=merge)
+        except ValueError as exc:
+            print(f"rebalance failed: {exc}", file=sys.stderr)
+            raise SystemExit(1) from exc
+        if action is None:
+            print("cluster is balanced; nothing to do")
+        elif action["action"] == "split":
+            print(
+                f"split shard {action['source']} at key {action['at']} into "
+                f"shards {action['new'][0]} ({action['counts'][0]:,} objects) "
+                f"and {action['new'][1]} ({action['counts'][1]:,} objects)"
+            )
+        else:
+            print(
+                f"merged shards {action['sources'][0]} and "
+                f"{action['sources'][1]} into shard {action['new']} "
+                f"({action['count']:,} objects)"
+            )
+        print(_shard_table(cluster))
+    finally:
+        cluster.close()
+
+
+def cmd_shard_verify(args: argparse.Namespace) -> None:
+    metric = _directory_metric(args.dir, args.metric)
+    try:
+        cluster = ShardedIndex.load(args.dir, metric)
+    except ValueError as exc:
+        print(f"cluster does not load: {exc}")
+        print(
+            f"shard-verify: FAILED — {args.dir}: cluster does not load",
+            file=sys.stderr,
+        )
+        raise SystemExit(1) from exc
+    report = cluster.verify(check_objects=not args.fast)
+    print(report.summary())
+    if not report.ok:
+        print(
+            f"shard-verify: FAILED — {args.dir}: "
+            f"{len(report.errors)} error(s) found",
+            file=sys.stderr,
+        )
+        raise SystemExit(1)
+    print(
+        f"shard-verify: OK — {args.dir}: {report.shards_checked} shards, "
+        f"{report.objects_checked:,} objects checked",
+        file=sys.stderr,
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> None:
     parser = argparse.ArgumentParser(
         prog="repro", description="SPB-tree demo CLI"
@@ -742,7 +929,81 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         "--snapshot-interval", type=float, default=10.0,
         help="seconds between periodic snapshots (default: 10)",
     )
+    p_serve.add_argument(
+        "--shards", type=int, default=0,
+        help="serve from an N-shard cluster instead of a single tree",
+    )
     p_serve.set_defaults(fn=cmd_serve)
+
+    p_sbuild = sub.add_parser(
+        "shard-build", help="build and save an N-shard SPB-tree cluster"
+    )
+    _add_common(p_sbuild)
+    p_sbuild.add_argument("--shards", type=int, default=4)
+    p_sbuild.add_argument(
+        "--out", required=True, help="cluster directory to write"
+    )
+    p_sbuild.set_defaults(fn=cmd_shard_build)
+
+    p_squery = sub.add_parser(
+        "shard-query",
+        help="one budgeted scatter-gather query against a saved cluster",
+    )
+    p_squery.add_argument("--dir", required=True, help="cluster directory")
+    p_squery.add_argument(
+        "--metric", default=None,
+        help="metric name override (default: the catalog's metric_name)",
+    )
+    p_squery.add_argument(
+        "--mode", choices=["range", "knn", "count"], default="knn"
+    )
+    p_squery.add_argument("--query", default=None)
+    p_squery.add_argument("--k", type=int, default=8)
+    p_squery.add_argument("--radius", type=float, default=None)
+    p_squery.add_argument("--radius-percent", type=float, default=8.0)
+    p_squery.add_argument(
+        "--strategy", choices=["best-first", "broadcast"], default="best-first",
+        help="cluster kNN strategy (default: best-first)",
+    )
+    _add_limits(p_squery)
+    p_squery.add_argument(
+        "--strict", action="store_true",
+        help="raise instead of returning a partial result on budget exhaustion",
+    )
+    p_squery.set_defaults(fn=cmd_shard_query)
+
+    p_srebal = sub.add_parser(
+        "shard-rebalance",
+        help="split a hot shard or merge cold neighbours (crash-safe)",
+    )
+    p_srebal.add_argument("--dir", required=True, help="cluster directory")
+    p_srebal.add_argument(
+        "--metric", default=None,
+        help="metric name override (default: the catalog's metric_name)",
+    )
+    p_srebal.add_argument(
+        "--split", type=int, default=None, metavar="SHARD",
+        help="split this shard at its SFC key midpoint",
+    )
+    p_srebal.add_argument(
+        "--merge", type=int, nargs=2, default=None, metavar=("A", "B"),
+        help="merge these two range-adjacent shards",
+    )
+    p_srebal.set_defaults(fn=cmd_shard_rebalance)
+
+    p_sverify = sub.add_parser(
+        "shard-verify", help="audit a saved cluster for corruption"
+    )
+    p_sverify.add_argument("--dir", required=True, help="cluster directory")
+    p_sverify.add_argument(
+        "--metric", default=None,
+        help="metric name override (default: the catalog's metric_name)",
+    )
+    p_sverify.add_argument(
+        "--fast", action="store_true",
+        help="skip per-object re-verification",
+    )
+    p_sverify.set_defaults(fn=cmd_shard_verify)
 
     p_metrics = sub.add_parser(
         "metrics",

@@ -1,0 +1,45 @@
+"""Sharded SPB-tree cluster: SFC-range partitioning with scatter-gather.
+
+The package composes everything PRs 1–4 built per-tree — atomic saves,
+WALs, budgeted queries, observability — into a multi-shard system::
+
+    from repro.cluster import ShardedIndex
+
+    cluster = ShardedIndex.build(objects, metric, shards=4)
+    hits = cluster.range_query(q, radius)          # scatters to few shards
+    nn = cluster.knn_query(q, 10)                  # best-shard-first
+    cluster.save("cluster_dir")
+    cluster = ShardedIndex.open("cluster_dir", metric)   # WAL-backed
+    cluster.rebalance()                            # crash-safe split/merge
+    assert cluster.verify().ok
+"""
+
+from repro.cluster.catalog import (
+    CLUSTER_FILE,
+    ClusterCatalog,
+    ShardMeta,
+    load_catalog,
+    save_catalog,
+)
+from repro.cluster.router import Router
+from repro.cluster.sharded import (
+    ClusterResult,
+    ClusterVerifyReport,
+    Shard,
+    ShardedIndex,
+    ShardExhaustion,
+)
+
+__all__ = [
+    "CLUSTER_FILE",
+    "ClusterCatalog",
+    "ClusterResult",
+    "ClusterVerifyReport",
+    "Router",
+    "Shard",
+    "ShardExhaustion",
+    "ShardMeta",
+    "ShardedIndex",
+    "load_catalog",
+    "save_catalog",
+]

@@ -1,0 +1,189 @@
+"""The cluster catalog: one JSON file naming every shard and its key range.
+
+``cluster.json`` is to a :class:`~repro.cluster.ShardedIndex` what
+``spbtree.json`` is to a single tree — the commit point.  Every structural
+change (save, checkpoint, rebalance) rewrites it through the same
+tmp + fsync + rename protocol as PR 1's per-tree catalog, so a crash at any
+boundary leaves either the old shard map or the new one on disk, never a
+hybrid.  Shard page files live in per-shard subdirectories (``shard-<id>/``)
+that each carry their *own* ``spbtree.json``; the cluster catalog records
+which subdirectories are live and which half-open SFC key range
+``[key_lo, key_hi)`` each one owns.  Generations and object counts are
+recorded for auditing but the per-shard catalog stays authoritative for
+loading, so a crash between a shard checkpoint and the cluster rewrite is
+harmless staleness, not corruption.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.core.persist import (
+    CatalogError,
+    _SERIALIZERS,
+    _atomic_write,
+    _fsync_dir,
+)
+from repro.storage.faults import FaultInjector
+from repro.storage.serializers import Serializer
+
+CLUSTER_FILE = "cluster.json"
+CLUSTER_FORMAT_VERSION = 1
+
+
+@dataclass
+class ShardMeta:
+    """One shard's row in the catalog."""
+
+    shard_id: int
+    #: Subdirectory (relative to the cluster directory) holding the shard.
+    directory: str
+    #: Half-open SFC key range ``[key_lo, key_hi)`` this shard owns.
+    key_lo: int
+    key_hi: int
+    #: Shard generation at the last cluster catalog write (informational —
+    #: the shard's own ``spbtree.json`` is authoritative when loading).
+    generation: int = 0
+    object_count: int = 0
+
+
+@dataclass
+class ClusterCatalog:
+    """Everything needed to reopen a sharded index."""
+
+    metric_name: str
+    serializer: str
+    curve: str
+    d_plus: float
+    delta: float
+    #: Decoded pivot objects (encoded with ``serializer`` on disk).
+    pivots: list[Any]
+    page_size: int
+    cache_pages: int
+    checksums: bool
+    next_shard_id: int
+    shards: list[ShardMeta] = field(default_factory=list)
+
+
+def save_catalog(
+    directory: str,
+    catalog: ClusterCatalog,
+    faults: Optional[FaultInjector] = None,
+) -> None:
+    """Atomically commit ``catalog`` as ``directory/cluster.json``.
+
+    The rename is the crash boundary (``faults`` sees it as
+    ``"rename cluster.json"``); until it lands the previous catalog — or
+    none at all — stays in effect.
+    """
+    serializer = _serializer_named(catalog.serializer)
+    payload = {
+        "format_version": CLUSTER_FORMAT_VERSION,
+        "kind": "spb-cluster",
+        "metric_name": catalog.metric_name,
+        "serializer": catalog.serializer,
+        "curve": catalog.curve,
+        "d_plus": catalog.d_plus,
+        "delta": catalog.delta,
+        "pivots": [
+            base64.b64encode(serializer.serialize(p)).decode("ascii")
+            for p in catalog.pivots
+        ],
+        "page_size": catalog.page_size,
+        "cache_pages": catalog.cache_pages,
+        "checksums": catalog.checksums,
+        "next_shard_id": catalog.next_shard_id,
+        "shards": [
+            {
+                "id": s.shard_id,
+                "dir": s.directory,
+                "key_lo": s.key_lo,
+                "key_hi": s.key_hi,
+                "generation": s.generation,
+                "object_count": s.object_count,
+            }
+            for s in sorted(catalog.shards, key=lambda s: s.key_lo)
+        ],
+    }
+    os.makedirs(directory, exist_ok=True)
+    _atomic_write(
+        directory, CLUSTER_FILE, json.dumps(payload).encode("utf-8"), faults
+    )
+    _fsync_dir(directory)
+
+
+def load_catalog(directory: str) -> ClusterCatalog:
+    """Read and validate ``directory/cluster.json``."""
+    path = os.path.join(directory, CLUSTER_FILE)
+    try:
+        with open(path, "rb") as fh:
+            payload = json.loads(fh.read().decode("utf-8"))
+    except FileNotFoundError:
+        raise CatalogError(f"no cluster catalog at {path}") from None
+    except (OSError, ValueError) as exc:
+        raise CatalogError(f"unreadable cluster catalog {path}: {exc}") from None
+    if payload.get("kind") != "spb-cluster":
+        raise CatalogError(f"{path} is not a cluster catalog")
+    if payload.get("format_version") != CLUSTER_FORMAT_VERSION:
+        raise CatalogError(
+            f"unsupported cluster format {payload.get('format_version')!r}"
+        )
+    serializer = _serializer_named(payload["serializer"])
+    shards = []
+    for row in payload["shards"]:
+        meta = ShardMeta(
+            shard_id=int(row["id"]),
+            directory=str(row["dir"]),
+            key_lo=int(row["key_lo"]),
+            key_hi=int(row["key_hi"]),
+            generation=int(row.get("generation", 0)),
+            object_count=int(row.get("object_count", 0)),
+        )
+        if meta.key_lo >= meta.key_hi:
+            raise CatalogError(
+                f"shard {meta.shard_id} has empty key range "
+                f"[{meta.key_lo}, {meta.key_hi})"
+            )
+        if os.path.basename(meta.directory) != meta.directory:
+            raise CatalogError(
+                f"shard {meta.shard_id} directory {meta.directory!r} "
+                "must be a bare subdirectory name"
+            )
+        shards.append(meta)
+    ids = [s.shard_id for s in shards]
+    if len(set(ids)) != len(ids):
+        raise CatalogError("duplicate shard ids in cluster catalog")
+    shards.sort(key=lambda s: s.key_lo)
+    for prev, cur in zip(shards, shards[1:]):
+        if prev.key_hi != cur.key_lo:
+            raise CatalogError(
+                f"shard ranges not contiguous: [{prev.key_lo}, {prev.key_hi}) "
+                f"then [{cur.key_lo}, {cur.key_hi})"
+            )
+    return ClusterCatalog(
+        metric_name=payload["metric_name"],
+        serializer=payload["serializer"],
+        curve=payload["curve"],
+        d_plus=float(payload["d_plus"]),
+        delta=float(payload["delta"]),
+        pivots=[
+            serializer.deserialize(base64.b64decode(p))
+            for p in payload["pivots"]
+        ],
+        page_size=int(payload["page_size"]),
+        cache_pages=int(payload["cache_pages"]),
+        checksums=bool(payload["checksums"]),
+        next_shard_id=int(payload["next_shard_id"]),
+        shards=shards,
+    )
+
+
+def _serializer_named(name: str) -> Serializer:
+    try:
+        return _SERIALIZERS[name]()
+    except KeyError:
+        raise CatalogError(f"unknown serializer {name!r}") from None

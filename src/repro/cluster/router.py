@@ -1,0 +1,151 @@
+"""Shard routing: the paper's lemmas lifted from B+-tree nodes to shards.
+
+Because shards own disjoint SFC key ranges, and SFC keys encode pivot-space
+grid cells, each shard covers a region of pivot space summarised by its
+tree's root MBB.  Every per-node pruning rule then applies verbatim one
+level up:
+
+* **Lemma 1** — a shard whose MBB misses the query's range region RR(q, r)
+  cannot hold a result; ``range_plan`` drops it without a page access.
+* **Lemma 2** — if some pivot pᵢ proves every cell in the MBB lies within
+  ``r − d(q, pᵢ)`` of pᵢ, the *whole shard* is inside the ball and its RAF
+  can be streamed out with zero distance computations.
+* **Lemma 3** — MIND(q, MBB) lower-bounds d(q, o) for every object in the
+  shard, giving the best-shard-first kNN visit order and the prune test
+  against the shared k-th-distance bound.
+
+MBBs are cached per shard and invalidated (not incrementally widened) on
+mutation: invalidation is a single atomic ``dict.pop``, so concurrent
+writers under the cluster's read lock cannot race a read-modify-write into
+a too-small box, and the recompute is one root-node read that the buffer
+pool almost always absorbs.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.core.mapping import PivotSpace
+from repro.sfc.base import SpaceFillingCurve
+from repro.sfc.region import boxes_intersect
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.sharded import Shard
+
+GridBox = tuple[tuple[int, ...], tuple[int, ...]]
+
+_MISS = object()
+
+
+class Router:
+    """Routes keys and queries to the shards that can possibly answer them."""
+
+    __slots__ = ("space", "curve", "_shards", "_lows", "_mbb_cache")
+
+    def __init__(
+        self,
+        space: PivotSpace,
+        curve: SpaceFillingCurve,
+        shards: Sequence["Shard"] = (),
+    ) -> None:
+        self.space = space
+        self.curve = curve
+        self._mbb_cache: dict[int, Optional[GridBox]] = {}
+        self.reset(shards)
+
+    def reset(self, shards: Sequence["Shard"]) -> None:
+        """Adopt a new shard list (build, load, rebalance swap)."""
+        self._shards = sorted(shards, key=lambda s: s.key_lo)
+        self._lows = [s.key_lo for s in self._shards]
+        live = {s.shard_id for s in self._shards}
+        self._mbb_cache = {
+            sid: box for sid, box in self._mbb_cache.items() if sid in live
+        }
+
+    @property
+    def shards(self) -> list["Shard"]:
+        return list(self._shards)
+
+    # ------------------------------------------------------------- writes
+
+    def shard_for_key(self, key: int) -> "Shard":
+        """The unique shard owning ``key`` (ranges are disjoint + covering)."""
+        i = bisect.bisect_right(self._lows, key) - 1
+        if i < 0:
+            raise ValueError(f"SFC key {key} below the cluster key space")
+        shard = self._shards[i]
+        if not (shard.key_lo <= key < shard.key_hi):
+            raise ValueError(f"SFC key {key} outside every shard range")
+        return shard
+
+    def note_insert(self, shard: "Shard") -> None:
+        """Invalidate ``shard``'s cached MBB after an insert."""
+        self._mbb_cache.pop(shard.shard_id, None)
+
+    def note_delete(self, shard: "Shard") -> None:
+        """Invalidate ``shard``'s cached MBB after a delete."""
+        self._mbb_cache.pop(shard.shard_id, None)
+
+    # ------------------------------------------------------------ pruning
+
+    def mbb(self, shard: "Shard") -> Optional[GridBox]:
+        """``shard``'s pivot-space MBB (None when empty), cached."""
+        box = self._mbb_cache.get(shard.shard_id, _MISS)
+        if box is _MISS:
+            box = shard.tree.mbb()
+            self._mbb_cache[shard.shard_id] = box
+        return box
+
+    def range_plan(
+        self, phi_q: Sequence[float], radius: float
+    ) -> tuple[list[tuple["Shard", bool]], int]:
+        """``(visit, pruned)`` for a range query.
+
+        ``visit`` pairs each intersecting shard (Lemma 1) with an
+        ``accept_all`` flag: True when Lemma 2 proves the entire shard lies
+        within the ball, so its objects can be emitted without a single
+        distance computation.  ``pruned`` counts non-empty shards dropped.
+        """
+        rr_lo, rr_hi = self.space.range_region(phi_q, radius)
+        visit: list[tuple["Shard", bool]] = []
+        pruned = 0
+        for shard in self._shards:
+            box = self.mbb(shard)
+            if box is None:
+                continue  # empty shard: nothing to scan, nothing to prune
+            lo, hi = box
+            if not boxes_intersect(rr_lo, rr_hi, lo, hi):
+                pruned += 1
+                continue
+            accept_all = any(
+                self.space.upper_bound_to_pivot(h) <= radius - dq
+                for h, dq in zip(hi, phi_q)
+            )
+            visit.append((shard, accept_all))
+        return visit, pruned
+
+    def knn_order(
+        self, phi_q: Sequence[float]
+    ) -> list[tuple[float, "Shard"]]:
+        """Non-empty shards as ``(MIND, shard)``, cheapest first.
+
+        MIND(q, MBB) is Lemma 3's lower bound; ties break toward the
+        shard with fewer leaf pages (the cost-model proxy for a cheaper
+        visit) so the shared bound tightens as early as possible.
+        """
+        order = []
+        for shard in self._shards:
+            box = self.mbb(shard)
+            if box is None:
+                continue
+            mind = self.space.mind_to_box(phi_q, box[0], box[1])
+            order.append((mind, shard))
+        order.sort(
+            key=lambda pair: (
+                pair[0],
+                pair[1].tree.btree.leaf_page_count,
+                pair[1].shard_id,
+            )
+        )
+        return order

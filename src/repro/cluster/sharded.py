@@ -1,0 +1,1362 @@
+"""A sharded SPB-tree: N full index stacks behind one logical interface.
+
+``ShardedIndex`` partitions one dataset by **disjoint SFC key ranges** —
+the property PAPER.md §4 gives us for free: the RAF already stores objects
+in ascending SFC order, so cutting the key space at N−1 points yields N
+shards that are contiguous runs of the same linear order, and therefore
+disjoint regions of pivot space.  Each shard is a complete single-tree
+stack (page file + buffer pool + RAF + B+-tree + WAL) with its own
+generation; the cluster adds
+
+* a :class:`Router` (shard-level Lemma 1/2/3 pruning over per-shard MBBs),
+* an atomically-committed catalog (:mod:`repro.cluster.catalog`),
+* scatter-gather queries that split one :class:`QueryContext` budget into
+  per-shard sub-contexts and merge degraded partials honestly, and
+* crash-safe online rebalancing (split a hot shard at an SFC midpoint,
+  merge cold neighbours) committed by one catalog rename.
+
+Consistency model: mutations take the cluster's read side (they touch one
+shard, whose own EpochLock serialises them) while structural changes
+(rebalance, checkpoint, save) take the write side.  A concurrent query
+sees each shard at some epoch of its own — per-shard snapshot
+consistency, not a cluster-wide snapshot.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional, Sequence
+
+from repro.cluster.catalog import (
+    ClusterCatalog,
+    ShardMeta,
+    _serializer_named,
+    load_catalog,
+    save_catalog,
+)
+from repro.cluster.router import Router
+from repro.core.mapping import PivotSpace
+from repro.core.persist import load_tree, save_tree
+from repro.core.pivots import select_pivots
+from repro.core.spbtree import _CURVES, SPBTree
+from repro.distance.base import CountingDistance, Metric
+from repro.storage.faults import FaultInjector
+from repro.obs import instruments as _instruments
+from repro.obs import registry as _obsreg
+from repro.obs.trace import QueryTrace
+from repro.service.context import (
+    EpochLock,
+    ExhaustionReason,
+    KnnCollector,
+    Overloaded,
+    QueryContext,
+    QueryResult,
+    _Exhausted,
+)
+from repro.storage.pagefile import DEFAULT_PAGE_SIZE
+from repro.storage.serializers import Serializer, serializer_for
+from repro.storage.wal import WAL_FILE, WriteAheadLog
+
+
+@dataclass(frozen=True)
+class ShardExhaustion(ExhaustionReason):
+    """An :class:`ExhaustionReason` that names the shard whose sub-budget
+    tripped — what a degraded scatter reports so an operator can tell a
+    hot shard from a globally short deadline."""
+
+    shard: int = -1
+
+    def __str__(self) -> str:
+        return f"shard {self.shard}: {super().__str__()}"
+
+
+def _name_shard(reason: ExhaustionReason, shard_id: int) -> ShardExhaustion:
+    return ShardExhaustion(
+        kind=reason.kind, limit=reason.limit, spent=reason.spent, shard=shard_id
+    )
+
+
+class Shard:
+    """One member of the cluster: a full SPB-tree plus its key range."""
+
+    __slots__ = ("shard_id", "key_lo", "key_hi", "tree", "dirname")
+
+    def __init__(
+        self,
+        shard_id: int,
+        key_lo: int,
+        key_hi: int,
+        tree: SPBTree,
+        dirname: Optional[str] = None,
+    ) -> None:
+        self.shard_id = shard_id
+        self.key_lo = key_lo
+        self.key_hi = key_hi
+        self.tree = tree
+        self.dirname = dirname if dirname is not None else f"shard-{shard_id}"
+
+    def __repr__(self) -> str:
+        return (
+            f"Shard({self.shard_id}, [{self.key_lo}, {self.key_hi}), "
+            f"{self.tree.object_count} objects)"
+        )
+
+
+class ClusterResult(QueryResult):
+    """A :class:`QueryResult` annotated with the scatter that produced it."""
+
+    __slots__ = ("per_shard", "shards_visited", "shards_pruned")
+
+    def __init__(
+        self,
+        items: list,
+        complete: bool = True,
+        reason: Optional[ExhaustionReason] = None,
+        count: Optional[int] = None,
+        stats: Optional[Any] = None,
+        frontier: Optional[float] = None,
+        per_shard: Optional[dict] = None,
+        shards_visited: int = 0,
+        shards_pruned: int = 0,
+    ) -> None:
+        super().__init__(
+            items,
+            complete=complete,
+            reason=reason,
+            count=count,
+            stats=stats,
+            frontier=frontier,
+        )
+        #: ``shard_id -> {"complete", "reason", "compdists", "page_accesses"}``
+        self.per_shard = per_shard if per_shard is not None else {}
+        self.shards_visited = shards_visited
+        self.shards_pruned = shards_pruned
+
+
+@dataclass
+class ClusterVerifyReport:
+    """Outcome of :meth:`ShardedIndex.verify`."""
+
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+    shards_checked: int = 0
+    objects_checked: int = 0
+    shard_reports: dict[int, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"FAILED ({len(self.errors)} errors)"
+        lines = [
+            f"cluster verify: {status}",
+            f"  shards checked:  {self.shards_checked}",
+            f"  objects checked: {self.objects_checked}",
+        ]
+        for err in self.errors:
+            lines.append(f"  error: {err}")
+        for warn in self.warnings:
+            lines.append(f"  warning: {warn}")
+        return "\n".join(lines)
+
+
+class ShardedIndex:
+    """One logical metric index served by N SPB-tree shards."""
+
+    def __init__(
+        self,
+        metric: Metric,
+        pivots: Sequence[Any],
+        d_plus: float,
+        curve: str = "hilbert",
+        delta: Optional[float] = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        cache_pages: int = 32,
+        serializer: Optional[Serializer] = None,
+        checksums: bool = False,
+    ) -> None:
+        #: Cluster-level distance counter: pays the |P| query-mapping
+        #: distances once per query, regardless of how many shards run.
+        self.distance = CountingDistance(metric)
+        self.space = PivotSpace(pivots, self.distance, d_plus, delta)
+        try:
+            curve_cls = _CURVES[curve]
+        except KeyError:
+            raise ValueError(
+                f"unknown curve {curve!r}; available: {sorted(_CURVES)}"
+            ) from None
+        self.curve = curve_cls(self.space.num_pivots, self.space.bits)
+        self._curve_name = curve
+        self._serializer = serializer
+        self._page_size = page_size
+        self._cache_pages = cache_pages
+        self._checksums = checksums
+        self.shards: list[Shard] = []
+        self.router = Router(self.space, self.curve)
+        #: Readers = queries and single-shard mutations; writer = structural
+        #: changes (rebalance, checkpoint, save) that swap the shard list.
+        self._lock = EpochLock()
+        self.directory: Optional[str] = None
+        self._wal_fsync = True
+        self._logging = False
+        self._faults: Optional[FaultInjector] = None
+        self.next_shard_id = 0
+
+    # --------------------------------------------------------- construction
+
+    @classmethod
+    def build(
+        cls,
+        objects: Sequence[Any],
+        metric: Metric,
+        shards: int = 4,
+        num_pivots: int = 5,
+        curve: str = "hilbert",
+        pivot_method: str = "hfi",
+        pivots: Optional[Sequence[Any]] = None,
+        delta: Optional[float] = None,
+        d_plus: Optional[float] = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        cache_pages: int = 32,
+        seed: int = 7,
+        checksums: bool = False,
+    ) -> "ShardedIndex":
+        """Bulk-load a cluster: one pivot table, one |O| × |P| mapping pass,
+        then the sorted keyed objects cut at object-count quantiles of the
+        SFC order (so shards start balanced by population, not key span).
+        """
+        if not objects:
+            raise ValueError("cannot build an index over an empty dataset")
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if pivots is None:
+            pivots = select_pivots(
+                objects, num_pivots, metric, method=pivot_method, seed=seed
+            )
+        if d_plus is None:
+            d_plus = metric.max_distance(objects)
+        self = cls(
+            metric,
+            pivots,
+            d_plus,
+            curve=curve,
+            delta=delta,
+            page_size=page_size,
+            cache_pages=cache_pages,
+            serializer=serializer_for(objects[0]),
+            checksums=checksums,
+        )
+        keyed = sorted(
+            ((self.curve.encode(self.space.grid(obj)), obj) for obj in objects),
+            key=lambda pair: pair[0],
+        )
+        bounds = self._split_bounds(keyed, shards)
+        # A small throwaway build carries the sampled cost-model statistics
+        # (pair distances, exponent, ND_k corrections); the keyed shard
+        # builds inherit them so every shard prices visits the same way.
+        step = max(1, len(keyed) // 256)
+        sample = [obj for _, obj in keyed[::step]][:256]
+        donor = None
+        if len(sample) >= 2:
+            donor = SPBTree.build(
+                sample,
+                metric,
+                pivots=pivots,
+                delta=self.space.delta,
+                d_plus=d_plus,
+                curve=curve,
+                page_size=page_size,
+                cache_pages=cache_pages,
+                checksums=checksums,
+            )
+        start = 0
+        for i, lo in enumerate(bounds):
+            hi = bounds[i + 1] if i + 1 < len(bounds) else self.curve.max_value
+            end = start
+            while end < len(keyed) and keyed[end][0] < hi:
+                end += 1
+            tree = self._tree_from_items(keyed[start:end], stats_from=donor)
+            self.shards.append(Shard(self.next_shard_id, lo, hi, tree))
+            self.next_shard_id += 1
+            start = end
+        self.router.reset(self.shards)
+        self._gauge_all()
+        return self
+
+    @staticmethod
+    def _split_bounds(
+        keyed: Sequence[tuple[int, Any]], shards: int
+    ) -> list[int]:
+        """Strictly increasing range starts (first always 0), at most
+        ``shards`` of them, cutting ``keyed`` near population quantiles.
+        Duplicate keys never straddle a boundary."""
+        n = len(keyed)
+        bounds = [0]
+        start = 0
+        for i in range(1, shards):
+            j = (i * n) // shards
+            if j <= start:
+                continue
+            if keyed[j][0] <= keyed[start][0]:
+                j = start + 1
+                while j < n and keyed[j][0] <= keyed[start][0]:
+                    j += 1
+                if j >= n:
+                    break
+            bounds.append(keyed[j][0])
+            start = j
+        return bounds
+
+    def _tree_from_items(
+        self,
+        items: Sequence[tuple[int, Any]],
+        stats_from: Optional[SPBTree] = None,
+    ) -> SPBTree:
+        return SPBTree.build_keyed(
+            items,
+            self.distance.metric,
+            self.space.pivots,
+            self.space.d_plus,
+            curve=self._curve_name,
+            delta=self.space.delta,
+            page_size=self._page_size,
+            cache_pages=self._cache_pages,
+            serializer=self._serializer,
+            checksums=self._checksums,
+            stats_from=stats_from,
+        )
+
+    # ---------------------------------------------------------- persistence
+
+    @classmethod
+    def load(
+        cls, directory: str, metric: Metric, replay_wal: bool = True
+    ) -> "ShardedIndex":
+        """Reopen a cluster read-only from its catalog."""
+        cat = load_catalog(directory)
+        if cat.metric_name != metric.name:
+            raise ValueError(
+                f"cluster was built with metric {cat.metric_name!r}, "
+                f"got {metric.name!r}"
+            )
+        self = cls(
+            metric,
+            cat.pivots,
+            cat.d_plus,
+            curve=cat.curve,
+            delta=cat.delta,
+            page_size=cat.page_size,
+            cache_pages=cat.cache_pages,
+            serializer=_serializer_named(cat.serializer),
+            checksums=cat.checksums,
+        )
+        self.next_shard_id = cat.next_shard_id
+        for meta in cat.shards:
+            sdir = os.path.join(directory, meta.directory)
+            if os.path.exists(os.path.join(sdir, "spbtree.json")):
+                tree = load_tree(sdir, metric, replay_wal=replay_wal)
+            else:
+                # A shard that was empty at save time has no page files;
+                # rebuild it as a fresh empty stack.
+                tree = SPBTree(
+                    metric,
+                    cat.pivots,
+                    cat.d_plus,
+                    curve=cat.curve,
+                    delta=cat.delta,
+                    page_size=cat.page_size,
+                    cache_pages=cat.cache_pages,
+                    serializer=self._serializer,
+                    checksums=cat.checksums,
+                )
+            self.shards.append(
+                Shard(meta.shard_id, meta.key_lo, meta.key_hi, tree, meta.directory)
+            )
+        self.router.reset(self.shards)
+        self.directory = directory
+        self._cleanup_unreferenced()
+        self._gauge_all()
+        return self
+
+    @classmethod
+    def open(
+        cls,
+        directory: str,
+        metric: Metric,
+        wal_fsync: bool = True,
+        faults: Optional[FaultInjector] = None,
+    ) -> "ShardedIndex":
+        """Reopen for writing: load, then attach a WAL to every shard."""
+        self = cls.load(directory, metric)
+        self._wal_fsync = wal_fsync
+        self._faults = faults
+        for shard in self.shards:
+            self._attach_wal(shard)
+        self._logging = True
+        return self
+
+    def save(
+        self, directory: str, faults: Optional[FaultInjector] = None
+    ) -> None:
+        """Persist every shard, then commit the cluster catalog."""
+        os.makedirs(directory, exist_ok=True)
+        with self._lock.write():
+            for shard in self.shards:
+                if shard.tree.raf is None:
+                    continue  # never-written shard: catalog row only
+                gen = save_tree(
+                    shard.tree, os.path.join(directory, shard.dirname), faults
+                )
+                shard.tree._generation = gen
+            self.directory = directory
+            self._write_catalog(faults)
+
+    def checkpoint(self, faults: Optional[FaultInjector] = None) -> None:
+        """Fold every shard's WAL into a new generation, then refresh the
+        catalog.  A crash between the two leaves stale (not wrong) cluster
+        rows: shard catalogs stay authoritative for loading."""
+        if self.directory is None:
+            raise ValueError("cluster has no directory; save() it first")
+        with self._lock.write():
+            for shard in self.shards:
+                if shard.tree.wal is None or shard.tree.raf is None:
+                    continue
+                shard.tree.checkpoint(
+                    os.path.join(self.directory, shard.dirname), faults=faults
+                )
+            self._write_catalog(faults)
+
+    def close(self) -> None:
+        """Release every shard's WAL file handle."""
+        for shard in self.shards:
+            if shard.tree.wal is not None:
+                shard.tree.wal.close()
+                shard.tree.wal = None
+        self._logging = False
+
+    def _attach_wal(self, shard: Shard) -> None:
+        assert self.directory is not None
+        sdir = os.path.join(self.directory, shard.dirname)
+        os.makedirs(sdir, exist_ok=True)
+        wal = WriteAheadLog(
+            os.path.join(sdir, WAL_FILE),
+            fsync=self._wal_fsync,
+            faults=self._faults,
+        )
+        shard.tree.begin_logging(wal)
+
+    def _write_catalog(self, faults: Optional[FaultInjector]) -> None:
+        assert self.directory is not None
+        save_catalog(self.directory, self._catalog(), faults)
+
+    def _catalog(self) -> ClusterCatalog:
+        serializer = self._serializer
+        if serializer is None:
+            for shard in self.shards:
+                if shard.tree.raf is not None:
+                    serializer = shard.tree.raf.serializer
+                    break
+        if serializer is None:
+            raise ValueError("cannot persist an empty cluster")
+        self._serializer = serializer
+        return ClusterCatalog(
+            metric_name=self.distance.metric.name,
+            serializer=serializer.name,
+            curve=self._curve_name,
+            d_plus=self.space.d_plus,
+            delta=self.space.delta,
+            pivots=list(self.space.pivots),
+            page_size=self._page_size,
+            cache_pages=self._cache_pages,
+            checksums=self._checksums,
+            next_shard_id=self.next_shard_id,
+            shards=[
+                ShardMeta(
+                    shard_id=s.shard_id,
+                    directory=s.dirname,
+                    key_lo=s.key_lo,
+                    key_hi=s.key_hi,
+                    generation=s.tree._generation,
+                    object_count=s.tree.object_count,
+                )
+                for s in self.shards
+            ],
+        )
+
+    def _cleanup_unreferenced(self) -> None:
+        """Remove ``shard-*`` directories the catalog no longer names —
+        debris from a crash on either side of a rebalance commit."""
+        if self.directory is None:
+            return
+        referenced = {s.dirname for s in self.shards}
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return
+        for name in names:
+            if not name.startswith("shard-") or name in referenced:
+                continue
+            path = os.path.join(self.directory, name)
+            if os.path.isdir(path):
+                shutil.rmtree(path, ignore_errors=True)
+
+    # -------------------------------------------------------------- writes
+
+    def insert(self, obj: Any) -> None:
+        """Map once at cluster level, then route to the owning shard's WAL."""
+        with self._lock.read():
+            grid = self.space.grid(obj)
+            key = self.curve.encode(grid)
+            shard = self.router.shard_for_key(key)
+            shard.tree.insert(obj, grid=grid)
+            self.router.note_insert(shard)
+            self._gauge_shard(shard)
+
+    def delete(self, obj: Any) -> bool:
+        with self._lock.read():
+            grid = self.space.grid(obj)
+            key = self.curve.encode(grid)
+            shard = self.router.shard_for_key(key)
+            removed = shard.tree.delete(obj, grid=grid)
+            if removed:
+                self.router.note_delete(shard)
+                self._gauge_shard(shard)
+            return removed
+
+    # ------------------------------------------------------------- queries
+
+    def range_query(
+        self,
+        query: Any,
+        radius: float,
+        context: Optional[QueryContext] = None,
+        engine: Optional[Any] = None,
+    ) -> "list[Any] | ClusterResult":
+        """Scatter to Lemma-1-intersecting shards, gather, merge.
+
+        Shards Lemma 2 accepts wholesale are streamed from their RAFs with
+        zero distance computations.  With a ``context`` the remaining
+        compdist/PA budget is split evenly across the scattered shards
+        (the deadline and cancel token are shared as-is) and partial
+        sub-results merge into one honest partial.
+        """
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        with self._lock.read():
+            if context is None:
+                phi_q = self.space.phi(query)
+                visit, pruned = self.router.range_plan(phi_q, radius)
+                self._count_scatter("range", len(visit), pruned)
+                results: list[Any] = []
+                for shard, accept_all in visit:
+                    if accept_all:
+                        with shard.tree._epoch_lock.read():
+                            results.extend(shard.tree.objects())
+                    else:
+                        results.extend(
+                            shard.tree.range_query(query, radius, phi_q=phi_q)
+                        )
+                return results
+            return self._scatter_range(query, radius, context, engine)
+
+    def _scatter_range(
+        self,
+        query: Any,
+        radius: float,
+        ctx: QueryContext,
+        engine: Optional[Any],
+    ) -> ClusterResult:
+        t0 = time.perf_counter()
+        with ctx.activate():
+            phi_q, early = self._map_or_degrade(query, ctx, t0)
+            if early is not None:
+                return early
+            visit, pruned = self.router.range_plan(phi_q, radius)
+            self._count_scatter("range", len(visit), pruned)
+            jobs = []
+            parts = max(1, len(visit))
+            for shard, accept_all in visit:
+                sub = self._sub_context(ctx, parts)
+                fn = (
+                    self._accept_all_fn(shard)
+                    if accept_all
+                    else self._range_fn(shard, query, radius, phi_q)
+                )
+                jobs.append((shard, sub, fn))
+            outs = self._run_jobs(jobs, engine)
+            results: list[Any] = []
+            complete, reason = True, None
+            per_shard: dict[int, dict] = {}
+            for (shard, sub, _), out in zip(jobs, outs):
+                self._absorb(ctx, shard, sub, out, "range")
+                per_shard[shard.shard_id] = self._outcome(sub, out)
+                results.extend(out.items)
+                if not out.complete and complete:
+                    complete = False
+                    reason = _name_shard(out.reason, shard.shard_id)
+            if not complete and ctx.strict:
+                raise ctx.raise_for(reason)
+            if ctx.trace is not None:
+                ctx.trace.finish(ctx, complete, reason)
+            return ClusterResult(
+                results,
+                complete=complete,
+                reason=reason,
+                stats=ctx.stats(time.perf_counter() - t0, len(results)),
+                per_shard=per_shard,
+                shards_visited=len(visit),
+                shards_pruned=pruned,
+            )
+
+    def knn_query(
+        self,
+        query: Any,
+        k: int,
+        traversal: str = "incremental",
+        context: Optional[QueryContext] = None,
+        engine: Optional[Any] = None,
+        strategy: str = "best-first",
+    ) -> "list[tuple[float, Any]] | ClusterResult":
+        """Cluster-scale NNA with the paper's two strategies lifted to shards.
+
+        ``"best-first"`` visits shards in ascending MIND order (Lemma 3,
+        ties by the cost model's leaf-count proxy), sharing one
+        :class:`KnnCollector` so the k-th-distance bound from early shards
+        prunes later ones outright.  ``"broadcast"`` scatters to every
+        non-empty shard at once — on ``engine``'s pool when given — into a
+        thread-safe shared collector.  Partial answers merge to a confirmed
+        prefix: the cut is the smallest frontier or unvisited-shard MIND,
+        so every reported neighbour is a true kNN member.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if traversal not in ("incremental", "greedy"):
+            raise ValueError("traversal must be 'incremental' or 'greedy'")
+        if strategy not in ("best-first", "broadcast"):
+            raise ValueError("strategy must be 'best-first' or 'broadcast'")
+        with self._lock.read():
+            if context is None:
+                return self._knn_plain(query, k, traversal, strategy, engine)
+            return self._scatter_knn(
+                query, k, traversal, context, engine, strategy
+            )
+
+    def _knn_plain(
+        self,
+        query: Any,
+        k: int,
+        traversal: str,
+        strategy: str,
+        engine: Optional[Any],
+    ) -> list[tuple[float, Any]]:
+        phi_q = self.space.phi(query)
+        order = self.router.knn_order(phi_q)
+        if strategy == "best-first":
+            collector = KnnCollector(k)
+            visited = 0
+            for i, (mind, shard) in enumerate(order):
+                if len(collector) >= k and mind >= collector.bound():
+                    self._count_scatter("knn", visited, len(order) - i)
+                    return collector.items()
+                shard.tree.knn_into(
+                    query, k, collector, traversal=traversal, phi_q=phi_q
+                )
+                visited += 1
+            self._count_scatter("knn", visited, 0)
+            return collector.items()
+        collector = KnnCollector(k, thread_safe=engine is not None)
+        jobs = []
+        for _, shard in order:
+            jobs.append(
+                (shard, QueryContext(), self._knn_fn(shard, query, k, collector, traversal, phi_q))
+            )
+        self._run_jobs(jobs, engine)
+        self._count_scatter("knn", len(order), 0)
+        return collector.items()
+
+    def _scatter_knn(
+        self,
+        query: Any,
+        k: int,
+        traversal: str,
+        ctx: QueryContext,
+        engine: Optional[Any],
+        strategy: str,
+    ) -> ClusterResult:
+        t0 = time.perf_counter()
+        with ctx.activate():
+            phi_q, early = self._map_or_degrade(query, ctx, t0)
+            if early is not None:
+                return early
+            order = self.router.knn_order(phi_q)
+            complete, reason = True, None
+            frontiers: list[float] = []
+            per_shard: dict[int, dict] = {}
+            visited = pruned = 0
+            if strategy == "best-first":
+                collector = KnnCollector(k)
+                i = 0
+                while i < len(order):
+                    mind, shard = order[i]
+                    if len(collector) >= k and mind >= collector.bound():
+                        # Ascending MINDs: every later shard is pruned too,
+                        # and (bound monotonicity) constrains nothing.
+                        pruned += len(order) - i
+                        break
+                    sub = self._sub_context(ctx, 1)
+                    out = shard.tree.knn_into(
+                        query, k, collector, sub, traversal=traversal, phi_q=phi_q
+                    )
+                    visited += 1
+                    i += 1
+                    self._absorb(ctx, shard, sub, out, "knn")
+                    per_shard[shard.shard_id] = self._outcome(sub, out)
+                    if not out.complete:
+                        complete = False
+                        reason = _name_shard(out.reason, shard.shard_id)
+                        frontier = (
+                            out.frontier
+                            if out.frontier is not None
+                            else float("inf")
+                        )
+                        # Unvisited shards bound unseen objects by their MIND.
+                        frontiers.append(frontier)
+                        frontiers.extend(m for m, _ in order[i:])
+                        break
+            else:
+                collector = KnnCollector(k, thread_safe=True)
+                parts = max(1, len(order))
+                jobs = [
+                    (
+                        shard,
+                        self._sub_context(ctx, parts),
+                        None,
+                    )
+                    for _, shard in order
+                ]
+                jobs = [
+                    (shard, sub, self._knn_into_fn(shard, query, k, collector, traversal, phi_q))
+                    for shard, sub, _ in jobs
+                ]
+                outs = self._run_jobs(jobs, engine)
+                for (shard, sub, _), out in zip(jobs, outs):
+                    visited += 1
+                    self._absorb(ctx, shard, sub, out, "knn")
+                    per_shard[shard.shard_id] = self._outcome(sub, out)
+                    if not out.complete:
+                        complete = False
+                        if reason is None:
+                            reason = _name_shard(out.reason, shard.shard_id)
+                        frontiers.append(
+                            out.frontier
+                            if out.frontier is not None
+                            else float("inf")
+                        )
+            self._count_scatter("knn", visited, pruned)
+            items = collector.items()
+            cut = None
+            if not complete:
+                cut = min(frontiers) if frontiers else float("inf")
+                items = [(d, obj) for d, obj in items if d <= cut]
+            if not complete and ctx.strict:
+                raise ctx.raise_for(reason)
+            if ctx.trace is not None:
+                ctx.trace.finish(ctx, complete, reason)
+            return ClusterResult(
+                items,
+                complete=complete,
+                reason=reason,
+                stats=ctx.stats(time.perf_counter() - t0, len(items)),
+                frontier=cut,
+                per_shard=per_shard,
+                shards_visited=visited,
+                shards_pruned=pruned,
+            )
+
+    def range_count(
+        self,
+        query: Any,
+        radius: float,
+        context: Optional[QueryContext] = None,
+        engine: Optional[Any] = None,
+    ) -> "int | ClusterResult":
+        """|RQ(q, O, r)| across shards.  Lemma-2-accepted shards contribute
+        their live object count with zero page accesses."""
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        with self._lock.read():
+            if context is None:
+                phi_q = self.space.phi(query)
+                visit, pruned = self.router.range_plan(phi_q, radius)
+                self._count_scatter("count", len(visit), pruned)
+                total = 0
+                for shard, accept_all in visit:
+                    if accept_all:
+                        total += shard.tree.object_count
+                    else:
+                        total += shard.tree.range_count(
+                            query, radius, phi_q=phi_q
+                        )
+                return total
+            return self._scatter_count(query, radius, context, engine)
+
+    def _scatter_count(
+        self,
+        query: Any,
+        radius: float,
+        ctx: QueryContext,
+        engine: Optional[Any],
+    ) -> ClusterResult:
+        t0 = time.perf_counter()
+        with ctx.activate():
+            phi_q, early = self._map_or_degrade(query, ctx, t0, counting=True)
+            if early is not None:
+                return early
+            visit, pruned = self.router.range_plan(phi_q, radius)
+            self._count_scatter("count", len(visit), pruned)
+            jobs = []
+            parts = max(1, len(visit))
+            for shard, accept_all in visit:
+                sub = self._sub_context(ctx, parts)
+                fn = (
+                    self._count_all_fn(shard)
+                    if accept_all
+                    else self._count_fn(shard, query, radius, phi_q)
+                )
+                jobs.append((shard, sub, fn))
+            outs = self._run_jobs(jobs, engine)
+            total = 0
+            complete, reason = True, None
+            per_shard: dict[int, dict] = {}
+            for (shard, sub, _), out in zip(jobs, outs):
+                self._absorb(ctx, shard, sub, out, "count")
+                per_shard[shard.shard_id] = self._outcome(sub, out)
+                total += out.count
+                if not out.complete and complete:
+                    complete = False
+                    reason = _name_shard(out.reason, shard.shard_id)
+            if not complete and ctx.strict:
+                raise ctx.raise_for(reason)
+            if ctx.trace is not None:
+                ctx.trace.finish(ctx, complete, reason)
+            return ClusterResult(
+                [],
+                complete=complete,
+                reason=reason,
+                count=total,
+                stats=ctx.stats(time.perf_counter() - t0, 0),
+                per_shard=per_shard,
+                shards_visited=len(visit),
+                shards_pruned=pruned,
+            )
+
+    # ----------------------------------------------------- scatter plumbing
+
+    def _map_or_degrade(
+        self,
+        query: Any,
+        ctx: QueryContext,
+        t0: float,
+        counting: bool = False,
+    ) -> tuple[Optional[tuple[float, ...]], Optional[ClusterResult]]:
+        """Map the query (once, on the cluster's counter, under the parent
+        trace's ``map`` span).  Returns ``(phi_q, None)``, or
+        ``(None, degraded empty result)`` if the budget cannot even cover
+        the mapping."""
+        tr = ctx.trace
+        try:
+            ctx.checkpoint()
+            if tr is not None:
+                with tr.region(tr.span("map"), ctx):
+                    phi_q = self.space.phi(query)
+            else:
+                phi_q = self.space.phi(query)
+            ctx.checkpoint()
+        except _Exhausted as exc:
+            if ctx.strict:
+                raise ctx.raise_for(exc.reason) from None
+            if tr is not None:
+                tr.finish(ctx, False, exc.reason)
+            return None, ClusterResult(
+                [],
+                complete=False,
+                reason=exc.reason,
+                count=0 if counting else None,
+                stats=ctx.stats(time.perf_counter() - t0, 0),
+            )
+        return phi_q, None
+
+    def _sub_context(self, ctx: QueryContext, parts: int) -> QueryContext:
+        """A per-shard slice of the remaining budget.  The deadline and
+        cancel token are shared (absolute instants split themselves); the
+        countable budgets divide evenly so the sum of slices never exceeds
+        what is left.  Sub-contexts are never strict — the cluster decides
+        how to surface degradation after the merge."""
+
+        def share(maximum: Optional[int], spent: int) -> Optional[int]:
+            if maximum is None:
+                return None
+            return max(0, (maximum - spent) // parts)
+
+        sub = QueryContext(
+            deadline=ctx.deadline,
+            max_compdists=share(ctx.max_compdists, ctx.compdists),
+            max_page_accesses=share(ctx.max_page_accesses, ctx.page_accesses),
+            strict=False,
+            cancel_token=ctx.cancel_token,
+        )
+        if ctx.trace is not None:
+            sub.trace = QueryTrace("shard")
+        return sub
+
+    def _run_jobs(
+        self,
+        jobs: list[tuple[Shard, QueryContext, Callable]],
+        engine: Optional[Any],
+    ) -> list[Any]:
+        """Run ``fn(sub_context)`` for every job, on ``engine``'s pool when
+        given (falling back inline on backpressure), else sequentially."""
+        if engine is None or len(jobs) <= 1:
+            return [fn(sub) for _, sub, fn in jobs]
+        pendings: list[Optional[Any]] = []
+        for _, sub, fn in jobs:
+            try:
+                pendings.append(engine.submit_task(fn, sub))
+            except Overloaded:
+                pendings.append(None)
+        outs = []
+        for (_, sub, fn), pending in zip(jobs, pendings):
+            outs.append(fn(sub) if pending is None else pending.result())
+        return outs
+
+    def _absorb(
+        self,
+        ctx: QueryContext,
+        shard: Shard,
+        sub: QueryContext,
+        out: QueryResult,
+        kind: str,
+    ) -> None:
+        """Fold a finished sub-context into the parent: counters add up
+        exactly, and the shard's work appears as one ``shard-<id>`` span
+        under the parent trace root (carrying the sub-trace's children)."""
+        ctx.compdists += sub.compdists
+        ctx.page_accesses += sub.page_accesses
+        if ctx.trace is not None:
+            span = ctx.trace.span(f"shard-{shard.shard_id}")
+            span.compdists += sub.compdists
+            span.page_accesses += sub.page_accesses
+            if out.stats is not None:
+                span.elapsed += out.stats.elapsed_seconds
+            span.bump("visits")
+            if sub.trace is not None:
+                span.children.extend(sub.trace.root.children)
+        if _obsreg.ENABLED:
+            _instruments.cluster().shard_queries.labels(
+                kind=kind, shard=str(shard.shard_id)
+            ).inc()
+
+    @staticmethod
+    def _outcome(sub: QueryContext, out: QueryResult) -> dict:
+        return {
+            "complete": out.complete,
+            "reason": str(out.reason) if out.reason is not None else None,
+            "compdists": sub.compdists,
+            "page_accesses": sub.page_accesses,
+        }
+
+    # Per-shard sub-query closures.  Each receives the sub-context the job
+    # runner hands it, so the same closure works inline and on the pool.
+
+    def _range_fn(self, shard, query, radius, phi_q):
+        def fn(sub: QueryContext) -> QueryResult:
+            return shard.tree.range_query(query, radius, context=sub, phi_q=phi_q)
+
+        return fn
+
+    def _count_fn(self, shard, query, radius, phi_q):
+        def fn(sub: QueryContext) -> QueryResult:
+            return shard.tree.range_count(query, radius, context=sub, phi_q=phi_q)
+
+        return fn
+
+    def _knn_into_fn(self, shard, query, k, collector, traversal, phi_q):
+        def fn(sub: QueryContext) -> QueryResult:
+            return shard.tree.knn_into(
+                query, k, collector, sub, traversal=traversal, phi_q=phi_q
+            )
+
+        return fn
+
+    def _knn_fn(self, shard, query, k, collector, traversal, phi_q):
+        def fn(_sub: QueryContext) -> bool:
+            shard.tree.knn_into(
+                query, k, collector, traversal=traversal, phi_q=phi_q
+            )
+            return True
+
+        return fn
+
+    def _accept_all_fn(self, shard):
+        """Lemma 2 at shard scale: stream the whole RAF, zero compdists."""
+
+        def fn(sub: QueryContext) -> QueryResult:
+            t0 = time.perf_counter()
+            items: list[Any] = []
+            complete, reason = True, None
+            with sub.activate():
+                try:
+                    with shard.tree._epoch_lock.read() as epoch:
+                        sub.epoch = epoch
+                        for obj in shard.tree.objects():
+                            sub.checkpoint()
+                            items.append(obj)
+                except _Exhausted as exc:
+                    complete, reason = False, exc.reason
+            return QueryResult(
+                items,
+                complete=complete,
+                reason=reason,
+                stats=sub.stats(time.perf_counter() - t0, len(items)),
+            )
+
+        return fn
+
+    def _count_all_fn(self, shard):
+        def fn(sub: QueryContext) -> QueryResult:
+            with sub.activate():
+                n = shard.tree.object_count
+            return QueryResult([], count=n, stats=sub.stats(0.0, 0))
+
+        return fn
+
+    def _count_scatter(self, kind: str, visited: int, pruned: int) -> None:
+        if _obsreg.ENABLED:
+            inst = _instruments.cluster()
+            if visited:
+                inst.shards_visited.labels(kind=kind).inc(visited)
+            if pruned:
+                inst.shards_pruned.labels(kind=kind).inc(pruned)
+
+    def _gauge_shard(self, shard: Shard) -> None:
+        if _obsreg.ENABLED:
+            _instruments.cluster().shard_objects.labels(
+                shard=str(shard.shard_id)
+            ).set(shard.tree.object_count)
+
+    def _gauge_all(self) -> None:
+        if _obsreg.ENABLED:
+            for shard in self.shards:
+                self._gauge_shard(shard)
+
+    # ----------------------------------------------------------- rebalance
+
+    def rebalance(
+        self,
+        split: Optional[int] = None,
+        merge: Optional[tuple[int, int]] = None,
+        faults: Optional[FaultInjector] = None,
+    ) -> Optional[dict]:
+        """One crash-safe rebalance step.
+
+        ``split=<shard_id>`` cuts that shard at the SFC median of its live
+        keys; ``merge=(a, b)`` folds two range-adjacent shards into one.
+        With neither, a simple policy picks: split the largest shard when
+        it holds at least twice the per-shard average, else merge the
+        lightest adjacent pair when their sum fits under the average.
+        Returns a description of what happened, or None for no-op.
+
+        Crash safety: the new shards' page files are written to *fresh*
+        ``shard-<id>`` directories first; the single atomic rewrite of
+        ``cluster.json`` is the commit point; old directories are removed
+        (best-effort) only after it.  Killed anywhere, a reload sees either
+        the pre- or the post-rebalance catalog — never a hybrid — and
+        :meth:`load` sweeps whichever directories lost.
+        """
+        if split is not None and merge is not None:
+            raise ValueError("pass split= or merge=, not both")
+        with self._lock.write():
+            if split is None and merge is None:
+                split, merge = self._auto_plan()
+                if split is None and merge is None:
+                    return None
+            if split is not None:
+                return self._split(split, faults)
+            return self._merge(merge, faults)
+
+    def _auto_plan(self) -> tuple[Optional[int], Optional[tuple[int, int]]]:
+        counts = [s.tree.object_count for s in self.shards]
+        total = sum(counts)
+        if not total or not self.shards:
+            return None, None
+        avg = total / len(self.shards)
+        hot = max(self.shards, key=lambda s: s.tree.object_count)
+        if hot.tree.object_count >= 2 * avg and hot.tree.object_count >= 2:
+            return hot.shard_id, None
+        ordered = sorted(self.shards, key=lambda s: s.key_lo)
+        best: Optional[tuple[int, int]] = None
+        best_sum = None
+        for a, b in zip(ordered, ordered[1:]):
+            pair_sum = a.tree.object_count + b.tree.object_count
+            if best_sum is None or pair_sum < best_sum:
+                best, best_sum = (a.shard_id, b.shard_id), pair_sum
+        if best is not None and best_sum is not None and best_sum <= avg:
+            return None, best
+        return None, None
+
+    def _shard_by_id(self, shard_id: int) -> Shard:
+        for shard in self.shards:
+            if shard.shard_id == shard_id:
+                return shard
+        raise ValueError(f"no shard {shard_id} in cluster")
+
+    def _split(self, shard_id: int, faults: Optional[FaultInjector]) -> dict:
+        shard = self._shard_by_id(shard_id)
+        items = list(shard.tree.keyed_objects())
+        if len(items) < 2:
+            raise ValueError(f"shard {shard_id} is too small to split")
+        keys = [key for key, _ in items]
+        mid = keys[len(keys) // 2]
+        if mid <= keys[0]:
+            later = next((k for k in keys if k > keys[0]), None)
+            if later is None:
+                raise ValueError(
+                    f"cannot split shard {shard_id}: every object shares "
+                    "one SFC key"
+                )
+            mid = later
+        left_items = [(k, o) for k, o in items if k < mid]
+        right_items = [(k, o) for k, o in items if k >= mid]
+        left = Shard(
+            self.next_shard_id,
+            shard.key_lo,
+            mid,
+            self._tree_from_items(left_items, stats_from=shard.tree),
+        )
+        right = Shard(
+            self.next_shard_id + 1,
+            mid,
+            shard.key_hi,
+            self._tree_from_items(right_items, stats_from=shard.tree),
+        )
+        self.next_shard_id += 2
+        self._commit_swap([shard], [left, right], faults)
+        if _obsreg.ENABLED:
+            _instruments.cluster().rebalances.labels(op="split").inc()
+        return {
+            "action": "split",
+            "source": shard.shard_id,
+            "at": mid,
+            "new": [left.shard_id, right.shard_id],
+            "counts": [left.tree.object_count, right.tree.object_count],
+        }
+
+    def _merge(
+        self, pair: tuple[int, int], faults: Optional[FaultInjector]
+    ) -> dict:
+        a = self._shard_by_id(pair[0])
+        b = self._shard_by_id(pair[1])
+        if a.key_lo > b.key_lo:
+            a, b = b, a
+        if a.key_hi != b.key_lo:
+            raise ValueError(
+                f"shards {pair[0]} and {pair[1]} are not range-adjacent"
+            )
+        items = list(a.tree.keyed_objects()) + list(b.tree.keyed_objects())
+        donor = a.tree if a.tree.object_count >= b.tree.object_count else b.tree
+        merged = Shard(
+            self.next_shard_id,
+            a.key_lo,
+            b.key_hi,
+            self._tree_from_items(items, stats_from=donor),
+        )
+        self.next_shard_id += 1
+        self._commit_swap([a, b], [merged], faults)
+        if _obsreg.ENABLED:
+            _instruments.cluster().rebalances.labels(op="merge").inc()
+        return {
+            "action": "merge",
+            "sources": [a.shard_id, b.shard_id],
+            "new": merged.shard_id,
+            "count": merged.tree.object_count,
+        }
+
+    def _commit_swap(
+        self,
+        old: list[Shard],
+        new: list[Shard],
+        faults: Optional[FaultInjector],
+    ) -> None:
+        """Replace ``old`` shards with ``new`` ones; the cluster catalog
+        rename is the only commit point (caller holds the write lock)."""
+        if self.directory is not None:
+            for shard in new:
+                if shard.tree.raf is None:
+                    continue
+                gen = save_tree(
+                    shard.tree,
+                    os.path.join(self.directory, shard.dirname),
+                    faults,
+                )
+                shard.tree._generation = gen
+        retired = {s.shard_id for s in old}
+        shards = [s for s in self.shards if s.shard_id not in retired]
+        shards.extend(new)
+        shards.sort(key=lambda s: s.key_lo)
+        if self.directory is not None:
+            save_catalog(
+                self.directory,
+                self._catalog_for(shards),
+                faults,
+            )
+        # Committed (or memory-only): adopt the new shard map.
+        self.shards = shards
+        self.router.reset(self.shards)
+        for shard in old:
+            if shard.tree.wal is not None:
+                shard.tree.wal.close()
+                shard.tree.wal = None
+        if self._logging:
+            for shard in new:
+                self._attach_wal(shard)
+        if self.directory is not None:
+            for shard in old:
+                path = os.path.join(self.directory, shard.dirname)
+                if faults is not None:
+                    faults.checkpoint(f"remove {shard.dirname}")
+                shutil.rmtree(path, ignore_errors=True)
+        self._gauge_all()
+        if _obsreg.ENABLED:
+            for shard in old:
+                _instruments.cluster().shard_objects.labels(
+                    shard=str(shard.shard_id)
+                ).set(0)
+
+    def _catalog_for(self, shards: list[Shard]) -> ClusterCatalog:
+        current = self.shards
+        try:
+            self.shards = shards
+            return self._catalog()
+        finally:
+            self.shards = current
+
+    # ------------------------------------------------------------ auditing
+
+    def verify(self, check_objects: bool = True) -> ClusterVerifyReport:
+        """Cluster-wide audit: every per-shard invariant (delegated to
+        :meth:`SPBTree.verify`), plus the cluster's own — ranges disjoint
+        and covering ``[0, curve.max_value)``, and every live object's SFC
+        key inside its shard's range."""
+        report = ClusterVerifyReport()
+        with self._lock.read():
+            ordered = sorted(self.shards, key=lambda s: s.key_lo)
+            if not ordered:
+                report.errors.append("cluster has no shards")
+                return report
+            if ordered[0].key_lo != 0:
+                report.errors.append(
+                    f"key space not covered: first shard starts at "
+                    f"{ordered[0].key_lo}, not 0"
+                )
+            if ordered[-1].key_hi != self.curve.max_value:
+                report.errors.append(
+                    f"key space not covered: last shard ends at "
+                    f"{ordered[-1].key_hi}, not {self.curve.max_value}"
+                )
+            for prev, cur in zip(ordered, ordered[1:]):
+                if prev.key_hi != cur.key_lo:
+                    report.errors.append(
+                        f"ranges not contiguous: shard {prev.shard_id} ends "
+                        f"at {prev.key_hi}, shard {cur.shard_id} starts at "
+                        f"{cur.key_lo}"
+                    )
+            ids = [s.shard_id for s in ordered]
+            if len(set(ids)) != len(ids):
+                report.errors.append("duplicate shard ids")
+            for shard in ordered:
+                report.shards_checked += 1
+                tree = shard.tree
+                if tree.raf is None:
+                    continue
+                sub = tree.verify(check_objects=check_objects)
+                report.shard_reports[shard.shard_id] = sub
+                report.objects_checked += tree.object_count
+                for err in sub.errors:
+                    report.errors.append(f"shard {shard.shard_id}: {err}")
+                for warn in sub.warnings:
+                    report.warnings.append(f"shard {shard.shard_id}: {warn}")
+                self._check_keys_in_range(shard, report)
+        return report
+
+    def _check_keys_in_range(
+        self, shard: Shard, report: ClusterVerifyReport
+    ) -> None:
+        """Every live leaf key must fall inside the shard's half-open
+        range.  Counter state is restored — verification is an audit, not
+        a workload."""
+        tree = shard.tree
+        b_counter = tree.btree.pagefile.counter
+        r_counter = tree.raf.pagefile.counter if tree.raf is not None else None
+        saved = (
+            b_counter.reads,
+            b_counter.writes,
+            (r_counter.reads, r_counter.writes) if r_counter else None,
+        )
+        try:
+            for entry in tree.btree.leaf_entries():
+                if tree.raf is not None and tree.raf.is_deleted(entry.ptr):
+                    continue
+                if not (shard.key_lo <= entry.key < shard.key_hi):
+                    report.errors.append(
+                        f"shard {shard.shard_id}: key {entry.key} outside "
+                        f"range [{shard.key_lo}, {shard.key_hi})"
+                    )
+        finally:
+            b_counter.reads, b_counter.writes = saved[0], saved[1]
+            if r_counter is not None and saved[2] is not None:
+                r_counter.reads, r_counter.writes = saved[2]
+
+    # ----------------------------------------------------------- inventory
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def object_count(self) -> int:
+        return sum(s.tree.object_count for s in self.shards)
+
+    def __len__(self) -> int:
+        return self.object_count
+
+    def objects(self) -> Iterator[Any]:
+        """All live objects, in global ascending SFC order."""
+        for shard in sorted(self.shards, key=lambda s: s.key_lo):
+            yield from shard.tree.objects()
+
+    @property
+    def page_accesses(self) -> int:
+        return sum(s.tree.page_accesses for s in self.shards)
+
+    @property
+    def distance_computations(self) -> int:
+        return self.distance.count + sum(
+            s.tree.distance_computations for s in self.shards
+        )
+
+    @property
+    def size_in_bytes(self) -> int:
+        return sum(s.tree.size_in_bytes for s in self.shards)
+
+    def reset_counters(self) -> None:
+        self.distance.reset()
+        for shard in self.shards:
+            shard.tree.reset_counters()
+
+    def flush_cache(self, reset_stats: bool = False) -> None:
+        for shard in self.shards:
+            shard.tree.flush_cache(reset_stats=reset_stats)

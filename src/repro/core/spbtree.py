@@ -46,7 +46,13 @@ from repro.sfc.region import (
     point_in_box,
     sfc_values_in_box,
 )
-from repro.service.context import EpochLock, QueryContext, QueryResult, _Exhausted
+from repro.service.context import (
+    EpochLock,
+    KnnCollector,
+    QueryContext,
+    QueryResult,
+    _Exhausted,
+)
 from repro.sfc.zorder import ZCurve
 from repro.storage.pagefile import DEFAULT_PAGE_SIZE
 from repro.storage.raf import RandomAccessFile
@@ -167,6 +173,62 @@ class SPBTree:
             checksums=checksums,
         )
         tree._bulk_load(objects)
+        return tree
+
+    @classmethod
+    def build_keyed(
+        cls,
+        items: Sequence[tuple[int, Any]],
+        metric: Metric,
+        pivots: Sequence[Any],
+        d_plus: float,
+        curve: str = "hilbert",
+        delta: Optional[float] = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        cache_pages: int = 32,
+        serializer: Optional[Serializer] = None,
+        checksums: bool = False,
+        stats_from: Optional["SPBTree"] = None,
+    ) -> "SPBTree":
+        """Bulk-load from precomputed ``(SFC key, object)`` pairs.
+
+        The keys already encode the mapped grid cells, so this costs zero
+        distance computations — the path cluster rebalancing takes to
+        split or merge shards without re-mapping a single object.  The
+        caller guarantees the keys were produced by an identical pivot
+        space (same pivots, d+, delta, curve).  ``stats_from`` donates
+        the cost-model statistics that cannot be re-derived without
+        distances (pair-distance sample, exponent, ND_k corrections).
+        """
+        tree = cls(
+            metric,
+            pivots,
+            d_plus,
+            curve=curve,
+            delta=delta,
+            page_size=page_size,
+            cache_pages=cache_pages,
+            serializer=serializer,
+            checksums=checksums,
+        )
+        if stats_from is not None:
+            tree.pair_distances = list(stats_from.pair_distances)
+            tree.distance_exponent = stats_from.distance_exponent
+            tree.precision_hint = stats_from.precision_hint
+            tree.ndk_corrections = dict(stats_from.ndk_corrections)
+        if not items:
+            return tree
+        ordered = sorted(items, key=lambda pair: pair[0])
+        raf = tree._ensure_raf(ordered[0][1])
+        entries = []
+        for key, obj in ordered:
+            offset = raf.append(tree._next_id, obj, flush=False)
+            tree._next_id += 1
+            entries.append((key, offset))
+            tree._observe(tuple(tree.curve.decode(key)))
+        raf.finalize()
+        tree.btree.bulk_load(entries)
+        tree.object_count = len(ordered)
         return tree
 
     def _ensure_raf(self, example: Any) -> RandomAccessFile:
@@ -330,7 +392,7 @@ class SPBTree:
 
     # --------------------------------------------------------------- update
 
-    def insert(self, obj: Any) -> None:
+    def insert(self, obj: Any, grid: Optional[tuple[int, ...]] = None) -> None:
         """Insert one object (Appendix C): |P| distance computations plus a
         B+-tree descent and one RAF page write.
 
@@ -339,9 +401,11 @@ class SPBTree:
         the RAF append skips the per-insert partial-page flush (the log
         already guarantees durability).  Mutations serialize through the
         writer side of the epoch lock, so in-flight queries never observe
-        a half-applied insert.
+        a half-applied insert.  A caller that already mapped the object
+        (cluster routing) passes ``grid`` to skip the |P| computations.
         """
-        grid = self.space.grid(obj)
+        if grid is None:
+            grid = self.space.grid(obj)
         key = self.curve.encode(grid)
         with self._epoch_lock.write():
             raf = self._ensure_raf(obj)
@@ -350,7 +414,7 @@ class SPBTree:
                 self.wal.append_insert(obj_id, key, raf.serializer.serialize(obj))
             self._apply_insert(obj, obj_id, key, grid, flush=self.wal is None)
 
-    def delete(self, obj: Any) -> bool:
+    def delete(self, obj: Any, grid: Optional[tuple[int, ...]] = None) -> bool:
         """Delete one object; True if it was present.
 
         Duplicate-SFC-key objects are distinguished by a byte-level compare
@@ -360,7 +424,8 @@ class SPBTree:
         """
         if self.raf is None:
             return False
-        grid = self.space.grid(obj)
+        if grid is None:
+            grid = self.space.grid(obj)
         key = self.curve.encode(grid)
         target = self.raf.serializer.serialize(obj)
         with self._epoch_lock.write():
@@ -500,6 +565,7 @@ class SPBTree:
         query: Any,
         radius: float,
         context: Optional[QueryContext] = None,
+        phi_q: Optional[tuple[float, ...]] = None,
     ) -> "list[Any] | QueryResult":
         """RQ(q, O, r): all objects within ``radius`` of ``query``.
 
@@ -509,6 +575,8 @@ class SPBTree:
         and entry, and the answer comes back as a :class:`QueryResult`: on
         exhaustion the hits verified so far, flagged ``complete=False``
         (or, in strict mode, :class:`~repro.service.BudgetExceeded`).
+        ``phi_q`` passes a precomputed pivot mapping of the query so a
+        cluster scatter pays the |P| mapping distances once, not per shard.
         """
         if radius < 0:
             raise ValueError("radius must be non-negative")
@@ -517,7 +585,7 @@ class SPBTree:
             with self._epoch_lock.read():
                 if self.raf is None or self.object_count == 0:
                     return results
-                self._range_search(query, radius, results, None)
+                self._range_search(query, radius, results, None, phi_q)
             return results
         with context.activate():
             t0 = time.perf_counter()
@@ -527,7 +595,7 @@ class SPBTree:
                 with self._epoch_lock.read() as epoch:
                     context.epoch = epoch
                     if self.raf is not None and self.object_count:
-                        self._range_search(query, radius, results, context)
+                        self._range_search(query, radius, results, context, phi_q)
             except _Exhausted as exc:
                 if context.strict:
                     raise context.raise_for(exc.reason) from None
@@ -547,13 +615,15 @@ class SPBTree:
         radius: float,
         results: list[Any],
         ctx: Optional[QueryContext],
+        phi_q: Optional[tuple[float, ...]] = None,
     ) -> None:
         tr = ctx.trace if ctx is not None else None
-        if tr is not None:
-            with tr.region(tr.span("map"), ctx):
-                phi_q = self.space.phi(query)  # |P| compdists
-        else:
-            phi_q = self.space.phi(query)
+        if phi_q is None:
+            if tr is not None:
+                with tr.region(tr.span("map"), ctx):
+                    phi_q = self.space.phi(query)  # |P| compdists
+            else:
+                phi_q = self.space.phi(query)
         if ctx is not None:
             ctx.checkpoint()
         rr = self.space.range_region(phi_q, radius)
@@ -710,6 +780,7 @@ class SPBTree:
         k: int,
         traversal: str = "incremental",
         context: Optional[QueryContext] = None,
+        phi_q: Optional[tuple[float, ...]] = None,
     ) -> "list[tuple[float, Any]] | QueryResult":
         """kNN(q, k): ``k`` nearest objects, as (distance, object) pairs
         ascending by distance.
@@ -732,45 +803,86 @@ class SPBTree:
             raise ValueError("k must be >= 1")
         if traversal not in ("incremental", "greedy"):
             raise ValueError("traversal must be 'incremental' or 'greedy'")
+        collector = KnnCollector(k)
         if context is None:
             with self._epoch_lock.read():
                 if self.raf is None or self.object_count == 0:
                     return []
-                result: list[tuple[float, int, Any]] = []
                 heap: list[tuple[float, int, int, object, int]] = []
-                self._knn_search(query, k, traversal, result, heap, None)
-            ordered = sorted((-negd, tb, obj) for negd, tb, obj in result)
-            return [(d, obj) for d, _, obj in ordered]
+                self._knn_search(query, k, traversal, collector, heap, None, phi_q)
+            return collector.items()
+        out = self.knn_into(
+            query, k, collector, context, traversal=traversal, phi_q=phi_q
+        )
+        items = collector.items()
+        if not out.complete:
+            # Keep only the confirmed prefix: every unvisited object is
+            # at distance >= the smallest remaining lower bound, and
+            # everything evicted from the result heap was >= its max, so
+            # neighbours at or below the frontier are true kNN members.
+            frontier = out.frontier if out.frontier is not None else float("inf")
+            items = [(d, obj) for d, obj in items if d <= frontier]
+        out.items = items
+        out.count = len(items)
+        out.stats.result_size = len(items)
+        return out
+
+    def knn_into(
+        self,
+        query: Any,
+        k: int,
+        collector: KnnCollector,
+        context: Optional[QueryContext] = None,
+        traversal: str = "incremental",
+        phi_q: Optional[tuple[float, ...]] = None,
+    ) -> QueryResult:
+        """Run Algorithm 2 folding candidates into an external ``collector``.
+
+        The cluster scatter shares one :class:`KnnCollector` across every
+        shard's search, so the k-th-distance bound tightens globally.  The
+        returned :class:`QueryResult` carries no items — the collector
+        holds the candidates — only this traversal's completeness, reason,
+        ``frontier`` (the smallest unexplored lower bound; None when
+        complete), and per-context stats.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if traversal not in ("incremental", "greedy"):
+            raise ValueError("traversal must be 'incremental' or 'greedy'")
+        if context is None:
+            with self._epoch_lock.read():
+                if self.raf is not None and self.object_count:
+                    heap: list = []
+                    self._knn_search(
+                        query, k, traversal, collector, heap, None, phi_q
+                    )
+            return QueryResult([])
         with context.activate():
             t0 = time.perf_counter()
-            result = []
             heap = []
             complete, reason = True, None
             try:
                 with self._epoch_lock.read() as epoch:
                     context.epoch = epoch
                     if self.raf is not None and self.object_count:
-                        self._knn_search(query, k, traversal, result, heap, context)
+                        self._knn_search(
+                            query, k, traversal, collector, heap, context, phi_q
+                        )
             except _Exhausted as exc:
                 if context.strict:
                     raise context.raise_for(exc.reason) from None
                 complete, reason = False, exc.reason
-            ordered = sorted((-negd, tb, obj) for negd, tb, obj in result)
-            items = [(d, obj) for d, _, obj in ordered]
+            frontier = None
             if not complete:
-                # Keep only the confirmed prefix: every unvisited object is
-                # at distance >= the smallest remaining lower bound, and
-                # everything evicted from the result heap was >= its max, so
-                # neighbours at or below the frontier are true kNN members.
                 frontier = heap[0][0] if heap else float("inf")
-                items = [(d, obj) for d, obj in items if d <= frontier]
             if context.trace is not None:
                 context.trace.finish(context, complete, reason)
             return QueryResult(
-                items,
+                [],
                 complete=complete,
                 reason=reason,
-                stats=context.stats(time.perf_counter() - t0, len(items)),
+                stats=context.stats(time.perf_counter() - t0, 0),
+                frontier=frontier,
             )
 
     def _knn_search(
@@ -778,13 +890,14 @@ class SPBTree:
         query: Any,
         k: int,
         traversal: str,
-        result: list[tuple[float, int, Any]],
+        collector: KnnCollector,
         heap: list[tuple[float, int, int, object, int]],
         ctx: Optional[QueryContext],
+        phi_q: Optional[tuple[float, ...]] = None,
     ) -> None:
-        """Best-first NNA loop, filling ``result`` (a max-heap of
-        ``(-distance, tiebreak, object)``) and leaving unexplored lower
-        bounds in ``heap`` when a context checkpoint aborts the search.
+        """Best-first NNA loop, offering verified objects to ``collector``
+        and leaving unexplored lower bounds in ``heap`` when a context
+        checkpoint aborts the search.
 
         Heap items are ``(mind, tiebreak, kind, payload, depth)``; the
         depth is the B+-tree level the payload came from, so traced costs
@@ -792,17 +905,16 @@ class SPBTree:
         comparisons never reach payload or depth.
         """
         tr = ctx.trace if ctx is not None else None
-        if tr is not None:
-            with tr.region(tr.span("map"), ctx):
-                phi_q = self.space.phi(query)  # |P| compdists
-        else:
-            phi_q = self.space.phi(query)
+        if phi_q is None:
+            if tr is not None:
+                with tr.region(tr.span("map"), ctx):
+                    phi_q = self.space.phi(query)  # |P| compdists
+            else:
+                phi_q = self.space.phi(query)
         if ctx is not None:
             ctx.checkpoint()
         counter = itertools.count()
-
-        def cur_ndk() -> float:
-            return -result[0][0] if len(result) >= k else float("inf")
+        cur_ndk = collector.bound
 
         def verify(entry: LeafEntry) -> None:
             assert self.raf is not None
@@ -814,10 +926,7 @@ class SPBTree:
                 tr.bump("entries_verified")
             obj = self.raf.read_object(entry.ptr)
             d = self.distance(query, obj)
-            if d < cur_ndk() or len(result) < k:
-                heapq.heappush(result, (-d, next(counter), obj))
-                if len(result) > k:
-                    heapq.heappop(result)
+            collector.offer(d, obj)
 
         record = tr.enter(tr.level(0), ctx) if tr is not None else None
         try:
@@ -904,6 +1013,7 @@ class SPBTree:
         query: Any,
         radius: float,
         context: Optional[QueryContext] = None,
+        phi_q: Optional[tuple[float, ...]] = None,
     ) -> "int | QueryResult":
         """|RQ(q, O, r)| without fetching the objects.
 
@@ -923,7 +1033,7 @@ class SPBTree:
                 if self.raf is None or self.object_count == 0:
                     return 0
                 tally = [0]
-                self._count_search(query, radius, tally, None)
+                self._count_search(query, radius, tally, None, phi_q)
             return tally[0]
         with context.activate():
             t0 = time.perf_counter()
@@ -933,7 +1043,7 @@ class SPBTree:
                 with self._epoch_lock.read() as epoch:
                     context.epoch = epoch
                     if self.raf is not None and self.object_count:
-                        self._count_search(query, radius, tally, context)
+                        self._count_search(query, radius, tally, context, phi_q)
             except _Exhausted as exc:
                 if context.strict:
                     raise context.raise_for(exc.reason) from None
@@ -954,14 +1064,16 @@ class SPBTree:
         radius: float,
         tally: list[int],
         ctx: Optional[QueryContext],
+        phi_q: Optional[tuple[float, ...]] = None,
     ) -> None:
         assert self.raf is not None
         tr = ctx.trace if ctx is not None else None
-        if tr is not None:
-            with tr.region(tr.span("map"), ctx):
-                phi_q = self.space.phi(query)  # |P| compdists
-        else:
-            phi_q = self.space.phi(query)
+        if phi_q is None:
+            if tr is not None:
+                with tr.region(tr.span("map"), ctx):
+                    phi_q = self.space.phi(query)  # |P| compdists
+            else:
+                phi_q = self.space.phi(query)
         if ctx is not None:
             ctx.checkpoint()
         rr_lo, rr_hi = self.space.range_region(phi_q, radius)
@@ -1067,6 +1179,30 @@ class SPBTree:
         if self.raf is None:
             return iter(())
         return (obj for _, _, obj in self.raf.scan())
+
+    def keyed_objects(self) -> Iterator[tuple[int, Any]]:
+        """All live ``(SFC key, object)`` pairs in ascending key order.
+
+        Walks the B+-tree leaves, so the keys come back without a single
+        distance computation — what cluster rebalancing feeds to
+        :meth:`build_keyed` when splitting or merging shards.
+        """
+        if self.raf is None:
+            return
+        for entry in self.btree.leaf_entries():
+            if self.raf.is_deleted(entry.ptr):
+                continue
+            yield entry.key, self.raf.read_object(entry.ptr)
+
+    def mbb(self) -> Optional[tuple[tuple[int, ...], tuple[int, ...]]]:
+        """The pivot-space minimum bounding box of the whole tree, as
+        inclusive grid-corner tuples ``(lo, hi)`` — what a cluster Router
+        prunes whole shards with.  None for an empty tree."""
+        with self._epoch_lock.read():
+            if self.raf is None or self.object_count == 0:
+                return None
+            root = self.btree.read_node(self.btree.root_page)
+            return self.btree.node_box(root)
 
     @property
     def page_accesses(self) -> int:

@@ -133,10 +133,56 @@ class EngineInstruments:
         )
 
 
+class ClusterInstruments:
+    """Sharded-index routing, per-shard load, and rebalance activity.
+
+    Per-shard series use a ``shard`` label (the catalog shard id) rather
+    than per-shard metric names, so a dashboard can aggregate across a
+    rebalance that retires one id and mints two more.
+    """
+
+    __slots__ = (
+        "shard_objects",
+        "shards_visited",
+        "shards_pruned",
+        "shard_queries",
+        "rebalances",
+    )
+
+    def __init__(self) -> None:
+        reg = get_registry()
+        self.shard_objects = reg.gauge(
+            "repro_cluster_shard_objects",
+            "Live objects held by one shard of a sharded index.",
+            labelnames=("shard",),
+        )
+        self.shards_visited = reg.counter(
+            "repro_cluster_shards_visited_total",
+            "Shards a scattered query actually searched, per query kind.",
+            labelnames=("kind",),
+        )
+        self.shards_pruned = reg.counter(
+            "repro_cluster_shards_pruned_total",
+            "Shards eliminated by shard-level Lemma 1/3 pruning, per kind.",
+            labelnames=("kind",),
+        )
+        self.shard_queries = reg.counter(
+            "repro_cluster_shard_queries_total",
+            "Per-shard sub-queries executed during scatter-gather.",
+            labelnames=("kind", "shard"),
+        )
+        self.rebalances = reg.counter(
+            "repro_cluster_rebalance_total",
+            "Completed rebalance operations, by kind (split or merge).",
+            labelnames=("op",),
+        )
+
+
 _buffer_pool: Optional[BufferPoolInstruments] = None
 _pagefile: Optional[PageFileInstruments] = None
 _wal: Optional[WalInstruments] = None
 _engine: Optional[EngineInstruments] = None
+_cluster: Optional[ClusterInstruments] = None
 
 
 def buffer_pool() -> BufferPoolInstruments:
@@ -167,6 +213,13 @@ def engine() -> EngineInstruments:
     return _engine
 
 
+def cluster() -> ClusterInstruments:
+    global _cluster
+    if _cluster is None:
+        _cluster = ClusterInstruments()
+    return _cluster
+
+
 def preregister() -> None:
     """Create every instrument bundle so the full metric schema is
     registered before any traffic (``repro.obs.enable`` calls this)."""
@@ -174,3 +227,4 @@ def preregister() -> None:
     pagefile()
     wal()
     engine()
+    cluster()

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import io
 import json
+import os
 import threading
 import time
 from typing import Any, Optional
@@ -31,6 +32,13 @@ class SlowQueryLog:
     Give it a ``path`` (opened in append mode) or any writable text
     ``stream``; with neither, entries accumulate in memory only (useful
     for tests and for the engine's in-process ring of recent offenders).
+
+    ``max_bytes`` bounds on-disk growth for path-backed logs: when an
+    append would push the file past the limit, the current file rotates
+    to ``<path>.1`` (replacing any previous rotation) and a fresh file
+    starts, so a long ``serve`` run holds at most ~2 × ``max_bytes`` of
+    slow-log data.  Rotation only applies to path-backed logs — caller
+    streams are not the log's to rename.
     """
 
     def __init__(
@@ -39,23 +47,36 @@ class SlowQueryLog:
         stream: Optional[io.TextIOBase] = None,
         threshold_ms: float = 100.0,
         keep_recent: int = 32,
+        max_bytes: Optional[int] = None,
     ) -> None:
         if threshold_ms < 0:
             raise ValueError("threshold_ms must be non-negative")
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        if max_bytes is not None and path is None:
+            raise ValueError("max_bytes requires a path-backed log")
         self.threshold_ms = threshold_ms
         self.path = path
+        self.max_bytes = max_bytes
         self._stream = stream
         self._owns_stream = False
+        self._written = 0
         if path is not None:
             if stream is not None:
                 raise ValueError("pass either path or stream, not both")
             self._stream = open(path, "a", encoding="utf-8")
             self._owns_stream = True
+            try:
+                self._written = os.path.getsize(path)
+            except OSError:
+                self._written = 0
         self._lock = threading.Lock()
         self._recent: list[dict] = []
         self._keep_recent = keep_recent
         #: Total entries recorded (cheap health signal).
         self.recorded = 0
+        #: Completed rotations (cheap health signal).
+        self.rotations = 0
 
     # -------------------------------------------------------------- recording
 
@@ -106,9 +127,32 @@ class SlowQueryLog:
             self._recent.append(entry)
             if len(self._recent) > self._keep_recent:
                 del self._recent[0]
-            if self._stream is not None:
-                self._stream.write(line + "\n")
-                self._stream.flush()
+            if self._stream is None:
+                return
+            payload = line + "\n"
+            if (
+                self.max_bytes is not None
+                and self._written
+                and self._written + len(payload.encode("utf-8"))
+                > self.max_bytes
+            ):
+                self._rotate()
+            self._stream.write(payload)
+            self._stream.flush()
+            self._written += len(payload.encode("utf-8"))
+
+    def _rotate(self) -> None:
+        """Move the current file to ``<path>.1`` and start fresh (caller
+        holds the lock).  A single rotated generation is kept."""
+        assert self.path is not None and self._stream is not None
+        self._stream.close()
+        try:
+            os.replace(self.path, self.path + ".1")
+        except OSError:
+            pass  # rotation is best-effort; keep appending to the old file
+        self._stream = open(self.path, "a", encoding="utf-8")
+        self._written = 0
+        self.rotations += 1
 
     # ---------------------------------------------------------------- reading
 

@@ -10,6 +10,7 @@ from repro.service.context import (
     CancelToken,
     EpochLock,
     ExhaustionReason,
+    KnnCollector,
     Overloaded,
     QueryCancelled,
     QueryContext,
@@ -23,6 +24,7 @@ __all__ = [
     "CancelToken",
     "EpochLock",
     "ExhaustionReason",
+    "KnnCollector",
     "Overloaded",
     "PendingQuery",
     "QueryCancelled",

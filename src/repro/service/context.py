@@ -24,6 +24,8 @@ wrapped in a :class:`QueryResult` with ``complete=False`` and a structured
 
 from __future__ import annotations
 
+import heapq
+import itertools
 import threading
 import time
 from contextlib import contextmanager
@@ -337,6 +339,71 @@ class QueryContext:
         )
 
 
+class KnnCollector:
+    """A bounded best-``k`` accumulator shared across kNN searches.
+
+    Wraps the NNA result heap (a max-heap of ``(-distance, tiebreak,
+    object)``) behind two operations: :meth:`offer` a candidate and read
+    the current :meth:`bound` — the k-th best distance so far, the value
+    Lemma 3 prunes against.  A single tree search owns a private
+    collector; a sharded scatter passes *one* collector through every
+    shard's search so the bound tightens globally (best-shard-first) or
+    concurrently (broadcast).  ``thread_safe=True`` adds a lock for the
+    concurrent case; the single-threaded default costs nothing extra.
+    """
+
+    __slots__ = ("k", "_heap", "_counter", "_lock")
+
+    def __init__(self, k: int, thread_safe: bool = False) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self._heap: list[tuple[float, int, Any]] = []
+        self._counter = itertools.count()
+        self._lock = threading.Lock() if thread_safe else None
+
+    def _bound(self) -> float:
+        return -self._heap[0][0] if len(self._heap) >= self.k else float("inf")
+
+    def bound(self) -> float:
+        """The current k-th nearest distance (inf until ``k`` candidates)."""
+        if self._lock is None:
+            return self._bound()
+        with self._lock:
+            return self._bound()
+
+    def offer(self, d: float, obj: Any) -> None:
+        """Consider one verified ``(distance, object)`` candidate."""
+        if self._lock is None:
+            self._offer(d, obj)
+            return
+        with self._lock:
+            self._offer(d, obj)
+
+    def _offer(self, d: float, obj: Any) -> None:
+        if d < self._bound() or len(self._heap) < self.k:
+            heapq.heappush(self._heap, (-d, next(self._counter), obj))
+            if len(self._heap) > self.k:
+                heapq.heappop(self._heap)
+
+    def __len__(self) -> int:
+        if self._lock is None:
+            return len(self._heap)
+        with self._lock:
+            return len(self._heap)
+
+    def items(self) -> list[tuple[float, Any]]:
+        """The collected neighbours, ascending by distance (ties by
+        insertion order)."""
+        if self._lock is None:
+            snapshot = list(self._heap)
+        else:
+            with self._lock:
+                snapshot = list(self._heap)
+        ordered = sorted((-negd, tb, obj) for negd, tb, obj in snapshot)
+        return [(d, obj) for d, _, obj in ordered]
+
+
 class QueryResult:
     """A query answer plus its completeness contract.
 
@@ -347,10 +414,13 @@ class QueryResult:
     (verified within the radius / confirmed true nearest neighbours);
     degradation only means the answer may be missing items.  ``reason``
     says which limit tripped; ``count`` carries the tally for counting
-    queries; ``stats`` the per-query costs.
+    queries; ``stats`` the per-query costs.  For partial kNN answers
+    ``frontier`` records the smallest lower bound left unexplored — every
+    unseen object is at distance >= ``frontier``, which is what lets a
+    sharded merge keep the confirmed-prefix guarantee across shards.
     """
 
-    __slots__ = ("items", "complete", "reason", "count", "stats")
+    __slots__ = ("items", "complete", "reason", "count", "stats", "frontier")
 
     def __init__(
         self,
@@ -359,12 +429,14 @@ class QueryResult:
         reason: Optional[ExhaustionReason] = None,
         count: Optional[int] = None,
         stats: Optional[QueryStats] = None,
+        frontier: Optional[float] = None,
     ) -> None:
         self.items = items
         self.complete = complete
         self.reason = reason
         self.count = len(items) if count is None else count
         self.stats = stats if stats is not None else QueryStats()
+        self.frontier = frontier
 
     def __len__(self) -> int:
         return len(self.items)

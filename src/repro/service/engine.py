@@ -83,6 +83,15 @@ class PendingQuery:
         return self._done.is_set()
 
     def result(self, timeout: Optional[float] = None) -> Any:
+        """Wait for the outcome; ``timeout`` is in seconds (None = forever).
+
+        Raises :class:`TimeoutError` when the query has not finished within
+        ``timeout`` — the query itself is *not* cancelled and keeps
+        running; a later ``result()`` call can still collect it (call
+        :meth:`cancel` explicitly to abandon the work).  This contract is
+        pinned by a regression test: a timed-out wait must never have the
+        side effect of killing the query.
+        """
         if not self._done.wait(timeout):
             raise TimeoutError(f"query not finished within {timeout}s")
         if self._error is not None:
@@ -252,6 +261,37 @@ class QueryEngine:
             _instruments.engine().queue_depth.set(self._queue.qsize())
         return pending
 
+    def submit_task(self, fn: Any, context: QueryContext) -> PendingQuery:
+        """Enqueue an arbitrary callable ``fn(context)`` on the worker pool.
+
+        The cluster layer uses this to scatter per-shard sub-queries: each
+        task carries its own pre-built :class:`QueryContext` (sub-deadline,
+        sub-budget, shared cancel token) and runs exactly once — no
+        transient-I/O retry, because a retried sub-query would offer its
+        candidates into a shared collector twice.  Raises
+        :class:`Overloaded` like :meth:`submit` when the queue is full;
+        the caller is expected to fall back to running the task inline.
+        """
+        if not callable(fn):
+            raise TypeError("submit_task needs a callable taking the context")
+        if not self._started or self._stopped:
+            raise RuntimeError("engine is not running (use start() or a with block)")
+        pending = PendingQuery("task", (fn,), context)
+        try:
+            self._queue.put_nowait(pending)
+        except queue.Full:
+            with self._stats_lock:
+                self.rejected += 1
+            if _obsreg.ENABLED:
+                _instruments.engine().admission_rejections.inc()
+            raise Overloaded(
+                f"admission queue full ({self._queue.maxsize} pending); "
+                f"retry later"
+            ) from None
+        if _obsreg.ENABLED:
+            _instruments.engine().queue_depth.set(self._queue.qsize())
+        return pending
+
     # Blocking conveniences ------------------------------------------------
 
     def range(self, query: Any, radius: float, **limits: Any) -> Any:
@@ -305,7 +345,11 @@ class QueryEngine:
                     eng.query_latency.labels(kind=item.kind).observe(elapsed)
                     if degraded:
                         eng.degraded.inc()
-                if self.slow_log is not None and item.kind not in _MUTATIONS:
+                if (
+                    self.slow_log is not None
+                    and item.kind not in _MUTATIONS
+                    and item.kind != "task"
+                ):
                     self.slow_log.maybe_record(
                         item.kind, elapsed, item.context, result
                     )
@@ -336,7 +380,13 @@ class QueryEngine:
 
         # Mutations get exactly one attempt: an insert is not idempotent,
         # and a failed attempt may already have committed to the WAL.
-        attempts = 1 if pending.kind in _MUTATIONS else self.retry_attempts
+        # Tasks too: a cluster sub-query retried would offer its candidates
+        # into a shared collector a second time.
+        attempts = (
+            1
+            if pending.kind in _MUTATIONS or pending.kind == "task"
+            else self.retry_attempts
+        )
         base_depth = shard_depth()
         try:
             return retry_io(
@@ -353,6 +403,8 @@ class QueryEngine:
             trim_stat_shards(base_depth)
 
     def _run(self, kind: str, args: tuple, ctx: QueryContext) -> Any:
+        if kind == "task":
+            return args[0](ctx)
         if kind == "range":
             return self.tree.range_query(*args, context=ctx)
         if kind == "knn":

@@ -1,0 +1,131 @@
+"""Cluster chaos: concurrent scatter-gather queries and routed mutations
+against a fault-injected 4-shard cluster, *through* a live rebalance.
+
+The contract: per-shard snapshot consistency keeps every query sound (all
+returned objects genuinely in range, kNN sorted by true distance) while
+writers churn the shards and a rebalance swaps the shard map underneath
+the workload; afterwards the cluster audits clean and the WALs replay to
+exactly the served state.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.cluster import ShardedIndex
+from repro.distance import EuclideanDistance
+from repro.service import QueryEngine
+from repro.storage.faults import FaultInjector
+
+
+def _inject(cluster: ShardedIndex, seed: int, rate: float) -> None:
+    """Wrap every shard's RAF page file with a transient-fault injector."""
+    for shard in cluster.shards:
+        tree = shard.tree
+        if tree.raf is None:
+            continue
+        injector = FaultInjector(
+            tree.raf.pagefile, seed=seed + shard.shard_id, io_error_rate=rate
+        )
+        tree.raf.pagefile = injector
+        tree.raf.buffer_pool.pagefile = injector
+
+
+def _strip(cluster: ShardedIndex) -> None:
+    for shard in cluster.shards:
+        tree = shard.tree
+        if tree.raf is not None and isinstance(tree.raf.pagefile, FaultInjector):
+            tree.raf.buffer_pool.pagefile = tree.raf.pagefile.inner
+            tree.raf.pagefile = tree.raf.pagefile.inner
+
+
+def test_chaos_queries_mutations_and_rebalance(small_vectors, tmp_path):
+    metric = EuclideanDistance()
+    directory = str(tmp_path / "cluster")
+    ShardedIndex.build(
+        small_vectors[:200], metric, shards=4, num_pivots=3, seed=7
+    ).save(directory)
+    cluster = ShardedIndex.open(directory, metric, wal_fsync=False)
+    _inject(cluster, seed=37, rate=0.002)
+
+    inserts = list(small_vectors[200:240])
+    deletes = list(small_vectors[:16])
+    writer_errors: list[BaseException] = []
+    rebalance_done = threading.Event()
+
+    def writer():
+        try:
+            for i, vec in enumerate(inserts):
+                cluster.insert(vec)
+                if i < len(deletes):
+                    assert cluster.delete(deletes[i])
+                if i == len(inserts) // 2:
+                    # Swap the shard map mid-workload: split the currently
+                    # fattest shard.  Queries in flight must be unaffected.
+                    fattest = max(
+                        cluster.shards, key=lambda s: s.tree.object_count
+                    )
+                    action = cluster.rebalance(split=fattest.shard_id)
+                    assert action["action"] == "split"
+                    rebalance_done.set()
+        except BaseException as exc:  # noqa: BLE001 — surfaced below
+            writer_errors.append(exc)
+        finally:
+            rebalance_done.set()
+
+    thread = threading.Thread(target=writer)
+    results = []
+    with QueryEngine(
+        cluster, workers=4, max_queue=128, retry_attempts=25,
+        retry_base_delay=0.001,
+    ) as engine:
+        thread.start()
+        pending = []
+        for i in range(48):
+            q = small_vectors[(i * 13) % 200]
+            kind = ("range", "knn", "count")[i % 3]
+            args = (q, 6) if kind == "knn" else (q, 0.8)
+            pending.append((kind, q, engine.submit(kind, *args)))
+        for kind, q, p in pending:
+            results.append((kind, q, p.result(timeout=120)))
+        thread.join(timeout=120)
+    assert not thread.is_alive()
+    assert not writer_errors, writer_errors
+    assert rebalance_done.is_set()
+    assert engine.failed == 0
+
+    for kind, q, result in results:
+        assert result.complete
+        if kind == "range":
+            for obj in result:
+                assert metric(q, obj) <= 0.8 + 1e-9
+        elif kind == "knn":
+            dists = [d for d, _ in result]
+            assert dists == sorted(dists)
+            for d, obj in result:
+                assert metric(q, obj) == pytest.approx(d)
+        else:
+            assert result.count >= 0
+
+    assert cluster.object_count == 200 + len(inserts) - len(deletes)
+    _strip(cluster)
+    report = cluster.verify()
+    assert report.ok, report.errors
+
+    # Crash-free shutdown: the WALs replay to exactly the served state.
+    expected = sorted(repr(o) for o in cluster.objects())
+    expected_shape = [
+        (s.shard_id, s.key_lo, s.key_hi) for s in cluster.shards
+    ]
+    cluster.close()
+    recovered = ShardedIndex.open(directory, metric)
+    try:
+        assert sorted(repr(o) for o in recovered.objects()) == expected
+        assert [
+            (s.shard_id, s.key_lo, s.key_hi) for s in recovered.shards
+        ] == expected_shape
+        assert recovered.verify().ok
+    finally:
+        recovered.close()

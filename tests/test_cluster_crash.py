@@ -1,0 +1,143 @@
+"""Rebalance crash matrix: kill the cluster at every persistence boundary.
+
+A rebalance writes the replacement shards to *fresh* directories, then
+commits by renaming ``cluster.json``, then removes the replaced shard
+directories.  The matrix places a :class:`SimulatedCrash` at every one of
+those boundaries in turn and asserts the reloaded cluster is either the
+pre-rebalance catalog or the post-rebalance one — never a hybrid — holds
+every object, and passes ``verify()``.  Orphan ``shard-*`` directories
+left on the losing side of the commit must be swept on reload.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+
+import pytest
+
+from repro.cluster import ShardedIndex, load_catalog
+from repro.storage.faults import FaultInjector, SimulatedCrash
+
+
+@pytest.fixture(scope="module")
+def base_dir(tmp_path_factory, small_words, edit) -> str:
+    cluster = ShardedIndex.build(
+        small_words, edit, shards=3, num_pivots=3, seed=1
+    )
+    directory = str(tmp_path_factory.mktemp("cluster-crash") / "base")
+    cluster.save(directory)
+    return directory
+
+
+def _catalog_shape(directory: str) -> list[tuple[int, int, int]]:
+    cat = load_catalog(directory)
+    return [(s.shard_id, s.key_lo, s.key_hi) for s in cat.shards]
+
+
+def _live(directory: str, metric) -> list[str]:
+    cluster = ShardedIndex.load(directory, metric)
+    return sorted(str(o) for o in cluster.objects())
+
+
+def _plan(base_dir, edit):
+    """The deterministic rebalance each matrix run repeats: split the
+    fattest shard."""
+    cluster = ShardedIndex.load(base_dir, edit)
+    fattest = max(cluster.shards, key=lambda s: s.tree.object_count)
+    return fattest.shard_id
+
+
+def _probe(base_dir, tmp_path, edit, *, split=None, merge=None) -> tuple:
+    """Run the rebalance fault-free on a copy; returns (boundary count,
+    post-rebalance catalog shape)."""
+    directory = str(tmp_path / "probe")
+    shutil.copytree(base_dir, directory)
+    master = FaultInjector()  # no crash_after: counts boundaries only
+    cluster = ShardedIndex.load(directory, edit)
+    cluster.rebalance(split=split, merge=merge, faults=master)
+    return master.ops, _catalog_shape(directory)
+
+
+class TestRebalanceCrashMatrix:
+    @pytest.mark.parametrize("op", ["split", "merge"])
+    def test_every_boundary_is_pre_or_post_never_hybrid(
+        self, op, base_dir, tmp_path, small_words, edit
+    ):
+        if op == "split":
+            kwargs = {"split": _plan(base_dir, edit)}
+        else:
+            cat = load_catalog(base_dir)
+            kwargs = {"merge": (cat.shards[0].shard_id, cat.shards[1].shard_id)}
+        pre = _catalog_shape(base_dir)
+        expected_objects = _live(base_dir, edit)
+        total, post = _probe(base_dir, tmp_path / op, edit, **kwargs)
+        assert total >= 2, "expected at least a save and a catalog rename"
+        assert post != pre
+        survived = 0
+        for n in range(total + 1):
+            directory = str(tmp_path / f"{op}-crash-{n}")
+            shutil.copytree(base_dir, directory)
+            cluster = ShardedIndex.load(directory, edit)
+            master = FaultInjector(crash_after=n)
+            try:
+                cluster.rebalance(faults=master, **kwargs)
+                survived += 1
+            except SimulatedCrash:
+                pass
+            # The process is dead; recovery sees only the disk state.
+            shape = _catalog_shape(directory)
+            assert shape in (pre, post), (
+                f"{op} crash point {n} left a hybrid catalog: {shape}"
+            )
+            recovered = ShardedIndex.load(directory, edit)
+            assert (
+                sorted(str(o) for o in recovered.objects()) == expected_objects
+            ), f"{op} crash point {n} lost or duplicated objects"
+            report = recovered.verify()
+            assert report.ok, f"{op} crash point {n}: {report.errors}"
+        assert survived == 1  # only the fault-free tail completes
+
+    def test_orphan_directories_are_swept_on_reload(
+        self, base_dir, tmp_path, edit
+    ):
+        """Crash right before the catalog rename: the freshly written new
+        shard directories are orphans and must disappear on the next load."""
+        split = _plan(base_dir, edit)
+        total, _ = _probe(base_dir, tmp_path, edit, split=split)
+        for n in range(total + 1):
+            directory = str(tmp_path / f"sweep-{n}")
+            shutil.copytree(base_dir, directory)
+            cluster = ShardedIndex.load(directory, edit)
+            try:
+                cluster.rebalance(split=split, faults=FaultInjector(crash_after=n))
+            except SimulatedCrash:
+                pass
+            recovered = ShardedIndex.load(directory, edit)
+            on_disk = {
+                d
+                for d in os.listdir(directory)
+                if d.startswith("shard-")
+                and os.path.isdir(os.path.join(directory, d))
+            }
+            referenced = {s.dirname for s in recovered.shards}
+            assert on_disk == referenced, f"crash point {n}: orphans {on_disk - referenced}"
+
+
+class TestSaveCrash:
+    def test_interrupted_first_save_leaves_no_catalog_or_old_one(
+        self, base_dir, tmp_path, small_words, edit
+    ):
+        """Crashing inside save() before the cluster.json rename leaves the
+        previous catalog in charge (here: the base one, unchanged)."""
+        directory = str(tmp_path / "resave")
+        shutil.copytree(base_dir, directory)
+        pre = _catalog_shape(directory)
+        cluster = ShardedIndex.load(directory, edit)
+        cluster.insert("zzyzx")
+        master = FaultInjector(crash_after=0)
+        with pytest.raises(SimulatedCrash):
+            cluster.save(directory, faults=master)
+        assert _catalog_shape(directory) == pre
+        recovered = ShardedIndex.load(directory, edit)
+        assert recovered.verify().ok

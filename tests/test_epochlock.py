@@ -1,0 +1,136 @@
+"""Stress and property tests for :class:`repro.service.EpochLock`.
+
+The unit contract (re-entrancy, refused upgrade, writer-may-read) is
+covered in ``test_chaos_writes.py``; these tests hammer the lock with many
+concurrent readers and writers and check the *properties* that make the
+per-shard snapshot model sound:
+
+- the epoch a reader observes never changes while it holds the read side;
+- the epoch only ever moves forward, by exactly one per outermost write;
+- readers and writers never deadlock, and every thread finishes.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.service import EpochLock
+
+
+class TestEpochLockStress:
+    READERS = 6
+    WRITERS = 3
+    WRITES_EACH = 40
+    READS_EACH = 120
+
+    def test_concurrent_readers_and_writers(self):
+        lock = EpochLock()
+        start = threading.Barrier(self.READERS + self.WRITERS)
+        errors: list[BaseException] = []
+        observed_epochs: list[int] = []
+
+        def reader(seed: int):
+            rng = random.Random(seed)
+            try:
+                start.wait(timeout=30)
+                for _ in range(self.READS_EACH):
+                    with lock.read() as epoch:
+                        # Snapshot stability: the epoch cannot move while
+                        # any reader holds the lock.
+                        assert lock.epoch == epoch
+                        if rng.random() < 0.25:
+                            with lock.read() as inner:  # re-entrant
+                                assert inner == epoch
+                        assert lock.epoch == epoch
+                    observed_epochs.append(epoch)
+            except BaseException as exc:  # noqa: BLE001 — surfaced below
+                errors.append(exc)
+
+        def writer(seed: int):
+            rng = random.Random(seed)
+            try:
+                start.wait(timeout=30)
+                for _ in range(self.WRITES_EACH):
+                    before = lock.epoch
+                    with lock.write():
+                        if rng.random() < 0.25:
+                            with lock.write():  # nested: one logical write
+                                pass
+                        if rng.random() < 0.25:
+                            with lock.read() as epoch:  # writer may read
+                                assert epoch == lock.epoch
+                    assert lock.epoch > before
+            except BaseException as exc:  # noqa: BLE001 — surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=reader, args=(i,))
+            for i in range(self.READERS)
+        ] + [
+            threading.Thread(target=writer, args=(100 + i,))
+            for i in range(self.WRITERS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not any(t.is_alive() for t in threads), "deadlock"
+        assert not errors, errors
+        # Exactly one epoch bump per outermost write, no lost updates.
+        assert lock.epoch == self.WRITERS * self.WRITES_EACH
+        assert len(observed_epochs) == self.READERS * self.READS_EACH
+        assert all(0 <= e <= lock.epoch for e in observed_epochs)
+
+    def test_epoch_is_monotonic_across_interleavings(self):
+        lock = EpochLock()
+        seen: list[int] = []
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def watcher():
+            try:
+                last = -1
+                while not stop.is_set():
+                    with lock.read() as epoch:
+                        assert epoch >= last, "epoch went backwards"
+                        last = epoch
+                    seen.append(epoch)
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        t = threading.Thread(target=watcher)
+        t.start()
+        for _ in range(200):
+            with lock.write():
+                pass
+        stop.set()
+        t.join(timeout=60)
+        assert not t.is_alive() and not errors
+        assert lock.epoch == 200
+        assert seen == sorted(seen)
+
+    def test_upgrade_refused_even_under_contention(self):
+        lock = EpochLock()
+        release = threading.Event()
+        entered = threading.Event()
+
+        def holder():
+            with lock.read():
+                entered.set()
+                release.wait(timeout=30)
+
+        t = threading.Thread(target=holder)
+        t.start()
+        assert entered.wait(timeout=30)
+        # Our own read hold still refuses the upgrade, regardless of the
+        # other reader.
+        with lock.read():
+            with pytest.raises(RuntimeError, match="upgrade"):
+                with lock.write():
+                    pass
+        release.set()
+        t.join(timeout=30)
+        assert not t.is_alive()

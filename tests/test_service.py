@@ -429,3 +429,40 @@ class TestShardLeakGuard:
         assert result.complete
         assert probe.context.compdists == clean_ctx.compdists
         assert probe.context.page_accesses == clean_ctx.page_accesses
+
+
+class _GatedTree:
+    """Delegating wrapper whose queries block until released — for pinning
+    the result(timeout=...) contract deterministically."""
+
+    def __init__(self, tree):
+        self._tree = tree
+        self.gate = threading.Event()
+
+    def __getattr__(self, name):
+        return getattr(self._tree, name)
+
+    def knn_query(self, *args, **kwargs):
+        assert self.gate.wait(timeout=60)
+        return self._tree.knn_query(*args, **kwargs)
+
+
+class TestPendingResultTimeout:
+    def test_timeout_raises_without_cancelling(self, small_vectors):
+        """A timed-out result() wait raises TimeoutError but must NOT kill
+        the query: it keeps running, and a later result() collects it."""
+        tree = SPBTree.build(
+            small_vectors[:100], EuclideanDistance(), seed=7, cache_pages=0
+        )
+        gated = _GatedTree(tree)
+        with QueryEngine(gated, workers=1) as engine:
+            pending = engine.submit("knn", small_vectors[3], 4)
+            with pytest.raises(TimeoutError):
+                pending.result(timeout=0.05)
+            # The timed-out wait had no side effects on the query.
+            assert not pending.done
+            assert not pending.context.cancel_token.cancelled
+            gated.gate.set()
+            result = pending.result(timeout=60)
+        assert result.complete
+        assert len(result) == 4
