@@ -41,6 +41,16 @@ mixed workload against a sharded cluster instead of a single tree.
     python -m repro.cli shard-rebalance --dir ./cluster
     python -m repro.cli shard-verify    --dir ./cluster
 
+Replication: ``replicate`` converts a saved cluster into per-shard replica
+sets (one primary plus N WAL-shipping followers) with a read-routing
+policy; ``shard-failover`` promotes the best follower of a shard to
+primary (crash-safe catalog swap, generation fence); ``serve --replicas N
+--read-policy P`` drives the mixed workload against a replicated cluster,
+fanning reads across the replicas.
+
+    python -m repro.cli replicate      --dir ./cluster --replicas 2 --read-policy round-robin
+    python -m repro.cli shard-failover --dir ./cluster --shard 0
+
 Observability: ``metrics`` runs a short instrumented workload and prints a
 Prometheus text exposition on stdout (everything else goes to stderr, so it
 pipes cleanly into a scraper); ``serve --metrics`` instruments the workload
@@ -66,8 +76,9 @@ from typing import Optional, Sequence
 
 from repro import obs
 
+from repro import replication
 from repro.baselines import MIndex, MTree, OmniRTree
-from repro.cluster import ShardedIndex
+from repro.cluster import READ_POLICIES, ShardedIndex
 from repro.core.costmodel import CostModel
 from repro.core.join import similarity_join
 from repro.core.persist import load_tree, open_tree, save_tree
@@ -401,10 +412,31 @@ def _mixed_ops(args: argparse.Namespace, dataset) -> list:
 
 def cmd_serve(args: argparse.Namespace) -> None:
     """Drive a concurrent mixed workload through the QueryEngine."""
+    replicas = getattr(args, "replicas", 0)
+    if replicas > 0 and getattr(args, "shards", 0) <= 0:
+        args.shards = 2  # replication implies a cluster
     if getattr(args, "shards", 0) > 0:
         dataset, tree = _build_cluster(args)
     else:
         dataset, tree = _build(args)
+    rep_dir = None
+    if replicas > 0:
+        # Replica sets need durable shard directories to ship between:
+        # save the built cluster, replicate it, reopen with shipping on.
+        rep_dir = tempfile.mkdtemp(prefix="repro-serve-repl-")
+        tree.save(rep_dir)
+        tree.close()
+        replication.replicate(
+            rep_dir, dataset.metric,
+            replicas=replicas, read_policy=args.read_policy,
+        )
+        tree = replication.ReplicatedIndex.open(
+            rep_dir, dataset.metric, wal_fsync=False
+        )
+        print(
+            f"replicated {tree.num_shards} shards x {replicas} followers "
+            f"(read policy {args.read_policy})"
+        )
     ops = _mixed_ops(args, dataset)
     slow_log = None
     if args.slow_log is not None:
@@ -419,7 +451,7 @@ def cmd_serve(args: argparse.Namespace) -> None:
     if args.metrics:
         obs.enable()
     wal_dir = None
-    if args.metrics and args.mutations > 0:
+    if args.metrics and args.mutations > 0 and rep_dir is None:
         # Give the in-memory index a throwaway WAL so the write side of the
         # workload populates the WAL metric families too.
         wal_dir = tempfile.mkdtemp(prefix="repro-serve-wal-")
@@ -484,7 +516,21 @@ def cmd_serve(args: argparse.Namespace) -> None:
             f"{args.slow_ms:g} ms -> {args.slow_log}"
         )
         slow_log.close()
+    if rep_dir is not None:
+        status = tree.replication_status()
+        worst = max(
+            (m["lag_bytes"] for info in status.values() for m in info["members"]),
+            default=0,
+        )
+        degraded = sorted(s for s, info in status.items() if info["degraded"])
+        print(
+            f"replication: {len(status)} replica sets, max lag {worst} bytes, "
+            f"degraded shards {degraded if degraded else 'none'}"
+        )
     print(_hit_rate_line("serve", tree), file=sys.stderr)
+    if rep_dir is not None:
+        tree.close()
+        shutil.rmtree(rep_dir, ignore_errors=True)
     if args.metrics:
         text = obs.render_text()
         if args.metrics_out is not None:
@@ -837,6 +883,63 @@ def cmd_shard_verify(args: argparse.Namespace) -> None:
     )
 
 
+def _replication_table(idx) -> str:
+    lines = ["shard  replica  role      healthy  lag(bytes)"]
+    for sid, info in sorted(idx.replication_status().items()):
+        for m in info["members"]:
+            lines.append(
+                f"{sid:>5}  {m['replica']:>7}  {m['role']:<8}  "
+                f"{'yes' if m['healthy'] else 'NO':>7}  {m['lag_bytes']:>10}"
+            )
+    return "\n".join(lines)
+
+
+def cmd_replicate(args: argparse.Namespace) -> None:
+    metric = _directory_metric(args.dir, args.metric)
+    try:
+        done = replication.replicate(
+            args.dir, metric,
+            replicas=args.replicas, read_policy=args.read_policy,
+        )
+    except (ValueError, replication.ReplicationError) as exc:
+        print(f"replicate failed: {exc}", file=sys.stderr)
+        raise SystemExit(1) from exc
+    print(
+        f"replicated shards {done}: {args.replicas} follower(s) each, "
+        f"read policy {args.read_policy}"
+    )
+    idx = _load_cluster(
+        args.dir, metric, opener=replication.ReplicatedIndex.open
+    )
+    try:
+        idx.ship_all()  # seed every follower to lag zero
+        print(_replication_table(idx))
+    finally:
+        idx.close()
+
+
+def cmd_shard_failover(args: argparse.Namespace) -> None:
+    metric = _directory_metric(args.dir, args.metric)
+    idx = _load_cluster(
+        args.dir, metric, opener=replication.ReplicatedIndex.open
+    )
+    try:
+        try:
+            info = idx.failover(args.shard)
+        except replication.ReplicationError as exc:
+            print(f"shard-failover failed: {exc}", file=sys.stderr)
+            raise SystemExit(1) from exc
+        idx.ship_all()  # re-sync the demoted ex-primary right away
+        print(
+            f"shard {info['shard']}: promoted replica {info['promoted']} to "
+            f"primary at generation {info['generation']}; replica "
+            f"{info['demoted']} demoted to follower"
+        )
+        print(_replication_table(idx))
+    finally:
+        idx.close()
+
+
 def main(argv: Optional[Sequence[str]] = None) -> None:
     parser = argparse.ArgumentParser(
         prog="repro", description="SPB-tree demo CLI"
@@ -933,6 +1036,14 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         "--shards", type=int, default=0,
         help="serve from an N-shard cluster instead of a single tree",
     )
+    p_serve.add_argument(
+        "--replicas", type=int, default=0,
+        help="replicate each shard with N WAL-shipping followers",
+    )
+    p_serve.add_argument(
+        "--read-policy", choices=list(READ_POLICIES), default="primary-only",
+        help="replica read-routing policy for --replicas (default: primary-only)",
+    )
     p_serve.set_defaults(fn=cmd_serve)
 
     p_sbuild = sub.add_parser(
@@ -1004,6 +1115,39 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         help="skip per-object re-verification",
     )
     p_sverify.set_defaults(fn=cmd_shard_verify)
+
+    p_repl = sub.add_parser(
+        "replicate",
+        help="convert a saved cluster into per-shard replica sets",
+    )
+    p_repl.add_argument("--dir", required=True, help="cluster directory")
+    p_repl.add_argument(
+        "--metric", default=None,
+        help="metric name override (default: the catalog's metric_name)",
+    )
+    p_repl.add_argument(
+        "--replicas", type=int, default=2,
+        help="WAL-shipping followers per shard (default: 2)",
+    )
+    p_repl.add_argument(
+        "--read-policy", choices=list(READ_POLICIES), default="primary-only",
+        help="replica read-routing policy (default: primary-only)",
+    )
+    p_repl.set_defaults(fn=cmd_replicate)
+
+    p_failover = sub.add_parser(
+        "shard-failover",
+        help="promote the best follower of a shard to primary",
+    )
+    p_failover.add_argument("--dir", required=True, help="cluster directory")
+    p_failover.add_argument(
+        "--metric", default=None,
+        help="metric name override (default: the catalog's metric_name)",
+    )
+    p_failover.add_argument(
+        "--shard", type=int, required=True, help="shard id to fail over"
+    )
+    p_failover.set_defaults(fn=cmd_shard_failover)
 
     p_metrics = sub.add_parser(
         "metrics",

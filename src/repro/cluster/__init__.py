@@ -12,16 +12,22 @@ WALs, budgeted queries, observability — into a multi-shard system::
     cluster = ShardedIndex.open("cluster_dir", metric)   # WAL-backed
     cluster.rebalance()                            # crash-safe split/merge
     assert cluster.verify().ok
+
+Replication (``repro.replication``) builds on the catalog's replica rows
+(:class:`ReplicaMeta`), the recorded read policy (:data:`READ_POLICIES`),
+and the deterministic :class:`ReplicaSelector` exported here.
 """
 
 from repro.cluster.catalog import (
     CLUSTER_FILE,
+    READ_POLICIES,
     ClusterCatalog,
+    ReplicaMeta,
     ShardMeta,
     load_catalog,
     save_catalog,
 )
-from repro.cluster.router import Router
+from repro.cluster.router import ReplicaSelector, Router
 from repro.cluster.sharded import (
     ClusterResult,
     ClusterVerifyReport,
@@ -32,9 +38,12 @@ from repro.cluster.sharded import (
 
 __all__ = [
     "CLUSTER_FILE",
+    "READ_POLICIES",
     "ClusterCatalog",
     "ClusterResult",
     "ClusterVerifyReport",
+    "ReplicaMeta",
+    "ReplicaSelector",
     "Router",
     "Shard",
     "ShardExhaustion",

@@ -30,9 +30,34 @@ from repro.core.persist import (
 )
 from repro.storage.faults import FaultInjector
 from repro.storage.serializers import Serializer
+from repro.storage.wal import WAL_FILE, scan_wal
 
 CLUSTER_FILE = "cluster.json"
 CLUSTER_FORMAT_VERSION = 1
+
+#: Deterministic read-routing policies a replicated cluster may record.
+READ_POLICIES = ("primary-only", "round-robin", "fastest-mind")
+
+
+@dataclass
+class ReplicaMeta:
+    """One member of a shard's replica set.
+
+    The primary's row duplicates the shard's own ``directory`` (checked at
+    load); follower rows carry the durable replication position they have
+    acknowledged — ``(acked_generation, acked_offset)``, the base
+    generation and byte length of their copy of the primary's WAL at the
+    last catalog write.  The position is informational (the follower's own
+    log is authoritative, exactly like per-shard generations) and is only
+    *validated* against the primary's WAL when the generations match — a
+    checkpoint that truncated the primary's log between catalog writes
+    leaves a stale-by-generation position, which load ignores."""
+
+    replica_id: int
+    directory: str
+    role: str  # "primary" | "follower"
+    acked_generation: int = -1
+    acked_offset: int = 0
 
 
 @dataclass
@@ -49,6 +74,8 @@ class ShardMeta:
     #: the shard's own ``spbtree.json`` is authoritative when loading).
     generation: int = 0
     object_count: int = 0
+    #: Replica-set membership (empty = unreplicated shard).
+    replicas: list[ReplicaMeta] = field(default_factory=list)
 
 
 @dataclass
@@ -67,6 +94,8 @@ class ClusterCatalog:
     checksums: bool
     next_shard_id: int
     shards: list[ShardMeta] = field(default_factory=list)
+    #: How reads are routed across replicas (one of :data:`READ_POLICIES`).
+    read_policy: str = "primary-only"
 
 
 def save_catalog(
@@ -97,6 +126,7 @@ def save_catalog(
         "cache_pages": catalog.cache_pages,
         "checksums": catalog.checksums,
         "next_shard_id": catalog.next_shard_id,
+        "read_policy": catalog.read_policy,
         "shards": [
             {
                 "id": s.shard_id,
@@ -105,6 +135,22 @@ def save_catalog(
                 "key_hi": s.key_hi,
                 "generation": s.generation,
                 "object_count": s.object_count,
+                **(
+                    {
+                        "replicas": [
+                            {
+                                "id": r.replica_id,
+                                "dir": r.directory,
+                                "role": r.role,
+                                "acked_gen": r.acked_generation,
+                                "acked": r.acked_offset,
+                            }
+                            for r in s.replicas
+                        ]
+                    }
+                    if s.replicas
+                    else {}
+                ),
             }
             for s in sorted(catalog.shards, key=lambda s: s.key_lo)
         ],
@@ -133,6 +179,12 @@ def load_catalog(directory: str) -> ClusterCatalog:
             f"unsupported cluster format {payload.get('format_version')!r}"
         )
     serializer = _serializer_named(payload["serializer"])
+    read_policy = str(payload.get("read_policy", "primary-only"))
+    if read_policy not in READ_POLICIES:
+        raise CatalogError(
+            f"unknown read policy {read_policy!r}; "
+            f"expected one of {READ_POLICIES}"
+        )
     shards = []
     for row in payload["shards"]:
         meta = ShardMeta(
@@ -142,6 +194,16 @@ def load_catalog(directory: str) -> ClusterCatalog:
             key_hi=int(row["key_hi"]),
             generation=int(row.get("generation", 0)),
             object_count=int(row.get("object_count", 0)),
+            replicas=[
+                ReplicaMeta(
+                    replica_id=int(r["id"]),
+                    directory=str(r["dir"]),
+                    role=str(r["role"]),
+                    acked_generation=int(r.get("acked_gen", -1)),
+                    acked_offset=int(r.get("acked", 0)),
+                )
+                for r in row.get("replicas", [])
+            ],
         )
         if meta.key_lo >= meta.key_hi:
             raise CatalogError(
@@ -153,6 +215,7 @@ def load_catalog(directory: str) -> ClusterCatalog:
                 f"shard {meta.shard_id} directory {meta.directory!r} "
                 "must be a bare subdirectory name"
             )
+        _validate_replicas(directory, meta)
         shards.append(meta)
     ids = [s.shard_id for s in shards]
     if len(set(ids)) != len(ids):
@@ -179,7 +242,72 @@ def load_catalog(directory: str) -> ClusterCatalog:
         checksums=bool(payload["checksums"]),
         next_shard_id=int(payload["next_shard_id"]),
         shards=shards,
+        read_policy=read_policy,
     )
+
+
+def _validate_replicas(directory: str, meta: ShardMeta) -> None:
+    """Reject replica rows that cannot describe a loadable replica set.
+
+    Every error names the shard: an operator staring at a refused catalog
+    needs to know *which* replica set to inspect."""
+    if not meta.replicas:
+        return
+    sid = meta.shard_id
+    primaries = [r for r in meta.replicas if r.role == "primary"]
+    for rep in meta.replicas:
+        if rep.role not in ("primary", "follower"):
+            raise CatalogError(
+                f"shard {sid} replica {rep.replica_id} has unknown role "
+                f"{rep.role!r}"
+            )
+        if os.path.basename(rep.directory) != rep.directory:
+            raise CatalogError(
+                f"shard {sid} replica {rep.replica_id} directory "
+                f"{rep.directory!r} must be a bare subdirectory name"
+            )
+        if not os.path.isdir(os.path.join(directory, rep.directory)):
+            raise CatalogError(
+                f"shard {sid} replica {rep.replica_id} directory "
+                f"{rep.directory!r} is missing from the cluster directory"
+            )
+        if rep.acked_offset < 0:
+            raise CatalogError(
+                f"shard {sid} replica {rep.replica_id} has negative acked "
+                f"offset {rep.acked_offset}"
+            )
+    if len(primaries) != 1:
+        raise CatalogError(
+            f"shard {sid} has {len(primaries)} primary replicas; "
+            "exactly one required"
+        )
+    if primaries[0].directory != meta.directory:
+        raise CatalogError(
+            f"shard {sid} primary replica directory "
+            f"{primaries[0].directory!r} does not match the shard "
+            f"directory {meta.directory!r}"
+        )
+    ids = [r.replica_id for r in meta.replicas]
+    if len(set(ids)) != len(ids):
+        raise CatalogError(f"shard {sid} has duplicate replica ids")
+    dirs = [r.directory for r in meta.replicas]
+    if len(set(dirs)) != len(dirs):
+        raise CatalogError(f"shard {sid} has duplicate replica directories")
+    wal_path = os.path.join(directory, meta.directory, WAL_FILE)
+    header, _, valid_end, _ = scan_wal(wal_path)
+    if header is None:
+        return  # no primary log (or unreadable): positions are all stale
+    for rep in meta.replicas:
+        if (
+            rep.role == "follower"
+            and rep.acked_generation == header.base_generation
+            and rep.acked_offset > valid_end
+        ):
+            raise CatalogError(
+                f"shard {sid} replica {rep.replica_id} acked offset "
+                f"{rep.acked_offset} is beyond the primary's WAL length "
+                f"{valid_end} (generation {header.base_generation})"
+            )
 
 
 def _serializer_named(name: str) -> Serializer:

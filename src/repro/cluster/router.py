@@ -24,7 +24,7 @@ pool almost always absorbs.
 from __future__ import annotations
 
 import bisect
-from typing import TYPE_CHECKING, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 from repro.core.mapping import PivotSpace
 from repro.sfc.base import SpaceFillingCurve
@@ -36,6 +36,57 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 GridBox = tuple[tuple[int, ...], tuple[int, ...]]
 
 _MISS = object()
+
+
+class ReplicaSelector:
+    """Deterministic read-routing across one shard's replica set.
+
+    Policies (see ``repro.cluster.catalog.READ_POLICIES``):
+
+    * ``primary-only`` — reads stick to the primary; followers only serve
+      when the primary is unhealthy (availability beats policy — the
+      quorum check reports the degradation honestly).
+    * ``round-robin`` — a per-shard counter rotates reads over the healthy
+      members in replica-id order, so a replication factor of N multiplies
+      read throughput by ~N.
+    * ``fastest-mind`` — reads go to the healthy member with the smallest
+      replication lag (the primary's lag is zero, so it wins ties): the
+      freshest MIND bounds and the fewest missing objects.
+
+    Selection is deterministic given (policy, health, lag, call order) —
+    no randomness, so chaos tests replay exactly.
+    """
+
+    __slots__ = ("policy", "_rr")
+
+    def __init__(self, policy: str) -> None:
+        self.policy = policy
+        self._rr: dict[int, int] = {}
+
+    def choose(
+        self,
+        shard_id: int,
+        members: Sequence[int],
+        healthy: "Callable[[int], bool]",
+        lag: "Callable[[int], int]",
+    ) -> int:
+        """Pick the replica id to serve one read for ``shard_id``.
+
+        ``members`` lists replica ids with the primary first.  Falls back
+        to the primary when no member is healthy (the data is still there;
+        the quorum check is what reports the set as degraded).
+        """
+        candidates = [m for m in members if healthy(m)]
+        if not candidates:
+            return members[0]
+        if self.policy == "primary-only":
+            return members[0] if healthy(members[0]) else candidates[0]
+        if self.policy == "round-robin":
+            turn = self._rr.get(shard_id, 0)
+            self._rr[shard_id] = turn + 1
+            return candidates[turn % len(candidates)]
+        # fastest-mind: least lag, replica id breaking ties.
+        return min(candidates, key=lambda m: (lag(m), m))
 
 
 class Router:

@@ -32,6 +32,7 @@ from typing import Any, Callable, Iterator, Optional, Sequence
 
 from repro.cluster.catalog import (
     ClusterCatalog,
+    ReplicaMeta,
     ShardMeta,
     _serializer_named,
     load_catalog,
@@ -70,6 +71,11 @@ class ShardExhaustion(ExhaustionReason):
     shard: int = -1
 
     def __str__(self) -> str:
+        if self.kind == "quorum":
+            return (
+                f"shard {self.shard}: replica set degraded "
+                f"({self.spent:.0f} healthy members, quorum {self.limit:.0f})"
+            )
         return f"shard {self.shard}: {super().__str__()}"
 
 
@@ -205,6 +211,13 @@ class ShardedIndex:
         self._logging = False
         self._faults: Optional[FaultInjector] = None
         self.next_shard_id = 0
+        #: Replica membership carried through from the catalog (shard id →
+        #: rows) and the recorded read-routing policy.  The base class only
+        #: preserves them across save/load; ``repro.replication`` attaches
+        #: live replica sets and overrides :meth:`_read_tree` to fan reads
+        #: across them.
+        self._replica_meta: dict[int, list[ReplicaMeta]] = {}
+        self._read_policy = "primary-only"
 
     # --------------------------------------------------------- construction
 
@@ -378,6 +391,12 @@ class ShardedIndex:
             )
         self.router.reset(self.shards)
         self.directory = directory
+        self._replica_meta = {
+            meta.shard_id: list(meta.replicas)
+            for meta in cat.shards
+            if meta.replicas
+        }
+        self._read_policy = cat.read_policy
         self._cleanup_unreferenced()
         self._gauge_all()
         return self
@@ -482,17 +501,22 @@ class ShardedIndex:
                     key_hi=s.key_hi,
                     generation=s.tree._generation,
                     object_count=s.tree.object_count,
+                    replicas=list(self._replica_meta.get(s.shard_id, [])),
                 )
                 for s in self.shards
             ],
+            read_policy=self._read_policy,
         )
 
     def _cleanup_unreferenced(self) -> None:
         """Remove ``shard-*`` directories the catalog no longer names —
-        debris from a crash on either side of a rebalance commit."""
+        debris from a crash on either side of a rebalance commit.  Replica
+        directories named by the catalog's replica rows are live too."""
         if self.directory is None:
             return
         referenced = {s.dirname for s in self.shards}
+        for rows in self._replica_meta.values():
+            referenced.update(r.directory for r in rows)
         try:
             names = os.listdir(self.directory)
         except OSError:
@@ -529,6 +553,17 @@ class ShardedIndex:
 
     # ------------------------------------------------------------- queries
 
+    def _read_tree(self, shard: Shard) -> SPBTree:
+        """The tree that serves one read for ``shard``.
+
+        The base cluster always reads the shard's own (primary) tree; the
+        replicated cluster overrides this to fan reads across the shard's
+        healthy replicas under the catalog's read-routing policy.  Each
+        scatter closure resolves its tree through this hook at execution
+        time, so one query's sub-reads route independently.
+        """
+        return shard.tree
+
     def range_query(
         self,
         query: Any,
@@ -553,12 +588,13 @@ class ShardedIndex:
                 self._count_scatter("range", len(visit), pruned)
                 results: list[Any] = []
                 for shard, accept_all in visit:
+                    tree = self._read_tree(shard)
                     if accept_all:
-                        with shard.tree._epoch_lock.read():
-                            results.extend(shard.tree.objects())
+                        with tree._epoch_lock.read():
+                            results.extend(tree.objects())
                     else:
                         results.extend(
-                            shard.tree.range_query(query, radius, phi_q=phi_q)
+                            tree.range_query(query, radius, phi_q=phi_q)
                         )
                 return results
             return self._scatter_range(query, radius, context, engine)
@@ -662,7 +698,7 @@ class ShardedIndex:
                 if len(collector) >= k and mind >= collector.bound():
                     self._count_scatter("knn", visited, len(order) - i)
                     return collector.items()
-                shard.tree.knn_into(
+                self._read_tree(shard).knn_into(
                     query, k, collector, traversal=traversal, phi_q=phi_q
                 )
                 visited += 1
@@ -708,7 +744,7 @@ class ShardedIndex:
                         pruned += len(order) - i
                         break
                     sub = self._sub_context(ctx, 1)
-                    out = shard.tree.knn_into(
+                    out = self._read_tree(shard).knn_into(
                         query, k, collector, sub, traversal=traversal, phi_q=phi_q
                     )
                     visited += 1
@@ -795,12 +831,11 @@ class ShardedIndex:
                 self._count_scatter("count", len(visit), pruned)
                 total = 0
                 for shard, accept_all in visit:
+                    tree = self._read_tree(shard)
                     if accept_all:
-                        total += shard.tree.object_count
+                        total += tree.object_count
                     else:
-                        total += shard.tree.range_count(
-                            query, radius, phi_q=phi_q
-                        )
+                        total += tree.range_count(query, radius, phi_q=phi_q)
                 return total
             return self._scatter_count(query, radius, context, engine)
 
@@ -974,19 +1009,23 @@ class ShardedIndex:
 
     def _range_fn(self, shard, query, radius, phi_q):
         def fn(sub: QueryContext) -> QueryResult:
-            return shard.tree.range_query(query, radius, context=sub, phi_q=phi_q)
+            return self._read_tree(shard).range_query(
+                query, radius, context=sub, phi_q=phi_q
+            )
 
         return fn
 
     def _count_fn(self, shard, query, radius, phi_q):
         def fn(sub: QueryContext) -> QueryResult:
-            return shard.tree.range_count(query, radius, context=sub, phi_q=phi_q)
+            return self._read_tree(shard).range_count(
+                query, radius, context=sub, phi_q=phi_q
+            )
 
         return fn
 
     def _knn_into_fn(self, shard, query, k, collector, traversal, phi_q):
         def fn(sub: QueryContext) -> QueryResult:
-            return shard.tree.knn_into(
+            return self._read_tree(shard).knn_into(
                 query, k, collector, sub, traversal=traversal, phi_q=phi_q
             )
 
@@ -994,7 +1033,7 @@ class ShardedIndex:
 
     def _knn_fn(self, shard, query, k, collector, traversal, phi_q):
         def fn(_sub: QueryContext) -> bool:
-            shard.tree.knn_into(
+            self._read_tree(shard).knn_into(
                 query, k, collector, traversal=traversal, phi_q=phi_q
             )
             return True
@@ -1006,13 +1045,14 @@ class ShardedIndex:
 
         def fn(sub: QueryContext) -> QueryResult:
             t0 = time.perf_counter()
+            tree = self._read_tree(shard)
             items: list[Any] = []
             complete, reason = True, None
             with sub.activate():
                 try:
-                    with shard.tree._epoch_lock.read() as epoch:
+                    with tree._epoch_lock.read() as epoch:
                         sub.epoch = epoch
-                        for obj in shard.tree.objects():
+                        for obj in tree.objects():
                             sub.checkpoint()
                             items.append(obj)
                 except _Exhausted as exc:
@@ -1029,7 +1069,7 @@ class ShardedIndex:
     def _count_all_fn(self, shard):
         def fn(sub: QueryContext) -> QueryResult:
             with sub.activate():
-                n = shard.tree.object_count
+                n = self._read_tree(shard).object_count
             return QueryResult([], count=n, stats=sub.stats(0.0, 0))
 
         return fn
@@ -1213,8 +1253,13 @@ class ShardedIndex:
                 self._catalog_for(shards),
                 faults,
             )
-        # Committed (or memory-only): adopt the new shard map.
+        # Committed (or memory-only): adopt the new shard map.  Retired
+        # shards take their replica rows with them (a rebalanced shard is
+        # re-replicated explicitly; its old replica dirs are swept as
+        # unreferenced on the next load).
         self.shards = shards
+        for sid in retired:
+            self._replica_meta.pop(sid, None)
         self.router.reset(self.shards)
         for shard in old:
             if shard.tree.wal is not None:

@@ -178,11 +178,62 @@ class ClusterInstruments:
         )
 
 
+class ReplicationInstruments:
+    """Per-shard replication health: lag, shipping volume, failovers.
+
+    Replica series use ``shard`` (catalog shard id) and ``replica``
+    (replica id within the set) labels so dashboards survive promotions —
+    the same physical directory keeps its replica id when roles swap.
+    """
+
+    __slots__ = (
+        "lag_bytes",
+        "shipped_bytes",
+        "ack_seconds",
+        "heartbeat_misses",
+        "promotions",
+        "resyncs",
+    )
+
+    def __init__(self) -> None:
+        reg = get_registry()
+        self.lag_bytes = reg.gauge(
+            "repro_replication_lag_bytes",
+            "WAL bytes committed on the primary but not yet acknowledged "
+            "by this replica.",
+            labelnames=("shard", "replica"),
+        )
+        self.shipped_bytes = reg.counter(
+            "repro_replication_shipped_bytes_total",
+            "WAL frame bytes shipped from primaries to followers.",
+        )
+        self.ack_seconds = reg.histogram(
+            "repro_replication_ack_seconds",
+            "Latency of one ship round: read frames, append to the "
+            "follower's log, apply, acknowledge.",
+        )
+        self.heartbeat_misses = reg.counter(
+            "repro_replication_heartbeat_misses_total",
+            "Health probes that found a replica past its heartbeat timeout.",
+            labelnames=("shard",),
+        )
+        self.promotions = reg.counter(
+            "repro_replication_promotions_total",
+            "Follower promotions to primary (failovers), per shard.",
+            labelnames=("shard",),
+        )
+        self.resyncs = reg.counter(
+            "repro_replication_resyncs_total",
+            "Full snapshot re-syncs of a follower from its primary.",
+        )
+
+
 _buffer_pool: Optional[BufferPoolInstruments] = None
 _pagefile: Optional[PageFileInstruments] = None
 _wal: Optional[WalInstruments] = None
 _engine: Optional[EngineInstruments] = None
 _cluster: Optional[ClusterInstruments] = None
+_replication: Optional[ReplicationInstruments] = None
 
 
 def buffer_pool() -> BufferPoolInstruments:
@@ -220,6 +271,13 @@ def cluster() -> ClusterInstruments:
     return _cluster
 
 
+def replication() -> ReplicationInstruments:
+    global _replication
+    if _replication is None:
+        _replication = ReplicationInstruments()
+    return _replication
+
+
 def preregister() -> None:
     """Create every instrument bundle so the full metric schema is
     registered before any traffic (``repro.obs.enable`` calls this)."""
@@ -228,3 +286,4 @@ def preregister() -> None:
     wal()
     engine()
     cluster()
+    replication()

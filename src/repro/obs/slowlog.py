@@ -35,10 +35,12 @@ class SlowQueryLog:
 
     ``max_bytes`` bounds on-disk growth for path-backed logs: when an
     append would push the file past the limit, the current file rotates
-    to ``<path>.1`` (replacing any previous rotation) and a fresh file
-    starts, so a long ``serve`` run holds at most ~2 × ``max_bytes`` of
-    slow-log data.  Rotation only applies to path-backed logs — caller
-    streams are not the log's to rename.
+    to ``<path>.1`` (older generations shifting to ``.2`` … up to
+    ``max_generations``, the oldest falling off) and a fresh file starts,
+    so a long ``serve`` run holds at most
+    ~``(max_generations + 1) × max_bytes`` of slow-log data.  Rotation
+    only applies to path-backed logs — caller streams are not the log's
+    to rename.
     """
 
     def __init__(
@@ -48,6 +50,7 @@ class SlowQueryLog:
         threshold_ms: float = 100.0,
         keep_recent: int = 32,
         max_bytes: Optional[int] = None,
+        max_generations: int = 1,
     ) -> None:
         if threshold_ms < 0:
             raise ValueError("threshold_ms must be non-negative")
@@ -55,9 +58,12 @@ class SlowQueryLog:
             raise ValueError("max_bytes must be positive")
         if max_bytes is not None and path is None:
             raise ValueError("max_bytes requires a path-backed log")
+        if max_generations < 1:
+            raise ValueError("max_generations must be >= 1")
         self.threshold_ms = threshold_ms
         self.path = path
         self.max_bytes = max_bytes
+        self.max_generations = max_generations
         self._stream = stream
         self._owns_stream = False
         self._written = 0
@@ -142,11 +148,16 @@ class SlowQueryLog:
             self._written += len(payload.encode("utf-8"))
 
     def _rotate(self) -> None:
-        """Move the current file to ``<path>.1`` and start fresh (caller
-        holds the lock).  A single rotated generation is kept."""
+        """Shift rotated generations up one (``.1`` → ``.2`` …, the oldest
+        dropping off at ``max_generations``), move the current file to
+        ``<path>.1``, and start fresh (caller holds the lock)."""
         assert self.path is not None and self._stream is not None
         self._stream.close()
         try:
+            for gen in range(self.max_generations - 1, 0, -1):
+                older = f"{self.path}.{gen}"
+                if os.path.exists(older):
+                    os.replace(older, f"{self.path}.{gen + 1}")
             os.replace(self.path, self.path + ".1")
         except OSError:
             pass  # rotation is best-effort; keep appending to the old file

@@ -1,0 +1,94 @@
+"""Replica liveness tracking via heartbeat timestamps.
+
+Every successful ship acknowledgement beats the follower's heart; the
+primary's heart beats on every write it commits.  A member whose last
+beat is older than the configured timeout is *unhealthy*: the read
+router stops sending it traffic and (for a primary) the shard reports
+degraded reads until a promotion installs a new primary.
+
+The clock is injectable so tests drive time deterministically — chaos
+tests advance a fake clock instead of sleeping — and ``mark_down`` /
+``mark_up`` give the chaos harness and the CLI a direct kill switch
+that overrides timestamps entirely (a process you killed should not
+look alive for another timeout's worth of grace).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from repro.obs import instruments as _instruments
+from repro.obs import registry as _obsreg
+
+#: Default heartbeat timeout (seconds): generous for in-process replicas.
+DEFAULT_TIMEOUT = 5.0
+
+
+class Monitor:
+    """Heartbeat bookkeeping for every replica of every shard."""
+
+    def __init__(
+        self,
+        timeout: float = DEFAULT_TIMEOUT,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if timeout <= 0:
+            raise ValueError("heartbeat timeout must be positive")
+        self.timeout = timeout
+        self.clock = clock if clock is not None else time.monotonic
+        #: ``(shard_id, replica_id) -> last beat timestamp``.
+        self._beats: dict[tuple[int, int], float] = {}
+        #: Members forced down (kill switch) — timestamps are ignored.
+        self._forced_down: set[tuple[int, int]] = set()
+        #: Total heartbeat misses observed by :meth:`check`.
+        self.misses = 0
+
+    # ----------------------------------------------------------- membership
+
+    def register(self, shard_id: int, replica_id: int) -> None:
+        """Start tracking a member; it is born healthy (beaten now)."""
+        self._beats[(shard_id, replica_id)] = self.clock()
+
+    def forget(self, shard_id: int, replica_id: int) -> None:
+        self._beats.pop((shard_id, replica_id), None)
+        self._forced_down.discard((shard_id, replica_id))
+
+    # ------------------------------------------------------------ liveness
+
+    def beat(self, shard_id: int, replica_id: int) -> None:
+        """Record a sign of life (write committed, ship acknowledged)."""
+        self._beats[(shard_id, replica_id)] = self.clock()
+
+    def mark_down(self, shard_id: int, replica_id: int) -> None:
+        """Force a member unhealthy regardless of timestamps (chaos, CLI)."""
+        self._forced_down.add((shard_id, replica_id))
+
+    def mark_up(self, shard_id: int, replica_id: int) -> None:
+        """Lift a forced-down mark and beat the member back to health."""
+        self._forced_down.discard((shard_id, replica_id))
+        self.beat(shard_id, replica_id)
+
+    def healthy(self, shard_id: int, replica_id: int) -> bool:
+        key = (shard_id, replica_id)
+        if key in self._forced_down:
+            return False
+        last = self._beats.get(key)
+        if last is None:
+            return False
+        return self.clock() - last <= self.timeout
+
+    def check(self, shard_id: int, replica_ids: "list[int]") -> "list[int]":
+        """Probe one shard's members; returns the unhealthy replica ids.
+
+        Each miss bumps the per-shard heartbeat-miss counter so a
+        dashboard sees flapping members even when every probe recovers.
+        """
+        down = [r for r in replica_ids if not self.healthy(shard_id, r)]
+        if down:
+            self.misses += len(down)
+            if _obsreg.ENABLED:
+                _instruments.replication().heartbeat_misses.labels(
+                    shard=str(shard_id)
+                ).inc(len(down))
+        return down

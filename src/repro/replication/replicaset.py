@@ -1,0 +1,379 @@
+"""One shard's replica set: a primary and its WAL-shipping followers.
+
+The mechanism leans on two properties the storage layer already has:
+
+* WAL frames are **byte-identical and self-validating** (CRC32-framed,
+  header-bound to a base generation), so shipping is literally copying
+  the committed byte run ``[acked, committed_end)`` of the primary's log
+  onto the end of the follower's log — the follower then holds the same
+  valid prefix and its durable length *is* its acknowledged position.
+  No separate ack file, no sequence numbers.
+* WAL replay is **deterministic and compdist-free** (the SFC key is
+  recorded, so the pivot mapping is never recomputed), so a follower
+  applies shipped records at I/O cost, not metric cost.
+
+Positions are only comparable within one base generation.  When the
+primary's log is reborn under a new generation (a checkpoint folded it,
+or a promotion bumped it), a follower's position is *stale* and the set
+falls back to a full snapshot re-sync: copy the primary's directory,
+reload.  That is exactly the stale-WAL rule single-tree recovery already
+follows, applied across directories.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import time
+from typing import Any, Callable, Optional
+
+from repro.core.persist import load_tree
+from repro.core.spbtree import SPBTree
+from repro.distance.base import Metric
+from repro.obs import instruments as _instruments
+from repro.obs import registry as _obsreg
+from repro.replication.monitor import Monitor
+from repro.storage.faults import FaultInjector
+from repro.storage.wal import (
+    WAL_FILE,
+    ShipPosition,
+    WriteAheadLog,
+    scan_wal,
+)
+
+
+class ReplicationError(RuntimeError):
+    """Base class for replication failures."""
+
+
+class PrimaryDownError(ReplicationError):
+    """An operation that needs the primary found it unhealthy."""
+
+
+class NoPromotableFollowerError(ReplicationError):
+    """A failover found no healthy follower to promote."""
+
+
+class Replica:
+    """One member: a tree copy, its own WAL, and a directory to live in."""
+
+    __slots__ = ("replica_id", "directory", "tree", "wal")
+
+    def __init__(
+        self,
+        replica_id: int,
+        directory: str,
+        tree: SPBTree,
+        wal: WriteAheadLog,
+    ) -> None:
+        self.replica_id = replica_id
+        self.directory = directory
+        self.tree = tree
+        self.wal = wal
+
+    def __repr__(self) -> str:
+        return f"Replica({self.replica_id}, {self.directory!r})"
+
+
+class ReplicaSet:
+    """The primary and followers of one shard, plus the shipping pump.
+
+    The primary's tree and WAL are the shard's own (owned by the
+    cluster); follower trees and logs are owned here.  All methods
+    assume the cluster-level locking discipline: shipping runs under the
+    cluster's read side (it extends one shard's replicas), promotion and
+    re-sync under the write side.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        cluster_dir: str,
+        primary: Replica,
+        followers: "list[Replica]",
+        metric: Metric,
+        tree_factory: Callable[[], SPBTree],
+        monitor: Monitor,
+        wal_fsync: bool = True,
+        faults: Optional[FaultInjector] = None,
+    ) -> None:
+        self.shard_id = shard_id
+        self.cluster_dir = cluster_dir
+        self.primary = primary
+        self.followers = sorted(followers, key=lambda r: r.replica_id)
+        self.metric = metric
+        self.tree_factory = tree_factory
+        self.monitor = monitor
+        self.wal_fsync = wal_fsync
+        self.faults = faults
+        #: Durable acknowledged position per follower id.
+        self.acked: dict[int, ShipPosition] = {
+            rep.replica_id: rep.wal.position for rep in self.followers
+        }
+        monitor.register(shard_id, primary.replica_id)
+        for rep in self.followers:
+            monitor.register(shard_id, rep.replica_id)
+
+    # ----------------------------------------------------------- membership
+
+    def add_follower(self, replica_id: int, directory: str) -> Replica:
+        """Open (or create) a follower from its catalog row."""
+        fdir = os.path.join(self.cluster_dir, directory)
+        os.makedirs(fdir, exist_ok=True)
+        tree = self._load_tree(fdir)
+        wal = WriteAheadLog(
+            os.path.join(fdir, WAL_FILE),
+            fsync=self.wal_fsync,
+            faults=self.faults,
+        )
+        rep = Replica(replica_id, directory, tree, wal)
+        self.followers.append(rep)
+        self.followers.sort(key=lambda r: r.replica_id)
+        self.acked[replica_id] = wal.position
+        self.monitor.register(self.shard_id, replica_id)
+        return rep
+
+    def member_ids(self) -> "list[int]":
+        """Replica ids with the primary first (the selector contract)."""
+        return [self.primary.replica_id] + [
+            r.replica_id for r in self.followers
+        ]
+
+    def tree_for(self, replica_id: int) -> SPBTree:
+        if replica_id == self.primary.replica_id:
+            return self.primary.tree
+        for rep in self.followers:
+            if rep.replica_id == replica_id:
+                return rep.tree
+        raise ReplicationError(
+            f"shard {self.shard_id} has no replica {replica_id}"
+        )
+
+    def healthy(self, replica_id: int) -> bool:
+        return self.monitor.healthy(self.shard_id, replica_id)
+
+    def quorum(self) -> bool:
+        """True when a majority of members (primary included) is healthy."""
+        members = self.member_ids()
+        alive = sum(1 for m in members if self.healthy(m))
+        return alive >= len(members) // 2 + 1
+
+    def lag(self, replica_id: int) -> int:
+        """WAL bytes committed on the primary but not acked by ``replica_id``.
+
+        A stale-by-generation position lags by the primary's whole log —
+        the follower needs a re-sync before any byte of it counts.
+        """
+        if replica_id == self.primary.replica_id:
+            return 0
+        pwal = self.primary.tree.wal
+        if pwal is None:
+            return 0
+        pos = self.acked.get(replica_id)
+        if pos is None or pos.base_generation != pwal.position.base_generation:
+            return pwal.size_in_bytes
+        return max(0, pwal.size_in_bytes - pos.wal_offset)
+
+    # ------------------------------------------------------------- shipping
+
+    def ship(self) -> int:
+        """Pump committed frames to every healthy follower; bytes shipped.
+
+        Called synchronously after each primary write (so a client ack
+        implies every healthy follower holds the record durably) and by
+        the ``replicate`` CLI / engine task for catch-up.  Unhealthy
+        followers are skipped — they re-sync or catch up on recovery.
+        """
+        if not self.healthy(self.primary.replica_id):
+            raise PrimaryDownError(
+                f"shard {self.shard_id} primary "
+                f"{self.primary.replica_id} is down; promote a follower"
+            )
+        total = 0
+        for rep in self.followers:
+            if not self.healthy(rep.replica_id):
+                continue
+            total += self._ship_one(rep)
+        return total
+
+    def _ship_one(self, rep: Replica) -> int:
+        pwal = self.primary.tree.wal
+        if pwal is None or pwal.header is None:
+            return 0
+        t0 = time.perf_counter()
+        if rep.wal.header is not None:
+            stale = rep.wal.header.base_generation != pwal.header.base_generation
+        else:
+            # A follower with no log yet (seeded as a bare snapshot copy)
+            # can bootstrap from byte offset 0 — but only if its snapshot
+            # matches the primary's log base; otherwise the shipped
+            # records would replay against the wrong tree state.
+            stale = rep.tree._generation != pwal.header.base_generation
+        if stale or rep.wal.size_in_bytes > pwal.size_in_bytes:
+            # New log generation (checkpoint/promotion) or a demoted
+            # ex-primary with an unshipped tail: positions don't splice.
+            self.resync(rep)
+            return 0
+        shipment = pwal.ship(rep.wal.size_in_bytes)
+        if shipment.frames:
+            rep.wal.append_frames(shipment)
+            with rep.tree._epoch_lock.write():
+                for record in shipment.records:
+                    rep.tree._apply_wal_record(record)
+        if self.faults is not None:
+            self.faults.checkpoint(
+                f"ack shard {self.shard_id} replica {rep.replica_id}"
+            )
+        self._acknowledge(rep, time.perf_counter() - t0, len(shipment.frames))
+        return len(shipment.frames)
+
+    def _acknowledge(self, rep: Replica, elapsed: float, nbytes: int) -> None:
+        self.acked[rep.replica_id] = rep.wal.position
+        self.monitor.beat(self.shard_id, rep.replica_id)
+        if _obsreg.ENABLED:
+            inst = _instruments.replication()
+            inst.ack_seconds.observe(elapsed)
+            if nbytes:
+                inst.shipped_bytes.inc(nbytes)
+            inst.lag_bytes.labels(
+                shard=str(self.shard_id), replica=str(rep.replica_id)
+            ).set(self.lag(rep.replica_id))
+
+    # -------------------------------------------------------------- re-sync
+
+    def resync(self, rep: Replica) -> None:
+        """Full snapshot re-sync: copy the primary's directory wholesale.
+
+        Used when a follower's log generation no longer matches the
+        primary's (post-checkpoint, post-promotion, or a demoted
+        ex-primary whose unshipped tail must be discarded).  The
+        follower's previous state is dropped — every record it had was
+        either folded into the snapshot being copied or was never
+        acknowledged to any client.
+        """
+        pdir = os.path.join(self.cluster_dir, self.primary.directory)
+        fdir = os.path.join(self.cluster_dir, rep.directory)
+        rep.wal.close()
+        if self.faults is not None:
+            self.faults.checkpoint(
+                f"resync shard {self.shard_id} replica {rep.replica_id}"
+            )
+        shutil.rmtree(fdir, ignore_errors=True)
+        shutil.copytree(pdir, fdir)
+        rep.tree = self._load_tree(fdir)
+        rep.wal = WriteAheadLog(
+            os.path.join(fdir, WAL_FILE),
+            fsync=self.wal_fsync,
+            faults=self.faults,
+        )
+        self._acknowledge(rep, 0.0, 0)
+        if _obsreg.ENABLED:
+            _instruments.replication().resyncs.inc()
+
+    def resync_all(self) -> None:
+        for rep in self.followers:
+            self.resync(rep)
+
+    def _load_tree(self, directory: str) -> SPBTree:
+        """A follower tree from its directory: catalog + stale-aware WAL
+        replay, or a fresh empty stack (plus any generation-0 records)
+        when the shard has never been checkpointed."""
+        if os.path.exists(os.path.join(directory, "spbtree.json")):
+            return load_tree(directory, self.metric, replay_wal=True)
+        tree = self.tree_factory()
+        header, records, _, _ = scan_wal(os.path.join(directory, WAL_FILE))
+        if header is not None and header.base_generation == tree._generation:
+            for record in records:
+                tree._apply_wal_record(record)
+        return tree
+
+    # ------------------------------------------------------------ promotion
+
+    def best_follower(self) -> Replica:
+        """The healthy follower holding the longest valid WAL prefix.
+
+        Rank is ``(base_generation, committed bytes)`` — a follower on a
+        newer log generation strictly dominates, and within a generation
+        more committed bytes means more acknowledged writes preserved.
+        Every fully-acknowledged write was shipped to *all* healthy
+        followers, so the longest prefix is a superset of them.
+        """
+        candidates = [
+            rep
+            for rep in self.followers
+            if self.healthy(rep.replica_id)
+        ]
+        if not candidates:
+            raise NoPromotableFollowerError(
+                f"shard {self.shard_id} has no healthy follower to promote"
+            )
+
+        def rank(rep: Replica) -> tuple[int, int, int]:
+            gen = (
+                rep.wal.header.base_generation
+                if rep.wal.header is not None
+                else -1
+            )
+            # Deterministic tie-break: lowest replica id wins.
+            return (gen, rep.wal.size_in_bytes, -rep.replica_id)
+
+        return max(candidates, key=rank)
+
+    def promote(self, candidate: Replica) -> Replica:
+        """Swap roles after the caller has committed the promotion.
+
+        The caller (the replicated cluster) has already checkpointed the
+        candidate's tree (bumping its generation past the ex-primary's
+        log — the fence) and rewritten the catalog; this is the
+        in-memory role swap.  Returns the demoted ex-primary, now a
+        follower whose stale log will force a re-sync on its next ship.
+        """
+        old = self.primary
+        self.followers = [
+            r for r in self.followers if r.replica_id != candidate.replica_id
+        ]
+        old.tree.wal = None  # followers never append to their own log
+        self.followers.append(old)
+        self.followers.sort(key=lambda r: r.replica_id)
+        self.acked[old.replica_id] = old.wal.position  # stale by generation
+        self.acked.pop(candidate.replica_id, None)
+        self.primary = candidate
+        self.monitor.beat(self.shard_id, candidate.replica_id)
+        if _obsreg.ENABLED:
+            _instruments.replication().promotions.labels(
+                shard=str(self.shard_id)
+            ).inc()
+        return old
+
+    # -------------------------------------------------------------- catalog
+
+    def rows(self) -> "list[Any]":
+        """Current membership as catalog :class:`ReplicaMeta` rows."""
+        from repro.cluster.catalog import ReplicaMeta
+
+        out = [
+            ReplicaMeta(
+                replica_id=self.primary.replica_id,
+                directory=self.primary.directory,
+                role="primary",
+            )
+        ]
+        for rep in self.followers:
+            pos = self.acked.get(rep.replica_id, rep.wal.position)
+            out.append(
+                ReplicaMeta(
+                    replica_id=rep.replica_id,
+                    directory=rep.directory,
+                    role="follower",
+                    acked_generation=pos.base_generation,
+                    acked_offset=pos.wal_offset,
+                )
+            )
+        out.sort(key=lambda r: r.replica_id)
+        return out
+
+    # ------------------------------------------------------------ lifecycle
+
+    def close(self) -> None:
+        for rep in self.followers:
+            rep.wal.close()

@@ -48,11 +48,12 @@ from repro.storage.faults import retry_io
 
 _STOP = object()
 
-#: Work kinds the engine knows how to execute.
-_KINDS = ("range", "knn", "count", "insert", "delete")
+#: Work kinds the engine knows how to execute.  ``ship`` and ``failover``
+#: are only meaningful when the served index is a replicated cluster.
+_KINDS = ("range", "knn", "count", "insert", "delete", "ship", "failover")
 
 #: The subset of kinds that mutate the tree (never retried: not idempotent).
-_MUTATIONS = ("insert", "delete")
+_MUTATIONS = ("insert", "delete", "ship", "failover")
 
 
 class PendingQuery:
@@ -215,7 +216,10 @@ class QueryEngine:
 
         ``kind`` is ``"range"`` (args: query, radius), ``"knn"`` (args:
         query, k[, traversal]), ``"count"`` (args: query, radius),
-        ``"insert"`` (args: obj) or ``"delete"`` (args: obj).  The deadline
+        ``"insert"`` (args: obj), ``"delete"`` (args: obj), and — when
+        serving a replicated cluster — ``"ship"`` (no args: pump every
+        shard's WAL to its followers) or ``"failover"`` (args: shard_id;
+        promote that shard's best follower).  The deadline
         clock starts when the query begins *executing*, so queue wait does
         not eat the budget (admission control is what bounds the wait).
         Deadlines and budgets do not apply to mutations (a write either
@@ -414,4 +418,12 @@ class QueryEngine:
         if kind == "insert":
             self.tree.insert(*args)
             return True
+        if kind in ("ship", "failover"):
+            method = getattr(self.tree, "ship_all" if kind == "ship" else kind, None)
+            if method is None:
+                raise ValueError(
+                    f"{kind!r} requires a replicated cluster; this engine "
+                    f"serves {type(self.tree).__name__}"
+                )
+            return method(*args)
         return self.tree.delete(*args)

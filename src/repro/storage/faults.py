@@ -56,6 +56,8 @@ def retry_io(
     max_delay: float = 0.5,
     retry_on: tuple[type[BaseException], ...] = (OSError,),
     sleep: Callable[[float], None] = time.sleep,
+    jitter: float = 0.0,
+    seed: Optional[int] = None,
 ) -> T:
     """Call ``fn`` with bounded exponential backoff on transient errors.
 
@@ -64,9 +66,21 @@ def retry_io(
     :class:`~repro.storage.pagefile.PageCorruptionError`, which retrying
     cannot fix — propagates immediately.  The last failure is re-raised
     once ``attempts`` are exhausted.
+
+    ``jitter`` desynchronizes concurrent retry loops: each sleep is scaled
+    by a factor drawn uniformly from ``[1 - jitter, 1]`` using
+    ``random.Random(seed)``, so callers hammering the same faulted page
+    (the engine's workers) back off on *different* schedules instead of
+    reconverging in lockstep — while a fixed ``seed`` keeps every schedule
+    exactly reproducible.  ``jitter=0`` (the default) preserves the exact
+    deterministic schedule: ``base_delay`` doubling, capped at
+    ``max_delay``.
     """
     if attempts < 1:
         raise ValueError("attempts must be >= 1")
+    if not 0.0 <= jitter <= 1.0:
+        raise ValueError("jitter must be in [0, 1]")
+    rng = random.Random(seed) if jitter else None
     delay = base_delay
     for attempt in range(attempts):
         try:
@@ -74,7 +88,10 @@ def retry_io(
         except retry_on:
             if attempt == attempts - 1:
                 raise
-            sleep(min(delay, max_delay))
+            pause = min(delay, max_delay)
+            if rng is not None:
+                pause *= 1.0 - jitter * rng.random()
+            sleep(pause)
             delay *= 2
     raise AssertionError("unreachable")
 

@@ -67,6 +67,23 @@ OP_INSERT = 1
 OP_DELETE = 2
 
 
+class WalCorruptionError(ValueError):
+    """A WAL frame failed its CRC or shape check under strict scanning.
+
+    The tolerant reader (``scan_wal(strict=False)``) stops cleanly at the
+    first bad frame instead — this error exists for consumers (shipping,
+    fuzz tests) that must *know* the log was damaged rather than silently
+    short."""
+
+
+class StaleWalError(RuntimeError):
+    """A writer holding an outdated base generation tried to append.
+
+    This is the fencing rule for replication: promotion advances the
+    catalog's recorded generation past the ex-primary's WAL header, so a
+    zombie primary that missed the promotion is refused at its own log."""
+
+
 @dataclass(frozen=True)
 class WalHeader:
     """The first frame of a log: which generation the records extend."""
@@ -74,6 +91,36 @@ class WalHeader:
     base_generation: int
     base_object_count: int
     base_next_id: int
+
+
+@dataclass(frozen=True)
+class ShipPosition:
+    """A replication position: a byte offset into one generation's log.
+
+    Offsets are only comparable between positions with the same
+    ``base_generation`` — a checkpoint starts a new log (new generation,
+    new byte space), after which followers must re-sync."""
+
+    base_generation: int
+    wal_offset: int
+
+
+@dataclass(frozen=True)
+class WalShipment:
+    """One batch of committed frames streamed off a primary's log.
+
+    ``frames`` is the raw byte run ``[start.wal_offset, position.wal_offset)``
+    of the source log — byte-identical frames, so a follower appending them
+    to its own log ends up with the same valid prefix — and ``records`` are
+    the decoded mutations inside it (header frames carry no records)."""
+
+    start: ShipPosition
+    position: ShipPosition
+    frames: bytes
+    records: list[WalRecord]
+
+    def __len__(self) -> int:
+        return len(self.frames)
 
 
 @dataclass(frozen=True)
@@ -137,7 +184,7 @@ def _decode_payload(payload: bytes) -> "WalHeader | WalRecord | None":
 
 
 def scan_wal(
-    path: str,
+    path: str, strict: bool = False
 ) -> tuple[Optional[WalHeader], list[WalRecord], int, bool]:
     """Parse a log file tolerantly.
 
@@ -145,7 +192,10 @@ def scan_wal(
     first frame is missing or not a header), the mutation records in append
     order, the byte length of the valid frame prefix, and whether trailing
     bytes past it had to be dropped (a torn tail).  Never raises for damage
-    — a log is readable up to its first bad frame, by design.
+    — a log is readable up to its first bad frame, by design — unless
+    ``strict=True``, which turns a torn tail into a
+    :class:`WalCorruptionError` for consumers that must not silently
+    shorten the log (replication shipping, the fuzz harness).
     """
     try:
         with open(path, "rb") as fh:
@@ -173,7 +223,13 @@ def scan_wal(
                 break  # mutations before a header are unreplayable
             records.append(decoded)
         offset = start + length
-    return header, records, offset, offset != len(data)
+    torn = offset != len(data)
+    if torn and strict:
+        raise WalCorruptionError(
+            f"{path}: invalid frame at byte {offset} "
+            f"({len(data) - offset} trailing bytes dropped)"
+        )
+    return header, records, offset, torn
 
 
 class WriteAheadLog:
@@ -281,6 +337,97 @@ class WriteAheadLog:
         self._records = []
         self.torn_tail = False
 
+    # ------------------------------------------------------------- shipping
+
+    @property
+    def position(self) -> ShipPosition:
+        """The committed end of this log as a replication position."""
+        base = self.header.base_generation if self.header is not None else -1
+        return ShipPosition(base, self._size)
+
+    def ship(self, from_offset: int = 0) -> WalShipment:
+        """Committed frames from ``from_offset`` to the current end.
+
+        The returned shipment's ``frames`` are byte-identical to this log's
+        ``[from_offset, committed end)`` run, so a follower that appends
+        them to its own log holds the same valid prefix and can replay the
+        decoded ``records`` with zero distance computations.  Raises
+        :class:`WalCorruptionError` if ``from_offset`` does not land on a
+        frame boundary of the committed prefix — a follower asking from a
+        position this log never produced.
+        """
+        if self.header is None:
+            raise ValueError("cannot ship from a log with no header")
+        if not 0 <= from_offset <= self._size:
+            raise WalCorruptionError(
+                f"{self.path}: ship offset {from_offset} outside committed "
+                f"prefix of {self._size} bytes"
+            )
+        self._file.flush()
+        with open(self.path, "rb") as fh:
+            fh.seek(from_offset)
+            data = fh.read(self._size - from_offset)
+        records = _decode_frames(data, self.path, from_offset)
+        base = self.header.base_generation
+        return WalShipment(
+            start=ShipPosition(base, from_offset),
+            position=ShipPosition(base, from_offset + len(data)),
+            frames=data,
+            records=records,
+        )
+
+    def append_frames(self, shipment: WalShipment) -> ShipPosition:
+        """Append a shipped byte run to this (follower) log, durably.
+
+        The shipment must start exactly at this log's committed end and —
+        once this log has a header — carry the same base generation; a
+        mismatch means the source log was checkpointed since (new
+        generation, new byte space) and the follower must re-sync rather
+        than splice streams.  Returns the new committed position.
+        """
+        if shipment.start.wal_offset != self._size:
+            raise ValueError(
+                f"shipment starts at byte {shipment.start.wal_offset} but "
+                f"this log is committed to {self._size}; re-ship from "
+                f"{self._size}"
+            )
+        if self.header is not None and (
+            shipment.start.base_generation != self.header.base_generation
+        ):
+            raise ValueError(
+                f"shipment from generation {shipment.start.base_generation} "
+                f"cannot extend a log bound to generation "
+                f"{self.header.base_generation}; re-sync required"
+            )
+        if not shipment.frames:
+            return self.position
+        self._commit(shipment.frames, "wal ship append")
+        if self.header is None:
+            # The first shipment off a fresh source includes its header.
+            header, _, _, _ = scan_wal(self.path)
+            if header is None:
+                raise WalCorruptionError(
+                    f"{self.path}: shipped frames carry no valid header"
+                )
+            self.header = header
+        self._records.extend(shipment.records)
+        return self.position
+
+    def require_base_generation(self, minimum: int) -> None:
+        """Fence check: refuse a writer whose log predates ``minimum``.
+
+        After a promotion the catalog records the promoted generation; an
+        ex-primary that missed it still holds a log bound to the old
+        generation and must never take another write.
+        """
+        if self.header is None or self.header.base_generation < minimum:
+            held = None if self.header is None else self.header.base_generation
+            raise StaleWalError(
+                f"{self.path}: writer holds base generation {held}, but the "
+                f"catalog requires >= {minimum}; this primary was fenced by "
+                f"a promotion"
+            )
+
     # ----------------------------------------------------------------- read
 
     def records(self) -> list[WalRecord]:
@@ -316,6 +463,42 @@ class WriteAheadLog:
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+
+def _decode_frames(
+    data: bytes, path: str, base_offset: int
+) -> list[WalRecord]:
+    """Decode a committed byte run into its mutation records, strictly.
+
+    ``data`` must be whole valid frames (it was cut from a committed
+    prefix); any short or CRC-failing frame raises
+    :class:`WalCorruptionError` — shipping must never shorten silently.
+    Header frames are legal (a from-zero shipment starts with one) but
+    produce no records.
+    """
+    records: list[WalRecord] = []
+    offset = 0
+    while offset < len(data):
+        if offset + _FRAME.size > len(data):
+            raise WalCorruptionError(
+                f"{path}: short frame prefix at byte {base_offset + offset}"
+            )
+        length, crc = _FRAME.unpack_from(data, offset)
+        start = offset + _FRAME.size
+        payload = data[start : start + length]
+        if len(payload) != length or zlib.crc32(payload) != crc:
+            raise WalCorruptionError(
+                f"{path}: bad frame at byte {base_offset + offset}"
+            )
+        decoded = _decode_payload(payload)
+        if decoded is None:
+            raise WalCorruptionError(
+                f"{path}: undecodable frame at byte {base_offset + offset}"
+            )
+        if isinstance(decoded, WalRecord):
+            records.append(decoded)
+        offset = start + length
+    return records
 
 
 def _fsync_parent(path: str) -> None:

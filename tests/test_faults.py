@@ -182,8 +182,57 @@ class TestRetryBackoffSchedule:
         # attempts bounds the total number of calls …
         assert len(calls) == 8
         # … with one sleep between consecutive attempts, doubling from
-        # base_delay and capped at max_delay.
+        # base_delay and capped at max_delay.  jitter defaults to 0, so
+        # the schedule is exact.
         assert sleeps == [0.01, 0.02, 0.04, 0.05, 0.05, 0.05, 0.05]
+
+    def test_seeded_jitter_is_deterministic_and_bounded(self):
+        def run(seed):
+            sleeps = []
+            with pytest.raises(TransientIOError):
+                retry_io(
+                    lambda: (_ for _ in ()).throw(TransientIOError("x")),
+                    attempts=8,
+                    base_delay=0.01,
+                    max_delay=0.05,
+                    sleep=sleeps.append,
+                    jitter=0.5,
+                    seed=seed,
+                )
+            return sleeps
+
+        base = [0.01, 0.02, 0.04, 0.05, 0.05, 0.05, 0.05]
+        jittered = run(42)
+        # Deterministic: the same seed reproduces the same schedule.
+        assert jittered == run(42)
+        # A different seed gives a different schedule.
+        assert jittered != run(43)
+        # Bounded: each pause lands in [(1 - jitter) * nominal, nominal],
+        # so jitter only ever shortens a pause (thundering herds spread
+        # out; total retry time never grows).
+        for pause, nominal in zip(jittered, base):
+            assert nominal * 0.5 <= pause <= nominal
+        # And jitter actually moved at least one pause off its nominal.
+        assert jittered != base
+
+    def test_zero_jitter_keeps_exact_schedule_regardless_of_seed(self):
+        sleeps = []
+        with pytest.raises(TransientIOError):
+            retry_io(
+                lambda: (_ for _ in ()).throw(TransientIOError("x")),
+                attempts=4,
+                base_delay=0.01,
+                max_delay=0.05,
+                sleep=sleeps.append,
+                jitter=0.0,
+                seed=123,
+            )
+        assert sleeps == [0.01, 0.02, 0.04]
+
+    def test_jitter_out_of_range_rejected(self):
+        for bad in (-0.1, 1.5):
+            with pytest.raises(ValueError, match="jitter"):
+                retry_io(lambda: None, jitter=bad)
 
     def test_no_sleep_after_final_failure(self):
         sleeps = []

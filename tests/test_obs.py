@@ -369,6 +369,45 @@ class TestSlowQueryLog:
         with pytest.raises(ValueError, match="positive"):
             SlowQueryLog(path="x", max_bytes=0)
 
+    def test_rotation_keeps_max_generations(self, tmp_path):
+        path = str(tmp_path / "slow.jsonl")
+        log = SlowQueryLog(
+            path=path, threshold_ms=0.0, max_bytes=200, max_generations=3
+        )
+        for i in range(60):
+            assert log.maybe_record(f"knn-{i}", 0.1)
+        log.close()
+        assert log.rotations >= 4  # enough churn to exercise the cascade
+        for gen in (1, 2, 3):
+            assert os.path.exists(f"{path}.{gen}"), f"generation {gen} missing"
+            assert os.path.getsize(f"{path}.{gen}") <= 200
+        # Nothing beyond the cap survives.
+        assert not os.path.exists(f"{path}.4")
+        # Generations chain oldest-to-newest with no gaps: .3 .2 .1 then
+        # the live file hold one contiguous, ordered suffix of the stream.
+        kept = []
+        for gen in (3, 2, 1):
+            kept.extend(read_slow_log(f"{path}.{gen}"))
+        kept.extend(read_slow_log(path))
+        kinds = [e["kind"] for e in kept]
+        assert kinds == [f"knn-{i}" for i in range(60 - len(kinds), 60)]
+
+    def test_default_rotation_still_keeps_exactly_one_generation(
+        self, tmp_path
+    ):
+        path = str(tmp_path / "slow.jsonl")
+        log = SlowQueryLog(path=path, threshold_ms=0.0, max_bytes=200)
+        for i in range(60):
+            log.maybe_record(f"knn-{i}", 0.1)
+        log.close()
+        assert log.rotations >= 2
+        assert os.path.exists(path + ".1")
+        assert not os.path.exists(path + ".2")
+
+    def test_max_generations_must_be_positive(self):
+        with pytest.raises(ValueError, match="max_generations"):
+            SlowQueryLog(threshold_ms=0.0, max_generations=0)
+
 
 # ------------------------------------------------------------- snapshots
 

@@ -1,0 +1,143 @@
+"""WAL torn-tail fuzzer: damage every byte of the last two frames.
+
+The durability contract says a crash mid-append leaves a log that replays
+to *exactly* the committed prefix: the tolerant reader stops cleanly at
+the last whole frame, the strict reader raises a typed error — and
+neither ever yields a partial record.  This suite proves it mechanically:
+a valid log is truncated at, and bit-flipped at, **every byte offset** of
+its final two frames, and each damaged variant must scan to a byte-exact
+prefix of the pristine records.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.storage.wal import (
+    _FRAME,
+    WalCorruptionError,
+    WriteAheadLog,
+    scan_wal,
+)
+
+
+@pytest.fixture(scope="module")
+def pristine(tmp_path_factory):
+    """A valid log plus its frame layout: (bytes, frame start offsets,
+    records).  Offsets include the end-of-file sentinel."""
+    path = str(tmp_path_factory.mktemp("walfuzz") / "wal.log")
+    wal = WriteAheadLog(path, fsync=False)
+    wal.start(0, 0, 0)
+    for i in range(6):
+        wal.append_insert(i, 1000 + 17 * i, f"object-{i}-{'x' * (5 + 3 * i)}".encode())
+    wal.append_delete(1017, b"object-1-xxxxxxxx")
+    wal.close()
+    with open(path, "rb") as fh:
+        data = fh.read()
+    boundaries = [0]
+    offset = 0
+    while offset < len(data):
+        length, _ = _FRAME.unpack_from(data, offset)
+        offset += _FRAME.size + length
+        boundaries.append(offset)
+    assert boundaries[-1] == len(data)
+    header, records, valid_end, torn = scan_wal(path)
+    assert header is not None and not torn and valid_end == len(data)
+    return data, boundaries, records
+
+
+def _write(tmp_path, data: bytes) -> str:
+    path = str(tmp_path / "wal.log")
+    with open(path, "wb") as fh:
+        fh.write(data)
+    return path
+
+
+def _whole_mutation_frames_before(boundaries, cut: int) -> int:
+    """How many *mutation* frames end at or before ``cut`` (frame 0 is
+    the header)."""
+    whole = sum(1 for b in boundaries[1:] if b <= cut)
+    return max(0, whole - 1)
+
+
+class TestTruncationFuzz:
+    def test_every_truncation_point_of_last_two_frames(
+        self, pristine, tmp_path
+    ):
+        data, boundaries, records = pristine
+        start = boundaries[-3]  # first byte of the second-to-last frame
+        for cut in range(start, len(data) + 1):
+            path = _write(tmp_path, data[:cut])
+            header, got, valid_end, torn = scan_wal(path)
+            assert header is not None
+            expect_end = max(b for b in boundaries if b <= cut)
+            assert valid_end == expect_end, f"cut at {cut}"
+            assert torn == (cut != expect_end)
+            # Never a partial record: byte-exact prefix, nothing more.
+            k = _whole_mutation_frames_before(boundaries, cut)
+            assert got == records[:k], f"cut at {cut}"
+            if torn:
+                with pytest.raises(WalCorruptionError):
+                    scan_wal(path, strict=True)
+            else:
+                scan_wal(path, strict=True)  # clean cut: no error
+
+    def test_open_truncates_torn_tail_and_stays_appendable(
+        self, pristine, tmp_path
+    ):
+        data, boundaries, records = pristine
+        cut = boundaries[-1] - 3  # mid-frame: a torn final append
+        path = _write(tmp_path, data[:cut])
+        wal = WriteAheadLog(path, fsync=False)
+        assert wal.torn_tail
+        assert wal.size_in_bytes == boundaries[-2]
+        assert wal.records() == records[:-1]
+        wal.append_insert(99, 4242, b"post-crash append")
+        wal.close()
+        _, got, _, torn = scan_wal(path)
+        assert not torn
+        assert got[:-1] == records[:-1] and got[-1].obj_id == 99
+
+
+class TestBitFlipFuzz:
+    @pytest.mark.parametrize("mask", [0x01, 0x80])
+    def test_every_bitflip_in_last_two_frames(self, mask, pristine, tmp_path):
+        data, boundaries, records = pristine
+        start = boundaries[-3]
+        for pos in range(start, len(data)):
+            damaged = bytearray(data)
+            damaged[pos] ^= mask
+            path = _write(tmp_path, bytes(damaged))
+            header, got, valid_end, torn = scan_wal(path)
+            # A flip never *extends* the log and never corrupts a record:
+            # whatever scans out is a byte-exact prefix of the original.
+            assert torn, f"flip at {pos} went undetected"
+            assert header is not None
+            # The flipped byte sits in the second-to-last or last frame;
+            # scanning must stop at (or before) the damaged frame's start.
+            frame_start = max(b for b in boundaries if b <= pos)
+            assert valid_end <= frame_start, f"flip at {pos}"
+            k = _whole_mutation_frames_before(boundaries, valid_end)
+            assert got == records[:k], f"flip at {pos} yielded a partial record"
+            with pytest.raises(WalCorruptionError):
+                scan_wal(path, strict=True)
+
+    def test_flip_in_header_frame_unreplayable_but_typed(
+        self, pristine, tmp_path
+    ):
+        data, boundaries, records = pristine
+        for pos in range(0, boundaries[1]):
+            damaged = bytearray(data)
+            damaged[pos] ^= 0x10
+            path = _write(tmp_path, bytes(damaged))
+            header, got, valid_end, torn = scan_wal(path)
+            if header is None:
+                # The header frame itself died: nothing replays.
+                assert got == [] and valid_end == 0 and torn
+            else:
+                # The flip landed in the header *body* without breaking
+                # framing is impossible (CRC covers the body) — so a
+                # surviving header means the flip broke a later check.
+                pytest.fail(f"flip at {pos} left a valid header")
