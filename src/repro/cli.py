@@ -58,7 +58,20 @@ and emits the same exposition (``--metrics-out FILE`` to write it to a
 file), ``--slow-log FILE --slow-ms T`` appends JSON entries for queries over
 the threshold, and ``--snapshot-dir DIR`` writes periodic diffable counter
 snapshots.  ``verify`` and ``serve`` always end with a one-line buffer-pool
-hit-rate summary on stderr.
+hit-rate summary on stderr (including the admission-rejection count when an
+engine served the workload).
+
+Network: ``serve --listen HOST:PORT`` exposes the engine over the
+length-prefixed JSON wire protocol until SIGTERM/SIGINT (graceful drain,
+bounded by ``--drain-deadline``) or ``--duration`` elapses; ``net-query``
+runs one query against such a server with client-side deadline and retry
+handling; ``bench-load`` drives N client threads at a target QPS — against
+a running server (``--connect``) or a self-served replicated 2-shard
+cluster — and appends latency percentiles to ``results/BENCH_net.json``.
+
+    python -m repro.cli serve      --dataset words --listen 127.0.0.1:7207
+    python -m repro.cli net-query  --connect 127.0.0.1:7207 --query defoliate
+    python -m repro.cli bench-load --clients 4 --qps 50 --duration 10
 """
 
 from __future__ import annotations
@@ -369,8 +382,12 @@ def cmd_query(args: argparse.Namespace) -> None:
     )
 
 
-def _hit_rate_line(prog: str, tree) -> str:
-    """The one-line buffer-pool summary verify/serve print on stderr."""
+def _hit_rate_line(prog: str, tree, rejected: Optional[int] = None) -> str:
+    """The one-line buffer-pool summary verify/serve print on stderr.
+
+    ``rejected`` (an engine's admission-rejection tally) rides along when
+    a serving command has one, so backpressure shows up in the same line
+    operators already scrape."""
     if isinstance(tree, ShardedIndex):
         pools = [
             s.tree.raf.buffer_pool
@@ -383,10 +400,13 @@ def _hit_rate_line(prog: str, tree) -> str:
     misses = sum(p.misses for p in pools)
     total = hits + misses
     rate = 100.0 * hits / total if total else 0.0
-    return (
+    line = (
         f"{prog}: buffer hit-rate {rate:.1f}% "
         f"({hits} hits / {misses} misses)"
     )
+    if rejected is not None:
+        line += f", {rejected} rejected"
+    return line
 
 
 def _mixed_ops(args: argparse.Namespace, dataset) -> list:
@@ -408,6 +428,118 @@ def _mixed_ops(args: argparse.Namespace, dataset) -> list:
         ops.append(("insert" if j % 2 == 0 else "delete", (obj,)))
     rng.shuffle(ops)
     return ops
+
+
+def _parse_hostport(value: str) -> tuple[str, int]:
+    host, sep, port = value.rpartition(":")
+    if not sep or not port.isdigit():
+        raise SystemExit(
+            f"error: --listen/--connect needs HOST:PORT, got {value!r}"
+        )
+    return (host or "127.0.0.1", int(port))
+
+
+def _serve_network(args: argparse.Namespace, tree, slow_log, snapshots):
+    """The ``serve --listen`` path: expose the engine on a TCP socket
+    until SIGTERM/SIGINT (graceful drain) or ``--duration`` elapses."""
+    import signal as _signal
+    import threading
+
+    from repro.net import serve_in_thread
+
+    host, port = _parse_hostport(args.listen)
+    engine = QueryEngine(
+        tree,
+        workers=args.workers,
+        max_queue=args.queue_size,
+        trace_queries=args.metrics,
+        slow_log=slow_log,
+        **{f"default_{k}": v for k, v in _limits(args).items()},
+    )
+    with engine:
+        handle = serve_in_thread(engine, host, port)
+        print(
+            f"serving on {host}:{handle.port} with {args.workers} workers "
+            f"(queue {args.queue_size}); SIGTERM drains within "
+            f"{args.drain_deadline:g}s",
+            flush=True,
+        )
+        stop = threading.Event()
+
+        def _on_signal(signum: int, _frame) -> None:
+            print(f"signal {signum}: draining", file=sys.stderr, flush=True)
+            stop.set()
+
+        old_term = _signal.signal(_signal.SIGTERM, _on_signal)
+        old_int = _signal.signal(_signal.SIGINT, _on_signal)
+        try:
+            deadline = (
+                time.monotonic() + args.duration if args.duration > 0 else None
+            )
+            while not stop.is_set():
+                if deadline is not None and time.monotonic() >= deadline:
+                    break
+                stop.wait(0.2)
+                if snapshots is not None:
+                    snapshots.maybe_write()
+        finally:
+            _signal.signal(_signal.SIGTERM, old_term)
+            _signal.signal(_signal.SIGINT, old_int)
+        summary = handle.stop(args.drain_deadline)
+        server = handle.server
+        print(
+            f"\nserved {server.requests} wire requests over "
+            f"{server.connections} connections "
+            f"({server.rejected} backpressure rejections, "
+            f"{server.protocol_errors} protocol errors)"
+        )
+        print(
+            f"drain     : {summary['finished']} finished in-flight, "
+            f"{summary['aborted']} aborted partial "
+            f"(allowance {server.network_allowance_ms():.1f} ms)"
+        )
+    return engine
+
+
+def _serve_epilogue(
+    args: argparse.Namespace, tree, engine, snapshots, slow_log, rep_dir
+) -> None:
+    """Shared tail of ``serve``: summaries, exposition, cleanup."""
+    if snapshots is not None:
+        snapshots.write(meta={"event": "final"})
+        print(f"snapshots : {snapshots.written} written to {args.snapshot_dir}")
+    if slow_log is not None:
+        print(
+            f"slow log  : {slow_log.recorded} queries over "
+            f"{args.slow_ms:g} ms -> {args.slow_log}"
+        )
+        slow_log.close()
+    if rep_dir is not None:
+        status = tree.replication_status()
+        worst = max(
+            (m["lag_bytes"] for info in status.values() for m in info["members"]),
+            default=0,
+        )
+        degraded = sorted(s for s, info in status.items() if info["degraded"])
+        print(
+            f"replication: {len(status)} replica sets, max lag {worst} bytes, "
+            f"degraded shards {degraded if degraded else 'none'}"
+        )
+    print(
+        _hit_rate_line("serve", tree, rejected=engine.rejected),
+        file=sys.stderr,
+    )
+    if rep_dir is not None:
+        tree.close()
+        shutil.rmtree(rep_dir, ignore_errors=True)
+    if args.metrics:
+        text = obs.render_text()
+        if args.metrics_out is not None:
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            print(f"metrics   : Prometheus text written to {args.metrics_out}")
+        else:
+            print(text, end="")
 
 
 def cmd_serve(args: argparse.Namespace) -> None:
@@ -437,7 +569,6 @@ def cmd_serve(args: argparse.Namespace) -> None:
             f"replicated {tree.num_shards} shards x {replicas} followers "
             f"(read policy {args.read_policy})"
         )
-    ops = _mixed_ops(args, dataset)
     slow_log = None
     if args.slow_log is not None:
         slow_log = obs.SlowQueryLog(
@@ -450,6 +581,11 @@ def cmd_serve(args: argparse.Namespace) -> None:
         )
     if args.metrics:
         obs.enable()
+    if getattr(args, "listen", None):
+        engine = _serve_network(args, tree, slow_log, snapshots)
+        _serve_epilogue(args, tree, engine, snapshots, slow_log, rep_dir)
+        return
+    ops = _mixed_ops(args, dataset)
     wal_dir = None
     if args.metrics and args.mutations > 0 and rep_dir is None:
         # Give the in-memory index a throwaway WAL so the write side of the
@@ -507,38 +643,139 @@ def cmd_serve(args: argparse.Namespace) -> None:
             else:
                 tree.wal.close()
             shutil.rmtree(wal_dir, ignore_errors=True)
-    if snapshots is not None:
-        snapshots.write(meta={"event": "final"})
-        print(f"snapshots : {snapshots.written} written to {args.snapshot_dir}")
-    if slow_log is not None:
-        print(
-            f"slow log  : {slow_log.recorded} queries over "
-            f"{args.slow_ms:g} ms -> {args.slow_log}"
-        )
-        slow_log.close()
-    if rep_dir is not None:
-        status = tree.replication_status()
-        worst = max(
-            (m["lag_bytes"] for info in status.values() for m in info["members"]),
-            default=0,
-        )
-        degraded = sorted(s for s, info in status.items() if info["degraded"])
-        print(
-            f"replication: {len(status)} replica sets, max lag {worst} bytes, "
-            f"degraded shards {degraded if degraded else 'none'}"
-        )
-    print(_hit_rate_line("serve", tree), file=sys.stderr)
-    if rep_dir is not None:
-        tree.close()
-        shutil.rmtree(rep_dir, ignore_errors=True)
-    if args.metrics:
-        text = obs.render_text()
-        if args.metrics_out is not None:
-            with open(args.metrics_out, "w", encoding="utf-8") as fh:
-                fh.write(text)
-            print(f"metrics   : Prometheus text written to {args.metrics_out}")
+    _serve_epilogue(args, tree, engine, snapshots, slow_log, rep_dir)
+
+
+def cmd_net_query(args: argparse.Namespace) -> None:
+    """One query over the wire against a running ``serve --listen``."""
+    from repro.net import NetClient, RemoteError, RetryPolicy
+
+    host, port = _parse_hostport(args.connect)
+    client = NetClient(
+        host, port,
+        deadline_ms=args.deadline_ms,
+        retry=RetryPolicy(seed=args.seed),
+    )
+    try:
+        limits = {
+            "max_compdists": args.max_compdists,
+            "max_pa": args.max_pa,
+        }
+        if args.mode == "knn":
+            result = client.knn_query(args.query, args.k, **limits)
+            print(f"kNN(q, {args.k}) -> {len(result)} neighbours")
+            for dist, obj in result:
+                print(f"  d={dist:.4g}  {obj!r}"[:100])
+        elif args.mode == "range":
+            result = client.range_query(args.query, args.radius, **limits)
+            print(f"RQ(q, O, {args.radius:g}) -> {len(result)} results")
+            for obj in result[:10]:
+                print(f"  {obj!r}"[:100])
         else:
-            print(text, end="")
+            result = client.range_count(args.query, args.radius, **limits)
+            print(f"|RQ(q, O, {args.radius:g})| >= {result.count}")
+        state = (
+            "complete" if result.complete else f"PARTIAL — {result.reason}"
+        )
+        print(f"status    : {state}")
+        if client.retries:
+            print(f"retries   : {client.retries}", file=sys.stderr)
+    except RemoteError as exc:
+        print(f"net-query: server error {exc.code}: {exc}", file=sys.stderr)
+        raise SystemExit(1) from exc
+    except ConnectionError as exc:
+        print(f"net-query: {exc}", file=sys.stderr)
+        raise SystemExit(1) from exc
+    finally:
+        client.close()
+
+
+def cmd_bench_load(args: argparse.Namespace) -> None:
+    """Load-test the network front end; append one record to the series.
+
+    With ``--connect HOST:PORT`` the target is an already-running server;
+    without it, a replicated 2-shard cluster is built, served on an
+    ephemeral port, benchmarked, and drained — one self-contained,
+    reproducible command.
+    """
+    from repro.net import serve_in_thread
+    from repro.net.bench import append_series, run_load
+
+    dataset = load_dataset(args.dataset, size=args.size, seed=args.seed)
+    queries = list(dataset.queries)
+    radius = dataset.d_plus * args.radius_percent / 100.0
+    if dataset.metric.is_discrete:
+        radius = max(1.0, round(radius))
+
+    handle = engine = tree = None
+    rep_dir = None
+    target: tuple[str, int]
+    mode = "connect"
+    if args.connect is not None:
+        target = _parse_hostport(args.connect)
+    else:
+        mode = "self-serve"
+        args.shards = 2
+        _, tree = _build_cluster(args)
+        if args.replicas > 0:
+            rep_dir = tempfile.mkdtemp(prefix="repro-bench-repl-")
+            tree.save(rep_dir)
+            tree.close()
+            replication.replicate(
+                rep_dir, dataset.metric,
+                replicas=args.replicas, read_policy="primary-only",
+            )
+            tree = replication.ReplicatedIndex.open(
+                rep_dir, dataset.metric, wal_fsync=False
+            )
+            mode = f"self-serve 2x{args.replicas} replicated"
+        engine = QueryEngine(
+            tree, workers=args.workers, max_queue=args.queue_size
+        )
+        engine.start()
+        handle = serve_in_thread(engine, "127.0.0.1", 0)
+        target = ("127.0.0.1", handle.port)
+        print(
+            f"bench-load: self-serving {mode} cluster on port {handle.port}",
+            file=sys.stderr,
+        )
+    try:
+        record = run_load(
+            target[0], target[1], queries,
+            clients=args.clients,
+            qps=args.qps,
+            duration_s=args.duration,
+            deadline_ms=args.deadline_ms,
+            k=args.k,
+            radius=radius,
+            seed=args.seed,
+        )
+    finally:
+        if handle is not None:
+            handle.stop(5.0)
+        if engine is not None:
+            engine.stop()
+        if rep_dir is not None:
+            tree.close()
+            shutil.rmtree(rep_dir, ignore_errors=True)
+    meta = {
+        "dataset": args.dataset,
+        "mode": mode,
+        "workers": args.workers if args.connect is None else None,
+    }
+    doc = append_series(args.out, record, meta)
+    lat = record["latency_ms"]
+    print(
+        f"bench-load: {record['completed']} completed "
+        f"({record['degraded']} degraded, {record['rejected']} rejected, "
+        f"{record['errors']} errors, {record['client_retries']} retries) "
+        f"at {record['qps_achieved']:.1f}/{record['qps_target']:g} qps"
+    )
+    print(
+        f"latency ms: p50={lat['p50']:g} p90={lat['p90']:g} "
+        f"p95={lat['p95']:g} p99={lat['p99']:g} max={lat['max']:g}"
+    )
+    print(f"series    : {len(doc['series'])} records in {args.out}")
 
 
 def cmd_metrics(args: argparse.Namespace) -> None:
@@ -576,7 +813,10 @@ def cmd_metrics(args: argparse.Namespace) -> None:
             f"{args.dataset}; exposition follows on stdout",
             file=sys.stderr,
         )
-        print(_hit_rate_line("metrics", tree), file=sys.stderr)
+        print(
+            _hit_rate_line("metrics", tree, rejected=engine.rejected),
+            file=sys.stderr,
+        )
     finally:
         if tree.wal is not None:
             tree.wal.close()
@@ -1044,7 +1284,76 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         "--read-policy", choices=list(READ_POLICIES), default="primary-only",
         help="replica read-routing policy for --replicas (default: primary-only)",
     )
+    p_serve.add_argument(
+        "--listen", default=None, metavar="HOST:PORT",
+        help="serve the wire protocol instead of a local workload "
+             "(SIGTERM/SIGINT drains gracefully)",
+    )
+    p_serve.add_argument(
+        "--duration", type=float, default=0.0,
+        help="with --listen: stop after this many seconds (0 = until signal)",
+    )
+    p_serve.add_argument(
+        "--drain-deadline", type=float, default=5.0,
+        help="with --listen: seconds in-flight queries get to finish on "
+             "shutdown before being aborted to honest partials (default: 5)",
+    )
     p_serve.set_defaults(fn=cmd_serve)
+
+    p_netq = sub.add_parser(
+        "net-query",
+        help="run one query over the wire against a serve --listen server",
+    )
+    p_netq.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="server address (see serve --listen)",
+    )
+    p_netq.add_argument(
+        "--mode", choices=["range", "knn", "count"], default="knn"
+    )
+    p_netq.add_argument("--query", required=True, help="query object")
+    p_netq.add_argument("--k", type=int, default=8)
+    p_netq.add_argument("--radius", type=float, default=1.0)
+    p_netq.add_argument("--seed", type=int, default=42)
+    _add_limits(p_netq)
+    p_netq.set_defaults(fn=cmd_net_query)
+
+    p_bench = sub.add_parser(
+        "bench-load",
+        help="load-test the network front end; append to results/BENCH_net.json",
+    )
+    _add_common(p_bench)
+    p_bench.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="benchmark a running server (default: self-serve a replicated "
+             "2-shard cluster on an ephemeral port)",
+    )
+    p_bench.add_argument("--clients", type=int, default=4)
+    p_bench.add_argument(
+        "--qps", type=float, default=50.0,
+        help="aggregate target queries per second (default: 50)",
+    )
+    p_bench.add_argument(
+        "--duration", type=float, default=10.0,
+        help="seconds of load (default: 10)",
+    )
+    p_bench.add_argument("--deadline-ms", type=float, default=250.0)
+    p_bench.add_argument("--k", type=int, default=8)
+    p_bench.add_argument("--radius-percent", type=float, default=8.0)
+    p_bench.add_argument(
+        "--workers", type=int, default=4,
+        help="self-serve engine workers (default: 4)",
+    )
+    p_bench.add_argument("--queue-size", type=int, default=16)
+    p_bench.add_argument(
+        "--replicas", type=int, default=1,
+        help="self-serve followers per shard (default: 1; 0 = unreplicated)",
+    )
+    p_bench.add_argument(
+        "--out", default="results/BENCH_net.json",
+        help="JSON series file to append to (default: results/BENCH_net.json)",
+    )
+    p_bench.set_defaults(fn=cmd_bench_load)
 
     p_sbuild = sub.add_parser(
         "shard-build", help="build and save an N-shard SPB-tree cluster"

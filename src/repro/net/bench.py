@@ -1,0 +1,185 @@
+"""Closed-ish-loop load generator for the network front end.
+
+``run_load`` drives N client threads against one server at a target
+aggregate QPS for a fixed duration, cycling a read-mostly op mix, and
+reports the latency distribution the way a capacity plan needs it:
+percentiles (p50/p90/p95/p99), throughput actually achieved, and the
+honesty counters (degraded responses, backpressure rejections, retries,
+errors) that say *how* the service survived the load rather than just
+how fast it was.
+
+Pacing is per-thread open-loop with a schedule (each thread fires at
+``t0 + i * interval``); a response slower than the interval makes the
+thread late rather than silently lowering the offered load, and the
+report records the shortfall (``qps_achieved`` vs ``qps_target``).
+
+The ``bench-load`` CLI wraps this and appends one entry to a JSON series
+(``results/BENCH_net.json``) so successive PRs can plot saturation
+trajectories.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, Optional, Sequence
+
+from repro.net.client import NetClient, NetError, RetryLater, RetryPolicy
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile of pre-sorted values (q in [0,1])."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    pos = q * (len(sorted_values) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = pos - lo
+    return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
+
+
+class _Worker(threading.Thread):
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        ops: Sequence[tuple],
+        interval_s: float,
+        stop_at: float,
+        deadline_ms: Optional[float],
+        seed: int,
+    ) -> None:
+        super().__init__(daemon=True, name=f"bench-client-{seed}")
+        self.client = NetClient(
+            host, port,
+            deadline_ms=deadline_ms,
+            retry=RetryPolicy(attempts=3, base_delay=0.02, jitter=0.5, seed=seed),
+        )
+        self.ops = ops
+        self.interval_s = interval_s
+        self.stop_at = stop_at
+        self.offset = seed
+        self.latencies_ms: list[float] = []
+        self.degraded = 0
+        self.completed = 0
+        self.rejected = 0
+        self.errors = 0
+
+    def run(self) -> None:
+        t0 = time.monotonic()
+        i = 0
+        try:
+            while True:
+                fire_at = t0 + i * self.interval_s
+                now = time.monotonic()
+                if fire_at >= self.stop_at:
+                    break
+                if fire_at > now:
+                    time.sleep(fire_at - now)
+                op, args = self.ops[(i + self.offset) % len(self.ops)]
+                start = time.monotonic()
+                try:
+                    result = getattr(self.client, op)(*args)
+                    self.latencies_ms.append(
+                        (time.monotonic() - start) * 1000.0
+                    )
+                    self.completed += 1
+                    if not getattr(result, "complete", True):
+                        self.degraded += 1
+                except RetryLater:
+                    self.rejected += 1
+                except (NetError, OSError):
+                    self.errors += 1
+                i += 1
+        finally:
+            self.client.close()
+
+
+def run_load(
+    host: str,
+    port: int,
+    queries: Sequence[Any],
+    *,
+    clients: int = 4,
+    qps: float = 50.0,
+    duration_s: float = 10.0,
+    deadline_ms: Optional[float] = 250.0,
+    k: int = 8,
+    radius: float = 1.0,
+    seed: int = 0,
+) -> dict:
+    """Run the load and return one benchmark record (JSON-ready)."""
+    if clients < 1:
+        raise ValueError("clients must be >= 1")
+    if qps <= 0:
+        raise ValueError("qps must be positive")
+    ops: list[tuple] = []
+    for q in queries:
+        ops.append(("knn_query", (q, k)))
+        ops.append(("range_query", (q, radius)))
+        ops.append(("range_count", (q, radius)))
+    interval_s = clients / qps
+    stop_at = time.monotonic() + duration_s
+    workers = [
+        _Worker(
+            host, port, ops, interval_s, stop_at, deadline_ms, seed=seed + i
+        )
+        for i in range(clients)
+    ]
+    t0 = time.monotonic()
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join(timeout=duration_s + 60.0)
+    elapsed = time.monotonic() - t0
+    latencies = sorted(x for w in workers for x in w.latencies_ms)
+    completed = sum(w.completed for w in workers)
+    record = {
+        "clients": clients,
+        "qps_target": qps,
+        "duration_s": round(elapsed, 3),
+        "deadline_ms": deadline_ms,
+        "completed": completed,
+        "degraded": sum(w.degraded for w in workers),
+        "rejected": sum(w.rejected for w in workers),
+        "errors": sum(w.errors for w in workers),
+        "client_retries": sum(w.client.retries for w in workers),
+        "qps_achieved": round(completed / elapsed, 2) if elapsed > 0 else 0.0,
+        "latency_ms": {
+            "p50": round(percentile(latencies, 0.50), 3),
+            "p90": round(percentile(latencies, 0.90), 3),
+            "p95": round(percentile(latencies, 0.95), 3),
+            "p99": round(percentile(latencies, 0.99), 3),
+            "max": round(latencies[-1], 3) if latencies else 0.0,
+        },
+    }
+    return record
+
+
+def append_series(path: str, record: dict, meta: Optional[dict] = None) -> dict:
+    """Append ``record`` to the JSON series at ``path`` (created if
+    missing); returns the full document."""
+    doc: dict[str, Any] = {"series": []}
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError):
+            doc = {"series": []}
+    if not isinstance(doc.get("series"), list):
+        doc["series"] = []
+    entry = dict(record)
+    entry["ts"] = time.time()
+    if meta:
+        entry.update(meta)
+    doc["series"].append(entry)
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)
+    return doc

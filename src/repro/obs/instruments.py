@@ -228,12 +228,88 @@ class ReplicationInstruments:
         )
 
 
+class NetInstruments:
+    """Wire front-end health: connections, frames, latency, backpressure.
+
+    Frame/byte totals carry a ``direction`` label (``rx`` / ``tx``);
+    per-op latency a ``op`` label; error totals the structured wire
+    ``code`` so a dashboard separates backpressure from real failures.
+    """
+
+    __slots__ = (
+        "connections_open",
+        "connections_total",
+        "inflight",
+        "frames",
+        "frame_bytes",
+        "op_latency",
+        "rejected",
+        "errors",
+        "drained",
+        "deadline_pretrips",
+        "client_retries",
+    )
+
+    def __init__(self) -> None:
+        reg = get_registry()
+        self.connections_open = reg.gauge(
+            "repro_net_connections_open",
+            "TCP connections currently held by the network front end.",
+        )
+        self.connections_total = reg.counter(
+            "repro_net_connections_total",
+            "TCP connections ever accepted by the network front end.",
+        )
+        self.inflight = reg.gauge(
+            "repro_net_inflight_requests",
+            "Wire requests currently executing (admitted, not yet replied).",
+        )
+        self.frames = reg.counter(
+            "repro_net_frames_total",
+            "Protocol frames moved over the wire, by direction.",
+            labelnames=("direction",),
+        )
+        self.frame_bytes = reg.counter(
+            "repro_net_frame_bytes_total",
+            "Protocol frame bytes moved over the wire, by direction.",
+            labelnames=("direction",),
+        )
+        self.op_latency = reg.histogram(
+            "repro_net_op_latency_seconds",
+            "Server-side latency per wire operation (decode to reply).",
+            labelnames=("op",),
+        )
+        self.rejected = reg.counter(
+            "repro_net_rejected_total",
+            "Wire requests rejected with RETRY_LATER (admission backpressure).",
+        )
+        self.errors = reg.counter(
+            "repro_net_errors_total",
+            "Error responses sent over the wire, by structured code.",
+            labelnames=("code",),
+        )
+        self.drained = reg.counter(
+            "repro_net_drained_total",
+            "In-flight requests finished (or aborted partial) during drain.",
+        )
+        self.deadline_pretrips = reg.counter(
+            "repro_net_deadline_pretrips_total",
+            "Requests whose deadline minus the network allowance was already "
+            "spent on arrival (answered degraded without running).",
+        )
+        self.client_retries = reg.counter(
+            "repro_net_client_retries_total",
+            "Client-side retry attempts (idempotent reads only).",
+        )
+
+
 _buffer_pool: Optional[BufferPoolInstruments] = None
 _pagefile: Optional[PageFileInstruments] = None
 _wal: Optional[WalInstruments] = None
 _engine: Optional[EngineInstruments] = None
 _cluster: Optional[ClusterInstruments] = None
 _replication: Optional[ReplicationInstruments] = None
+_net: Optional[NetInstruments] = None
 
 
 def buffer_pool() -> BufferPoolInstruments:
@@ -278,6 +354,13 @@ def replication() -> ReplicationInstruments:
     return _replication
 
 
+def net() -> NetInstruments:
+    global _net
+    if _net is None:
+        _net = NetInstruments()
+    return _net
+
+
 def preregister() -> None:
     """Create every instrument bundle so the full metric schema is
     registered before any traffic (``repro.obs.enable`` calls this)."""
@@ -287,3 +370,4 @@ def preregister() -> None:
     engine()
     cluster()
     replication()
+    net()

@@ -92,14 +92,21 @@ class SlowQueryLog:
         elapsed_seconds: float,
         context: Any = None,
         result: Any = None,
+        source: str = "inproc",
     ) -> bool:
-        """Record the query iff it crossed the threshold; True when logged."""
+        """Record the query iff it crossed the threshold; True when logged.
+
+        ``source`` attributes the offender: ``"inproc"`` for library/CLI
+        callers, ``"net:<peer>"`` for queries that arrived over the wire —
+        so a slow networked query names the client that sent it.
+        """
         if elapsed_seconds * 1000.0 < self.threshold_ms:
             return False
         entry: dict[str, Any] = {
             "ts": time.time(),
             "kind": kind,
             "elapsed_ms": round(elapsed_seconds * 1000.0, 3),
+            "source": source,
         }
         if context is not None:
             entry["compdists"] = context.compdists

@@ -8,6 +8,7 @@ See :mod:`repro.service.context` for the per-query primitives and
 from repro.service.context import (
     BudgetExceeded,
     CancelToken,
+    EngineStopped,
     EpochLock,
     ExhaustionReason,
     KnnCollector,
@@ -22,6 +23,7 @@ from repro.service.engine import PendingQuery, QueryEngine
 __all__ = [
     "BudgetExceeded",
     "CancelToken",
+    "EngineStopped",
     "EpochLock",
     "ExhaustionReason",
     "KnnCollector",

@@ -63,6 +63,29 @@ class Overloaded(ServiceError):
     """The engine's admission queue is full; the query was rejected.
 
     Backpressure, not failure: the caller should shed load or retry later.
+    ``queue_depth`` is the number of operations that were pending when the
+    rejection happened and ``retry_after_ms`` the engine's suggested
+    backoff (its recent-latency estimate of when a slot should free up) —
+    the wire layer forwards both as ``RETRY_LATER`` hints, and in-process
+    callers can use them the same way.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        queue_depth: Optional[int] = None,
+        retry_after_ms: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.queue_depth = queue_depth
+        self.retry_after_ms = retry_after_ms
+
+
+class EngineStopped(ServiceError):
+    """The engine stopped before this queued operation could start.
+
+    ``stop()`` finishes queued-but-unstarted work with this error so a
+    ``result()`` caller fails fast instead of blocking until its timeout.
     """
 
 

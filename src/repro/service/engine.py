@@ -42,7 +42,12 @@ from repro.obs import instruments as _instruments
 from repro.obs import registry as _obsreg
 from repro.obs.slowlog import SlowQueryLog
 from repro.obs.trace import QueryTrace
-from repro.service.context import CancelToken, Overloaded, QueryContext
+from repro.service.context import (
+    CancelToken,
+    EngineStopped,
+    Overloaded,
+    QueryContext,
+)
 from repro.stats import shard_depth, trim_stat_shards
 from repro.storage.faults import retry_io
 
@@ -65,10 +70,19 @@ class PendingQuery:
     a cooperative checkpoint will stop the traversal shortly after.
     """
 
-    def __init__(self, kind: str, args: tuple, context: QueryContext) -> None:
+    def __init__(
+        self,
+        kind: str,
+        args: tuple,
+        context: QueryContext,
+        source: str = "inproc",
+    ) -> None:
         self.kind = kind
         self.args = args
         self.context = context
+        #: Where the operation came from: ``"inproc"`` for library/CLI
+        #: callers, ``"net:<peer>"`` for wire requests (slow-log attribution).
+        self.source = source
         #: Deadline allowance in ms, armed when execution starts.
         self.deadline_ms: Optional[float] = None
         self._done = threading.Event()
@@ -161,7 +175,12 @@ class QueryEngine:
         self.mutated = 0
         #: Query attempts re-run after a transient I/O error.
         self.retries = 0
+        #: Queued-but-unstarted operations finished with EngineStopped.
+        self.stopped_unstarted = 0
         self._stats_lock = threading.Lock()
+        #: EWMA of recent execution latency (seconds); feeds the
+        #: ``retry_after_ms`` backpressure hint on Overloaded rejections.
+        self._latency_ewma = 0.0
 
     # ------------------------------------------------------------- lifecycle
 
@@ -182,17 +201,41 @@ class QueryEngine:
 
         Queued-but-unstarted queries still execute before the stop tokens
         are consumed (FIFO queue); with ``wait=True`` this blocks until
-        every worker has exited.
+        every worker has exited.  Anything still sitting in the queue
+        *after* the workers are gone — an item that raced past the
+        stopped check and landed behind the stop tokens — is finished
+        with a structured :class:`EngineStopped` error, so its
+        ``result()`` caller fails fast instead of blocking until its
+        timeout.  ``stop(wait=True)`` may be called again after a
+        ``stop(wait=False)`` to perform the join-and-drain.
         """
-        if not self._started or self._stopped:
+        if self._started and not self._stopped:
             self._stopped = True
-            return
+            for _ in self._threads:
+                self._queue.put(_STOP)
         self._stopped = True
-        for _ in self._threads:
-            self._queue.put(_STOP)
         if wait:
             for thread in self._threads:
                 thread.join()
+            self._fail_unstarted()
+
+    def _fail_unstarted(self) -> None:
+        """Finish every still-queued item with EngineStopped (workers are
+        gone; nothing will ever execute them)."""
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if item is _STOP or item.done:
+                continue
+            with self._stats_lock:
+                self.stopped_unstarted += 1
+            item._finish(
+                error=EngineStopped(
+                    f"engine stopped before queued {item.kind!r} could start"
+                )
+            )
 
     def __enter__(self) -> "QueryEngine":
         return self.start()
@@ -201,6 +244,35 @@ class QueryEngine:
         self.stop()
 
     # ------------------------------------------------------------ submission
+
+    @property
+    def queue_depth(self) -> int:
+        """Operations currently waiting in the admission queue."""
+        return self._queue.qsize()
+
+    def retry_after_hint_ms(self) -> float:
+        """Suggested backoff for a rejected caller: roughly the time the
+        full queue needs to drain at the recent per-op latency (floor of
+        1 ms so clients never spin)."""
+        with self._stats_lock:
+            ewma = self._latency_ewma
+        per_op = ewma if ewma > 0 else self.retry_base_delay
+        depth = self._queue.qsize() or self._queue.maxsize
+        return max(1.0, per_op * 1000.0 * (depth + 1) / self.workers)
+
+    def _reject(self) -> Overloaded:
+        """Count one admission rejection and build the structured error."""
+        depth = self._queue.qsize()
+        with self._stats_lock:
+            self.rejected += 1
+        if _obsreg.ENABLED:
+            _instruments.engine().admission_rejections.inc()
+        return Overloaded(
+            f"admission queue full ({self._queue.maxsize} pending); "
+            f"retry later",
+            queue_depth=depth,
+            retry_after_ms=self.retry_after_hint_ms(),
+        )
 
     def submit(
         self,
@@ -211,6 +283,7 @@ class QueryEngine:
         max_page_accesses: Optional[int] = None,
         strict: Optional[bool] = None,
         cancel_token: Optional[CancelToken] = None,
+        source: str = "inproc",
     ) -> PendingQuery:
         """Enqueue one work item; raises :class:`Overloaded` when the queue is full.
 
@@ -246,21 +319,14 @@ class QueryEngine:
         )
         if self.trace_queries and kind not in _MUTATIONS:
             context.trace = QueryTrace(kind)
-        pending = PendingQuery(kind, args, context)
+        pending = PendingQuery(kind, args, context, source=source)
         pending.deadline_ms = (
             deadline_ms if deadline_ms is not None else self.default_deadline_ms
         )
         try:
             self._queue.put_nowait(pending)
         except queue.Full:
-            with self._stats_lock:
-                self.rejected += 1
-            if _obsreg.ENABLED:
-                _instruments.engine().admission_rejections.inc()
-            raise Overloaded(
-                f"admission queue full ({self._queue.maxsize} pending); "
-                f"retry later"
-            ) from None
+            raise self._reject() from None
         if _obsreg.ENABLED:
             _instruments.engine().queue_depth.set(self._queue.qsize())
         return pending
@@ -284,14 +350,7 @@ class QueryEngine:
         try:
             self._queue.put_nowait(pending)
         except queue.Full:
-            with self._stats_lock:
-                self.rejected += 1
-            if _obsreg.ENABLED:
-                _instruments.engine().admission_rejections.inc()
-            raise Overloaded(
-                f"admission queue full ({self._queue.maxsize} pending); "
-                f"retry later"
-            ) from None
+            raise self._reject() from None
         if _obsreg.ENABLED:
             _instruments.engine().queue_depth.set(self._queue.qsize())
         return pending
@@ -344,6 +403,11 @@ class QueryEngine:
                         self.mutated += 1
                     elif degraded:
                         self.degraded += 1
+                    self._latency_ewma = (
+                        elapsed
+                        if self._latency_ewma == 0.0
+                        else 0.8 * self._latency_ewma + 0.2 * elapsed
+                    )
                 if _obsreg.ENABLED:
                     eng = _instruments.engine()
                     eng.query_latency.labels(kind=item.kind).observe(elapsed)
@@ -355,7 +419,8 @@ class QueryEngine:
                     and item.kind != "task"
                 ):
                     self.slow_log.maybe_record(
-                        item.kind, elapsed, item.context, result
+                        item.kind, elapsed, item.context, result,
+                        source=item.source,
                     )
                 item._finish(result=result)
 

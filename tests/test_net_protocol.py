@@ -1,0 +1,217 @@
+"""Tests for the wire protocol codec (repro.net.protocol)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.sharded import ShardExhaustion
+from repro.net import protocol
+from repro.service import QueryResult
+from repro.service.context import ExhaustionReason
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        message = {"v": 1, "id": 7, "op": "knn", "args": {"k": 3}}
+        data = protocol.encode_frame(message)
+        decoded, consumed = protocol.decode_frame(data)
+        assert decoded == message
+        assert consumed == len(data)
+
+    def test_decode_leaves_trailing_bytes(self):
+        a = protocol.encode_frame({"id": 1})
+        b = protocol.encode_frame({"id": 2})
+        decoded, consumed = protocol.decode_frame(a + b)
+        assert decoded == {"id": 1}
+        decoded2, _ = protocol.decode_frame((a + b)[consumed:])
+        assert decoded2 == {"id": 2}
+
+    def test_oversized_payload_refused_on_encode(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.encode_frame({"blob": "x" * 128}, max_frame=64)
+
+    def test_corrupt_length_prefix_refused_before_allocation(self):
+        # A hostile prefix claiming 4 GB must be rejected from the 4
+        # prefix bytes alone, never honoured with an allocation.
+        with pytest.raises(protocol.ProtocolError):
+            protocol.check_frame_length(0xFFFFFFF0)
+        with pytest.raises(protocol.ProtocolError):
+            protocol.check_frame_length(0)
+        protocol.check_frame_length(1)
+        protocol.check_frame_length(protocol.MAX_FRAME)
+
+    def test_short_frame_is_protocol_error(self):
+        data = protocol.encode_frame({"id": 1})
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_frame(data[:-1])
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_frame(data[:2])
+
+    def test_non_json_payload_is_protocol_error(self):
+        bad = protocol._PREFIX.pack(4) + b"\xff\xfe\x00\x01"
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_frame(bad)
+
+    def test_non_object_payload_is_protocol_error(self):
+        bad = protocol._PREFIX.pack(2) + b"42"
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_frame(bad)
+
+
+class TestObjectCodec:
+    @pytest.mark.parametrize(
+        "obj",
+        [
+            "defoliate",
+            3,
+            2.5,
+            True,
+            None,
+            (1.0, 2.5, -3.0),
+            b"\x00\x01\xff",
+            frozenset({"a", "b"}),
+            ((1, 2), (3, 4)),
+        ],
+    )
+    def test_roundtrip(self, obj):
+        import json
+
+        encoded = protocol.obj_to_json(obj)
+        # Must survive actual JSON serialization, not just the dict form.
+        rewired = json.loads(json.dumps(encoded))
+        assert protocol.obj_from_json(rewired) == obj
+
+    def test_lists_come_back_as_tuples(self):
+        assert protocol.obj_from_json([1.0, 2.0]) == (1.0, 2.0)
+
+    def test_ndarray_crosses_the_wire_as_a_queryable_vector(self):
+        import json
+
+        import numpy as np
+
+        from repro.distance import EuclideanDistance
+
+        vec = np.array([1.5, -2.0, 0.25])
+        encoded = json.loads(json.dumps(protocol.obj_to_json(vec)))
+        back = protocol.obj_from_json(encoded)
+        assert back == (1.5, -2.0, 0.25)
+        # The decoded tuple is metrically identical to the original.
+        assert EuclideanDistance()(vec, back) == 0.0
+
+    def test_unencodable_object_raises(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.obj_to_json(object())
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.obj_from_json({"__mystery__": 1})
+
+
+class TestReasonCodec:
+    """Satellite: ExhaustionReason/ShardExhaustion JSON round-trips."""
+
+    def test_none_roundtrip(self):
+        assert protocol.reason_to_json(None) is None
+        assert protocol.reason_from_json(None) is None
+
+    def test_plain_reason_roundtrip(self):
+        reason = ExhaustionReason("compdists", 100, 101)
+        back = protocol.reason_from_json(protocol.reason_to_json(reason))
+        assert type(back) is ExhaustionReason
+        assert back == reason
+
+    def test_shard_reason_roundtrip(self):
+        reason = ShardExhaustion("page_accesses", 8, 9, shard=3)
+        back = protocol.reason_from_json(protocol.reason_to_json(reason))
+        assert type(back) is ShardExhaustion
+        assert back == reason
+        assert back.shard == 3
+
+    def test_quorum_reason_roundtrip_names_the_shard(self):
+        # The replication layer reports quorum loss as kind="quorum" on
+        # the affected shard; the wire must keep both facts.
+        reason = ShardExhaustion("quorum", 2, 1, shard=1)
+        back = protocol.reason_from_json(protocol.reason_to_json(reason))
+        assert type(back) is ShardExhaustion
+        assert back == reason
+        assert back.kind == "quorum" and back.shard == 1
+        assert "shard 1" in str(back)
+
+    def test_malformed_reason_raises(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.reason_from_json({"kind": "deadline"})
+
+
+class TestResultCodec:
+    def test_knn_roundtrip(self):
+        reason = ExhaustionReason("deadline", 0.05, 0.06)
+        result = QueryResult(
+            [(1.0, "aa"), (2.0, "bb")], complete=False, reason=reason
+        )
+        back = protocol.result_from_json(
+            "knn", protocol.result_to_json("knn", result)
+        )
+        assert list(back) == [(1.0, "aa"), (2.0, "bb")]
+        assert back.complete is False
+        assert back.reason == reason
+
+    def test_range_roundtrip(self):
+        result = QueryResult(["aa", "bb"], complete=True)
+        back = protocol.result_from_json(
+            "range", protocol.result_to_json("range", result)
+        )
+        assert list(back) == ["aa", "bb"]
+        assert back.complete is True and back.reason is None
+
+    def test_count_roundtrip_keeps_lower_bound(self):
+        result = QueryResult(
+            [], complete=False, count=17,
+            reason=ExhaustionReason("page_accesses", 4, 5),
+        )
+        back = protocol.result_from_json(
+            "count", protocol.result_to_json("count", result)
+        )
+        assert back.count == 17 and not back.complete
+
+    def test_mutation_result_is_bool(self):
+        assert protocol.result_to_json("insert", True) is True
+        assert protocol.result_from_json("delete", False) is False
+
+    def test_malformed_result_raises(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.result_from_json("knn", "not-a-dict")
+
+
+class TestRequestValidation:
+    def _request(self, **overrides):
+        message = protocol.make_request(1, "knn", {"k": 2})
+        message.update(overrides)
+        return message
+
+    def test_valid_request_passes(self):
+        protocol.validate_request(self._request())
+
+    def test_wrong_version_refused(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.validate_request(self._request(v=99))
+
+    def test_unknown_op_refused(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.validate_request(self._request(op="drop_tables"))
+
+    def test_bad_deadline_refused(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.validate_request(self._request(deadline_ms=-5))
+        with pytest.raises(protocol.ProtocolError):
+            protocol.validate_request(self._request(deadline_ms="soon"))
+
+    def test_error_shape_carries_hints(self):
+        error = protocol.make_error(
+            3, "RETRY_LATER", "queue full", queue_depth=16, retry_after_ms=12.5
+        )
+        assert error["ok"] is False
+        assert error["error"]["queue_depth"] == 16
+        assert error["error"]["retry_after_ms"] == 12.5
+        # None-valued hints are omitted, not serialized as null.
+        error2 = protocol.make_error(3, "RETRY_LATER", "m", queue_depth=None)
+        assert "queue_depth" not in error2["error"]

@@ -508,3 +508,49 @@ class TestEngineInstruments:
         assert fam.labels(kind="knn").count == knn_before + 1
         assert fam.labels(kind="range").count == range_before + 1
         assert isinstance(fam.labels(kind="knn"), Histogram)
+
+
+class TestSlowQueryLogSource:
+    def test_source_defaults_to_inproc(self, tmp_path):
+        path = str(tmp_path / "slow.jsonl")
+        log = SlowQueryLog(path=path, threshold_ms=0.0)
+        log.maybe_record("knn", 0.1)
+        log.close()
+        (entry,) = read_slow_log(path)
+        assert entry["source"] == "inproc"
+
+    def test_explicit_source_is_recorded(self, tmp_path):
+        path = str(tmp_path / "slow.jsonl")
+        log = SlowQueryLog(path=path, threshold_ms=0.0)
+        log.maybe_record("range", 0.1, source="net:10.0.0.7:55312")
+        log.close()
+        (entry,) = read_slow_log(path)
+        assert entry["source"] == "net:10.0.0.7:55312"
+
+    def test_wire_queries_are_attributed_to_their_peer(
+        self, tmp_path, small_vectors
+    ):
+        """End to end: a slow query arriving over TCP logs source=net:<peer>,
+        while the same query submitted in-process logs source=inproc."""
+        from repro.core.spbtree import SPBTree
+        from repro.distance import EuclideanDistance
+        from repro.net import NetClient, serve_in_thread
+        from repro.service import QueryEngine
+
+        tree = SPBTree.build(small_vectors[:100], EuclideanDistance(), seed=7)
+        path = str(tmp_path / "slow.jsonl")
+        log = SlowQueryLog(path=path, threshold_ms=0.0)  # record everything
+        engine = QueryEngine(tree, workers=1, slow_log=log).start()
+        handle = serve_in_thread(engine, "127.0.0.1", 0)
+        try:
+            with NetClient("127.0.0.1", handle.port) as client:
+                client.knn_query(small_vectors[0], 3)
+            engine.knn(small_vectors[0], 3)
+        finally:
+            handle.stop(2.0)
+            engine.stop()
+            log.close()
+        entries = read_slow_log(path)
+        sources = [e["source"] for e in entries]
+        assert any(s.startswith("net:127.0.0.1:") for s in sources)
+        assert "inproc" in sources

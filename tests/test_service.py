@@ -466,3 +466,70 @@ class TestPendingResultTimeout:
             result = pending.result(timeout=60)
         assert result.complete
         assert len(result) == 4
+
+
+class TestStopFailsFastOnUnstartedWork:
+    def test_item_behind_stop_tokens_gets_engine_stopped(self, small_vectors):
+        """Regression: a query that raced past the stopped check and landed
+        behind the _STOP tokens must fail fast with EngineStopped, not
+        block its result() caller until timeout."""
+        from repro.service import EngineStopped
+        from repro.service.engine import PendingQuery
+
+        tree = SPBTree.build(small_vectors[:100], EuclideanDistance(), seed=7)
+        engine = QueryEngine(tree, workers=2).start()
+        engine.stop(wait=False)
+        # Simulate the loser of the submit-vs-stop race: an item enqueued
+        # behind the stop tokens, which no worker will ever execute.
+        straggler = PendingQuery(
+            "knn", (small_vectors[0], 3), QueryContext.with_limits()
+        )
+        engine._queue.put(straggler)
+        engine.stop(wait=True)  # join-and-drain
+        assert straggler.done
+        with pytest.raises(EngineStopped):
+            straggler.result(timeout=0)
+        assert engine.stopped_unstarted == 1
+
+    def test_queued_work_still_drains_on_normal_stop(self, small_vectors):
+        """The fix must not change the healthy path: work queued before
+        stop() executes to completion (pinned also in test_chaos)."""
+        tree = SPBTree.build(small_vectors[:100], EuclideanDistance(), seed=7)
+        engine = QueryEngine(tree, workers=2).start()
+        pendings = [engine.submit("knn", small_vectors[i], 3) for i in range(6)]
+        engine.stop(wait=True)
+        for pending in pendings:
+            assert pending.result(timeout=0).complete
+        assert engine.stopped_unstarted == 0
+
+
+class TestOverloadedHints:
+    def test_fields_default_to_none(self):
+        exc = Overloaded("queue full")
+        assert exc.queue_depth is None and exc.retry_after_ms is None
+
+    def test_rejection_carries_queue_depth_and_backoff_hint(
+        self, small_vectors
+    ):
+        metric = _GatedMetric()
+        tree = SPBTree.build(small_vectors, metric, seed=7)
+        metric.gate.clear()
+        engine = QueryEngine(tree, workers=1, max_queue=2).start()
+        held = [engine.submit("knn", small_vectors[0], 2)]
+        try:
+            deadline = time.monotonic() + 5.0
+            while engine.queue_depth > 0 and time.monotonic() < deadline:
+                time.sleep(0.005)
+            for _ in range(engine._queue.maxsize):
+                held.append(engine.submit("knn", small_vectors[0], 2))
+            with pytest.raises(Overloaded) as exc_info:
+                engine.submit("knn", small_vectors[1], 2)
+            exc = exc_info.value
+            assert exc.queue_depth == engine._queue.maxsize
+            assert exc.retry_after_ms is not None
+            assert exc.retry_after_ms >= 1.0
+        finally:
+            metric.gate.set()
+            for pending in held:
+                pending.result(timeout=30)
+            engine.stop()
