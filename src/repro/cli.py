@@ -51,6 +51,21 @@ fanning reads across the replicas.
     python -m repro.cli replicate      --dir ./cluster --replicas 2 --read-policy round-robin
     python -m repro.cli shard-failover --dir ./cluster --shard 0
 
+Self-healing: ``serve --replicas N --supervise`` runs the background
+supervisor during the workload — automatic failover past a grace period
+(with cooldown/single-flight guards against promotion storms), zombie
+rejoin of demoted ex-primaries via snapshot resync, and rate-limited
+anti-entropy scrubbing (``--scrub-interval``).  ``scrub`` runs one full
+anti-entropy pass over a saved cluster (WAL byte-prefix comparison plus
+page-checksum spot checks; divergent followers are quarantined and
+rebuilt; exit 1 when anything stays unrepaired).  ``shard-status`` prints
+one line of replication health per shard plus the supervisor's event
+journal tail, exiting 1 when any shard lacks a healthy primary.
+
+    python -m repro.cli serve        --dataset words --replicas 2 --supervise
+    python -m repro.cli scrub        --dir ./cluster --deep
+    python -m repro.cli shard-status --dir ./cluster
+
 Observability: ``metrics`` runs a short instrumented workload and prints a
 Prometheus text exposition on stdout (everything else goes to stderr, so it
 pipes cleanly into a scraper); ``serve --metrics`` instruments the workload
@@ -114,6 +129,7 @@ from repro.distance import (
 from repro.recovery import salvage_tree
 from repro.service import BudgetExceeded, Overloaded, QueryContext, QueryEngine
 from repro.storage.wal import WriteAheadLog
+from repro.supervisor import SUPERVISOR_JOURNAL, Supervisor, read_journal
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -514,6 +530,16 @@ def _serve_epilogue(
             f"{args.slow_ms:g} ms -> {args.slow_log}"
         )
         slow_log.close()
+    supervisor = getattr(tree, "supervisor", None)
+    if supervisor is not None:
+        supervisor.stop()
+        print(
+            f"supervisor : {supervisor.ticks} ticks, "
+            f"{supervisor.promotions} promotions, "
+            f"{supervisor.rejoins} rejoins, {supervisor.repairs} repairs, "
+            f"{supervisor.scrub_passes} scrub passes"
+        )
+        supervisor.close()
     if rep_dir is not None:
         status = tree.replication_status()
         worst = max(
@@ -563,12 +589,28 @@ def cmd_serve(args: argparse.Namespace) -> None:
             replicas=replicas, read_policy=args.read_policy,
         )
         tree = replication.ReplicatedIndex.open(
-            rep_dir, dataset.metric, wal_fsync=False
+            rep_dir, dataset.metric, wal_fsync=False,
+            heartbeat_timeout=args.heartbeat_timeout,
         )
         print(
             f"replicated {tree.num_shards} shards x {replicas} followers "
             f"(read policy {args.read_policy})"
         )
+        if args.supervise:
+            supervisor = Supervisor(
+                tree,
+                scrub_interval=args.scrub_interval,
+                journal_path=os.path.join(rep_dir, SUPERVISOR_JOURNAL),
+            )
+            supervisor.start()
+            print(
+                f"supervising: tick {supervisor.tick_interval:g}s, "
+                f"grace {supervisor.grace:g}s, "
+                f"cooldown {supervisor.cooldown:g}s, "
+                f"scrub every {args.scrub_interval:g}s"
+            )
+    elif args.supervise:
+        raise SystemExit("error: --supervise requires --replicas >= 1")
     slow_log = None
     if args.slow_log is not None:
         slow_log = obs.SlowQueryLog(
@@ -983,6 +1025,7 @@ def _build_cluster(args: argparse.Namespace):
         num_pivots=args.pivots,
         d_plus=dataset.d_plus,
         seed=7,
+        checksums=getattr(args, "checksums", False),
     )
     elapsed = time.perf_counter() - t0
     print(
@@ -1180,6 +1223,126 @@ def cmd_shard_failover(args: argparse.Namespace) -> None:
         idx.close()
 
 
+def cmd_scrub(args: argparse.Namespace) -> None:
+    """One anti-entropy pass over a saved replicated cluster."""
+    metric = _directory_metric(args.dir, args.metric)
+    idx = _load_cluster(
+        args.dir, metric, opener=replication.ReplicatedIndex.open
+    )
+    supervisor = Supervisor(
+        idx,
+        journal_path=os.path.join(args.dir, SUPERVISOR_JOURNAL),
+        scrub_interval=None,
+    )
+    try:
+        report = supervisor.scrub(
+            shard_id=args.shard, pages=args.pages, deep=args.deep
+        )
+        # A corrupt primary heals through quarantine -> promotion ->
+        # rebuild-as-follower; two ticks drive that chain to completion.
+        primary_findings = [
+            f
+            for f in report.unrepaired()
+            if f.kind.startswith("primary-") and f.replica is not None
+        ]
+        if primary_findings:
+            supervisor.tick()
+            supervisor.tick()
+            for finding in primary_findings:
+                if finding.replica not in supervisor.quarantined(
+                    finding.shard
+                ) and supervisor.shard_state(finding.shard) != "suspected":
+                    finding.repaired = True
+                    print(
+                        f"shard {finding.shard}: corrupt primary replaced "
+                        f"(failover), ex-primary rebuilt as follower"
+                    )
+        print(report.summary())
+        for finding in report.findings:
+            print(f"  {finding}")
+        unrepaired = report.unrepaired()
+        if unrepaired:
+            print(
+                f"scrub: FAILED — {args.dir}: "
+                f"{len(unrepaired)} unrepaired finding(s)",
+                file=sys.stderr,
+            )
+            raise SystemExit(1)
+        print(
+            f"scrub: OK — {args.dir}: "
+            f"{len(report.findings)} finding(s), all repaired"
+            if report.findings
+            else f"scrub: OK — {args.dir}: clean",
+            file=sys.stderr,
+        )
+    finally:
+        supervisor.close()
+        idx.close()
+
+
+def cmd_shard_status(args: argparse.Namespace) -> None:
+    """Replication status plus supervisor event tail, one line per shard."""
+    metric = _directory_metric(args.dir, args.metric)
+    try:
+        idx = replication.ReplicatedIndex.open(args.dir, metric)
+    except (ValueError, replication.ReplicationError, OSError) as exc:
+        print(f"shard-status: FAILED — {args.dir}: {exc}", file=sys.stderr)
+        raise SystemExit(1) from exc
+    try:
+        status = idx.replication_status()
+        bad = []
+        if not status:
+            for shard in idx.shards:
+                print(
+                    f"shard {shard.shard_id}: unreplicated, "
+                    f"{shard.tree.object_count:,} objects"
+                )
+        for sid, info in sorted(status.items()):
+            members = info["members"]
+            primary_ok = any(
+                m["role"] == "primary" and m["healthy"] for m in members
+            )
+            healthy = sum(1 for m in members if m["healthy"])
+            worst = max((m["lag_bytes"] for m in members), default=0)
+            state = "DEGRADED" if info["degraded"] else "ok"
+            if not primary_ok:
+                state = "NO HEALTHY PRIMARY"
+                bad.append(sid)
+            print(
+                f"shard {sid}: primary r{info['primary']} "
+                f"{'up' if primary_ok else 'DOWN'}, "
+                f"{healthy}/{len(members)} members healthy, "
+                f"max lag {worst} bytes, {state}"
+            )
+        journal = os.path.join(args.dir, SUPERVISOR_JOURNAL)
+        events = read_journal(journal, limit=args.events)
+        if events:
+            print(f"supervisor events (last {len(events)}):")
+            for evt in events:
+                parts = [f"[{evt.get('ts')}] {evt.get('event')}"]
+                if "shard" in evt:
+                    parts.append(f"shard={evt['shard']}")
+                if "replica" in evt:
+                    parts.append(f"replica={evt['replica']}")
+                if "detail" in evt:
+                    parts.append(f"detail={evt['detail']}")
+                print("  " + " ".join(str(p) for p in parts))
+        if bad:
+            print(
+                f"shard-status: FAILED — {args.dir}: shard(s) "
+                f"{bad} lack a healthy primary",
+                file=sys.stderr,
+            )
+            raise SystemExit(1)
+        print(
+            f"shard-status: OK — {args.dir}: every shard has a healthy "
+            "primary",
+            file=sys.stderr,
+        )
+    finally:
+        idx.close()
+
+
 def main(argv: Optional[Sequence[str]] = None) -> None:
     parser = argparse.ArgumentParser(
         prog="repro", description="SPB-tree demo CLI"
@@ -1285,6 +1448,21 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         help="replica read-routing policy for --replicas (default: primary-only)",
     )
     p_serve.add_argument(
+        "--supervise", action="store_true",
+        help="with --replicas: run the self-healing supervisor (automatic "
+             "failover, zombie rejoin, anti-entropy scrub) during the "
+             "workload",
+    )
+    p_serve.add_argument(
+        "--heartbeat-timeout", type=float, default=5.0,
+        help="replica heartbeat timeout in seconds (default: 5)",
+    )
+    p_serve.add_argument(
+        "--scrub-interval", type=float, default=5.0,
+        help="with --supervise: seconds between background anti-entropy "
+             "scrub passes (default: 5)",
+    )
+    p_serve.add_argument(
         "--listen", default=None, metavar="HOST:PORT",
         help="serve the wire protocol instead of a local workload "
              "(SIGTERM/SIGINT drains gracefully)",
@@ -1362,6 +1540,10 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     p_sbuild.add_argument("--shards", type=int, default=4)
     p_sbuild.add_argument(
         "--out", required=True, help="cluster directory to write"
+    )
+    p_sbuild.add_argument(
+        "--checksums", action="store_true",
+        help="CRC32-checksum every page (lets scrub detect bit rot at rest)",
     )
     p_sbuild.set_defaults(fn=cmd_shard_build)
 
@@ -1457,6 +1639,44 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         "--shard", type=int, required=True, help="shard id to fail over"
     )
     p_failover.set_defaults(fn=cmd_shard_failover)
+
+    p_scrub = sub.add_parser(
+        "scrub",
+        help="anti-entropy pass: WAL prefixes, page checksums, auto-repair",
+    )
+    p_scrub.add_argument("--dir", required=True, help="cluster directory")
+    p_scrub.add_argument(
+        "--metric", default=None,
+        help="metric name override (default: the catalog's metric_name)",
+    )
+    p_scrub.add_argument(
+        "--shard", type=int, default=None,
+        help="scrub one shard only (default: every shard)",
+    )
+    p_scrub.add_argument(
+        "--pages", type=int, default=None,
+        help="page spot-check budget per member (default: all pages)",
+    )
+    p_scrub.add_argument(
+        "--deep", action="store_true",
+        help="additionally run the full structural verify on every member",
+    )
+    p_scrub.set_defaults(fn=cmd_scrub)
+
+    p_status = sub.add_parser(
+        "shard-status",
+        help="one line of replication health per shard + supervisor events",
+    )
+    p_status.add_argument("--dir", required=True, help="cluster directory")
+    p_status.add_argument(
+        "--metric", default=None,
+        help="metric name override (default: the catalog's metric_name)",
+    )
+    p_status.add_argument(
+        "--events", type=int, default=10,
+        help="supervisor journal events to tail (default: 10)",
+    )
+    p_status.set_defaults(fn=cmd_shard_status)
 
     p_metrics = sub.add_parser(
         "metrics",

@@ -405,7 +405,7 @@ class NetServer:
 
     def _health(self) -> dict:
         tree = self.engine.tree
-        return {
+        health = {
             "status": "draining" if self._draining else "ok",
             "queue_depth": self.engine.queue_depth,
             "workers": self.engine.workers,
@@ -415,6 +415,35 @@ class NetServer:
             "rejected": self.engine.rejected,
             "allowance_ms": self.network_allowance_ms(),
         }
+        # Per-shard replication status, so a load balancer can act on
+        # degradation before queries start coming back partial.
+        status_fn = getattr(tree, "replication_status", None)
+        if callable(status_fn):
+            status = status_fn()
+            if status:
+                health["replication"] = {
+                    str(sid): {
+                        "primary": info["primary"],
+                        "primary_healthy": any(
+                            m["role"] == "primary" and m["healthy"]
+                            for m in info["members"]
+                        ),
+                        "healthy_members": sum(
+                            1 for m in info["members"] if m["healthy"]
+                        ),
+                        "members": len(info["members"]),
+                        "max_lag_bytes": max(
+                            (m["lag_bytes"] for m in info["members"]),
+                            default=0,
+                        ),
+                        "degraded": info["degraded"],
+                    }
+                    for sid, info in status.items()
+                }
+        supervisor = getattr(tree, "supervisor", None)
+        if supervisor is not None:
+            health["supervisor"] = supervisor.health_summary()
+        return health
 
     def network_allowance_ms(self) -> float:
         """The slice of a client deadline reserved for the wire: the

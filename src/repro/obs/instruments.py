@@ -228,6 +228,80 @@ class ReplicationInstruments:
         )
 
 
+class SupervisorInstruments:
+    """Self-healing control loop: failovers driven, rejoins, scrub health.
+
+    MTTR is measured from the tick that first *observed* the primary
+    unhealthy to the tick whose promotion committed — the supervisor's
+    detect-to-repair latency, the number an operator would otherwise be.
+    """
+
+    __slots__ = (
+        "ticks",
+        "promotions",
+        "rejoins",
+        "scrub_passes",
+        "scrub_pages",
+        "scrub_wal_bytes",
+        "divergences",
+        "repairs",
+        "quarantines",
+        "mttr_seconds",
+    )
+
+    def __init__(self) -> None:
+        reg = get_registry()
+        self.ticks = reg.counter(
+            "repro_supervisor_ticks_total",
+            "Supervisor control-loop ticks executed.",
+        )
+        self.promotions = reg.counter(
+            "repro_supervisor_promotions_total",
+            "Automatic failovers the supervisor drove to commit, per shard.",
+            labelnames=("shard",),
+        )
+        self.rejoins = reg.counter(
+            "repro_supervisor_rejoins_total",
+            "Stale members (demoted ex-primaries, lapsed followers) "
+            "re-admitted via snapshot resync, per shard.",
+            labelnames=("shard",),
+        )
+        self.scrub_passes = reg.counter(
+            "repro_supervisor_scrub_passes_total",
+            "Anti-entropy scrub passes completed.",
+        )
+        self.scrub_pages = reg.counter(
+            "repro_supervisor_scrub_pages_total",
+            "Pages spot-verified at rest by the scrubber.",
+        )
+        self.scrub_wal_bytes = reg.counter(
+            "repro_supervisor_scrub_wal_bytes_total",
+            "Durable WAL prefix bytes compared against the primary's log.",
+        )
+        self.divergences = reg.counter(
+            "repro_supervisor_divergences_total",
+            "Divergent or corrupt replica states found by scrub, by kind.",
+            labelnames=("kind",),
+        )
+        self.repairs = reg.counter(
+            "repro_supervisor_repairs_total",
+            "Quarantined replicas rebuilt by snapshot resync and returned "
+            "to the read rotation.",
+        )
+        self.quarantines = reg.counter(
+            "repro_supervisor_quarantines_total",
+            "Replicas quarantined (marked down, excluded from reads) "
+            "pending rebuild, per shard.",
+            labelnames=("shard",),
+        )
+        self.mttr_seconds = reg.histogram(
+            "repro_supervisor_mttr_seconds",
+            "Time from first observing a primary unhealthy to the "
+            "promotion that repaired the shard.",
+            buckets=(0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0),
+        )
+
+
 class NetInstruments:
     """Wire front-end health: connections, frames, latency, backpressure.
 
@@ -309,6 +383,7 @@ _wal: Optional[WalInstruments] = None
 _engine: Optional[EngineInstruments] = None
 _cluster: Optional[ClusterInstruments] = None
 _replication: Optional[ReplicationInstruments] = None
+_supervisor: Optional[SupervisorInstruments] = None
 _net: Optional[NetInstruments] = None
 
 
@@ -354,6 +429,13 @@ def replication() -> ReplicationInstruments:
     return _replication
 
 
+def supervisor() -> SupervisorInstruments:
+    global _supervisor
+    if _supervisor is None:
+        _supervisor = SupervisorInstruments()
+    return _supervisor
+
+
 def net() -> NetInstruments:
     global _net
     if _net is None:
@@ -370,4 +452,5 @@ def preregister() -> None:
     engine()
     cluster()
     replication()
+    supervisor()
     net()

@@ -129,6 +129,8 @@ class ReplicatedIndex(ShardedIndex):
         self._selector = ReplicaSelector("primary-only")
         self._fence_stamp: Optional[tuple[int, int]] = None
         self._fence_gens: dict[int, int] = {}
+        #: Attached self-healing loop, if any (set by ``Supervisor``).
+        self.supervisor: Optional[Any] = None
 
     # --------------------------------------------------------------- opening
 

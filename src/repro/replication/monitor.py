@@ -11,10 +11,16 @@ tests advance a fake clock instead of sleeping — and ``mark_down`` /
 ``mark_up`` give the chaos harness and the CLI a direct kill switch
 that overrides timestamps entirely (a process you killed should not
 look alive for another timeout's worth of grace).
+
+All state is guarded by one lock: engine worker threads beat members on
+every ship acknowledgement while the supervisor thread probes
+:meth:`check` on its own tick, and the beat/forced-down maps must never
+be observed mid-mutation across that boundary.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Callable, Optional
 
@@ -43,40 +49,61 @@ class Monitor:
         self._forced_down: set[tuple[int, int]] = set()
         #: Total heartbeat misses observed by :meth:`check`.
         self.misses = 0
+        self._lock = threading.Lock()
 
     # ----------------------------------------------------------- membership
 
     def register(self, shard_id: int, replica_id: int) -> None:
         """Start tracking a member; it is born healthy (beaten now)."""
-        self._beats[(shard_id, replica_id)] = self.clock()
+        now = self.clock()
+        with self._lock:
+            self._beats[(shard_id, replica_id)] = now
 
     def forget(self, shard_id: int, replica_id: int) -> None:
-        self._beats.pop((shard_id, replica_id), None)
-        self._forced_down.discard((shard_id, replica_id))
+        with self._lock:
+            self._beats.pop((shard_id, replica_id), None)
+            self._forced_down.discard((shard_id, replica_id))
 
     # ------------------------------------------------------------ liveness
 
     def beat(self, shard_id: int, replica_id: int) -> None:
         """Record a sign of life (write committed, ship acknowledged)."""
-        self._beats[(shard_id, replica_id)] = self.clock()
+        now = self.clock()
+        with self._lock:
+            self._beats[(shard_id, replica_id)] = now
 
     def mark_down(self, shard_id: int, replica_id: int) -> None:
         """Force a member unhealthy regardless of timestamps (chaos, CLI)."""
-        self._forced_down.add((shard_id, replica_id))
+        with self._lock:
+            self._forced_down.add((shard_id, replica_id))
 
     def mark_up(self, shard_id: int, replica_id: int) -> None:
         """Lift a forced-down mark and beat the member back to health."""
-        self._forced_down.discard((shard_id, replica_id))
-        self.beat(shard_id, replica_id)
+        now = self.clock()
+        with self._lock:
+            self._forced_down.discard((shard_id, replica_id))
+            self._beats[(shard_id, replica_id)] = now
+
+    def forced_down(self, shard_id: int, replica_id: int) -> bool:
+        """True when the member is held down by the kill switch."""
+        with self._lock:
+            return (shard_id, replica_id) in self._forced_down
 
     def healthy(self, shard_id: int, replica_id: int) -> bool:
+        now = self.clock()
+        with self._lock:
+            return self._healthy_locked(shard_id, replica_id, now)
+
+    def _healthy_locked(
+        self, shard_id: int, replica_id: int, now: float
+    ) -> bool:
         key = (shard_id, replica_id)
         if key in self._forced_down:
             return False
         last = self._beats.get(key)
         if last is None:
             return False
-        return self.clock() - last <= self.timeout
+        return now - last <= self.timeout
 
     def check(self, shard_id: int, replica_ids: "list[int]") -> "list[int]":
         """Probe one shard's members; returns the unhealthy replica ids.
@@ -84,11 +111,17 @@ class Monitor:
         Each miss bumps the per-shard heartbeat-miss counter so a
         dashboard sees flapping members even when every probe recovers.
         """
-        down = [r for r in replica_ids if not self.healthy(shard_id, r)]
-        if down:
-            self.misses += len(down)
-            if _obsreg.ENABLED:
-                _instruments.replication().heartbeat_misses.labels(
-                    shard=str(shard_id)
-                ).inc(len(down))
+        now = self.clock()
+        with self._lock:
+            down = [
+                r
+                for r in replica_ids
+                if not self._healthy_locked(shard_id, r, now)
+            ]
+            if down:
+                self.misses += len(down)
+        if down and _obsreg.ENABLED:
+            _instruments.replication().heartbeat_misses.labels(
+                shard=str(shard_id)
+            ).inc(len(down))
         return down

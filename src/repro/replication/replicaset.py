@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import os
 import shutil
+import threading
 import time
 from typing import Any, Callable, Optional
 
@@ -110,6 +111,12 @@ class ReplicaSet:
         self.acked: dict[int, ShipPosition] = {
             rep.replica_id: rep.wal.position for rep in self.followers
         }
+        #: Serialises shipping pumps: writer threads ship synchronously
+        #: after each commit while the supervisor's catch-up pass ships
+        #: from its own thread, both under the cluster's *read* side —
+        #: without this, interleaved pumps ship overlapping frame ranges
+        #: and trip the splice check in :meth:`_acknowledge`.
+        self._ship_lock = threading.Lock()
         monitor.register(shard_id, primary.replica_id)
         for rep in self.followers:
             monitor.register(shard_id, rep.replica_id)
@@ -190,10 +197,11 @@ class ReplicaSet:
                 f"{self.primary.replica_id} is down; promote a follower"
             )
         total = 0
-        for rep in self.followers:
-            if not self.healthy(rep.replica_id):
-                continue
-            total += self._ship_one(rep)
+        with self._ship_lock:
+            for rep in self.followers:
+                if not self.healthy(rep.replica_id):
+                    continue
+                total += self._ship_one(rep)
         return total
 
     def _ship_one(self, rep: Replica) -> int:

@@ -192,6 +192,31 @@ class PageFile:
         """Page ids of every page failing checksum verification."""
         return [pid for pid in range(self.num_pages) if not self.verify_page(pid)]
 
+    def verify_page_at_rest(self, page_id: int) -> bool:
+        """True when both the in-memory page and its on-disk slot are sound.
+
+        :meth:`verify_page` only sees the in-memory copy; a scrubber also
+        cares about bytes that rotted *on disk* while the page stayed
+        cached.  The disk slot must match the in-memory representation
+        byte for byte (payload plus CRC trailer).  Memory-only files fall
+        back to the in-memory check.  The caller must exclude concurrent
+        writers (hold the owning tree's epoch read lock).
+        """
+        self._check(page_id)
+        if not self.verify_page(page_id):
+            return False
+        if self._file is None or self.path is None:
+            return True
+        self._file.flush()
+        slot = self.slot_size
+        try:
+            with open(self.path, "rb") as fh:
+                fh.seek(page_id * slot)
+                disk = fh.read(slot)
+        except OSError:
+            return False
+        return disk == self._raw_slot_bytes(page_id)
+
     # -------------------------------------------------------- raw slot view
 
     def raw_slot(self, page_id: int) -> bytes:

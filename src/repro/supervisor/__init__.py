@@ -1,0 +1,26 @@
+"""Self-healing control loop over the replicated cluster primitives.
+
+The supervisor turns the manual fault-tolerance toolkit (heartbeat
+monitor, crash-safe ``failover()``, snapshot ``resync()``, page/WAL
+verification) into an operator-free background loop: automatic
+failover with grace/cooldown guards, zombie-rejoin of demoted
+ex-primaries, and a rate-limited anti-entropy scrub that quarantines
+and rebuilds divergent replicas.
+"""
+
+from repro.supervisor.core import Supervisor
+from repro.supervisor.events import (
+    SUPERVISOR_JOURNAL,
+    EventJournal,
+    read_journal,
+)
+from repro.supervisor.scrub import ScrubFinding, ScrubReport
+
+__all__ = [
+    "SUPERVISOR_JOURNAL",
+    "EventJournal",
+    "ScrubFinding",
+    "ScrubReport",
+    "Supervisor",
+    "read_journal",
+]

@@ -1,0 +1,107 @@
+"""Structured JSON event journal for the supervisor.
+
+Every state transition the control loop drives (suspected, promoted,
+rejoined, quarantined, rebuilt, …) is recorded as one JSON object —
+in a bounded in-memory ring for the live ``status()``/health surfaces,
+and appended to a JSONL file when a path is given so a *separate*
+process (the ``shard-status`` CLI) can replay the tail after the
+supervising process is gone.
+
+Timestamps come from the supervisor's injectable clock, so a chaos
+test's journal is as deterministic as the failures it injects.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Optional
+
+#: Journal filename inside a supervised cluster directory.
+SUPERVISOR_JOURNAL = "supervisor-events.jsonl"
+
+
+class EventJournal:
+    """Bounded in-memory event ring with an optional JSONL spill file."""
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        limit: int = 256,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if limit <= 0:
+            raise ValueError("journal limit must be positive")
+        self.path = path
+        self.clock = clock if clock is not None else time.monotonic
+        self._events: deque[dict] = deque(maxlen=limit)
+        self._lock = threading.Lock()
+        self._fh = None
+        if path is not None:
+            self._fh = open(path, "a", encoding="utf-8")
+
+    def record(
+        self,
+        event: str,
+        shard: Optional[int] = None,
+        replica: Optional[int] = None,
+        detail: Any = None,
+    ) -> dict:
+        evt: dict = {"ts": round(float(self.clock()), 6), "event": event}
+        if shard is not None:
+            evt["shard"] = shard
+        if replica is not None:
+            evt["replica"] = replica
+        if detail is not None:
+            evt["detail"] = detail
+        with self._lock:
+            self._events.append(evt)
+            if self._fh is not None:
+                self._fh.write(json.dumps(evt, sort_keys=True) + "\n")
+                self._fh.flush()
+        return evt
+
+    def tail(self, n: int = 20) -> "list[dict]":
+        """The most recent ``n`` events, oldest first."""
+        with self._lock:
+            events = list(self._events)
+        return events[-n:] if n >= 0 else events
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+
+def read_journal(path: str, limit: Optional[int] = None) -> "list[dict]":
+    """Parse a JSONL journal file, tolerating a torn final line.
+
+    A crash mid-append leaves at most one partial line at the end; the
+    parser keeps every complete event before it, mirroring the WAL's
+    torn-tail rule.
+    """
+    events: list[dict] = []
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    evt = json.loads(line)
+                except ValueError:
+                    break  # torn tail: keep the valid prefix
+                if isinstance(evt, dict):
+                    events.append(evt)
+    except OSError:
+        return []
+    if limit is not None:
+        return events[-limit:]
+    return events
