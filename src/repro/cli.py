@@ -76,6 +76,21 @@ snapshots.  ``verify`` and ``serve`` always end with a one-line buffer-pool
 hit-rate summary on stderr (including the admission-rejection count when an
 engine served the workload).
 
+Tracing: every engine-traced query carries a ``request_id`` through its
+slow-log entry, flight-recorder trace, and (over the wire) the server's
+reply.  ``trace`` renders a span tree — from one live query, from a
+``serve --listen`` server (``--connect``; the reply's stitched tree), or
+from a recorded flight dump / slow log (``--file``, filter with
+``--request-id``).  ``serve --flight-dir DIR`` keeps a bounded in-memory
+ring of recent traces and dumps it to JSONL on anomalies (degraded
+results, failover, quarantine, scrub divergence, rejection bursts).
+``metrics-diff BEFORE.json AFTER.json`` prints what happened between two
+snapshots.
+
+    python -m repro.cli trace        --dataset words --mode knn
+    python -m repro.cli trace        --file flights/flight-0001-failover.jsonl
+    python -m repro.cli metrics-diff snaps/metrics-0001.json snaps/metrics-0002.json
+
 Network: ``serve --listen HOST:PORT`` exposes the engine over the
 length-prefixed JSON wire protocol until SIGTERM/SIGINT (graceful drain,
 bounded by ``--drain-deadline``) or ``--duration`` elapses; ``net-query``
@@ -455,7 +470,7 @@ def _parse_hostport(value: str) -> tuple[str, int]:
     return (host or "127.0.0.1", int(port))
 
 
-def _serve_network(args: argparse.Namespace, tree, slow_log, snapshots):
+def _serve_network(args: argparse.Namespace, tree, slow_log, snapshots, flight):
     """The ``serve --listen`` path: expose the engine on a TCP socket
     until SIGTERM/SIGINT (graceful drain) or ``--duration`` elapses."""
     import signal as _signal
@@ -470,6 +485,7 @@ def _serve_network(args: argparse.Namespace, tree, slow_log, snapshots):
         max_queue=args.queue_size,
         trace_queries=args.metrics,
         slow_log=slow_log,
+        flight=flight,
         **{f"default_{k}": v for k, v in _limits(args).items()},
     )
     with engine:
@@ -518,7 +534,8 @@ def _serve_network(args: argparse.Namespace, tree, slow_log, snapshots):
 
 
 def _serve_epilogue(
-    args: argparse.Namespace, tree, engine, snapshots, slow_log, rep_dir
+    args: argparse.Namespace, tree, engine, snapshots, slow_log, rep_dir,
+    flight=None,
 ) -> None:
     """Shared tail of ``serve``: summaries, exposition, cleanup."""
     if snapshots is not None:
@@ -530,6 +547,12 @@ def _serve_epilogue(
             f"{args.slow_ms:g} ms -> {args.slow_log}"
         )
         slow_log.close()
+    if flight is not None:
+        print(
+            f"flight    : {flight.recorded} traces recorded "
+            f"({len(flight)} in ring), {flight.dumps} dumps -> "
+            f"{args.flight_dir}"
+        )
     supervisor = getattr(tree, "supervisor", None)
     if supervisor is not None:
         supervisor.stop()
@@ -570,6 +593,10 @@ def _serve_epilogue(
 
 def cmd_serve(args: argparse.Namespace) -> None:
     """Drive a concurrent mixed workload through the QueryEngine."""
+    flight = None
+    if getattr(args, "flight_dir", None):
+        os.makedirs(args.flight_dir, exist_ok=True)
+        flight = obs.FlightRecorder(directory=args.flight_dir)
     replicas = getattr(args, "replicas", 0)
     if replicas > 0 and getattr(args, "shards", 0) <= 0:
         args.shards = 2  # replication implies a cluster
@@ -601,6 +628,7 @@ def cmd_serve(args: argparse.Namespace) -> None:
                 tree,
                 scrub_interval=args.scrub_interval,
                 journal_path=os.path.join(rep_dir, SUPERVISOR_JOURNAL),
+                flight=flight,
             )
             supervisor.start()
             print(
@@ -624,8 +652,10 @@ def cmd_serve(args: argparse.Namespace) -> None:
     if args.metrics:
         obs.enable()
     if getattr(args, "listen", None):
-        engine = _serve_network(args, tree, slow_log, snapshots)
-        _serve_epilogue(args, tree, engine, snapshots, slow_log, rep_dir)
+        engine = _serve_network(args, tree, slow_log, snapshots, flight)
+        _serve_epilogue(
+            args, tree, engine, snapshots, slow_log, rep_dir, flight
+        )
         return
     ops = _mixed_ops(args, dataset)
     wal_dir = None
@@ -647,6 +677,7 @@ def cmd_serve(args: argparse.Namespace) -> None:
             max_queue=args.queue_size,
             trace_queries=args.metrics,
             slow_log=slow_log,
+            flight=flight,
             **{f"default_{k}": v for k, v in _limits(args).items()},
         ) as engine:
             pending = []
@@ -685,7 +716,7 @@ def cmd_serve(args: argparse.Namespace) -> None:
             else:
                 tree.wal.close()
             shutil.rmtree(wal_dir, ignore_errors=True)
-    _serve_epilogue(args, tree, engine, snapshots, slow_log, rep_dir)
+    _serve_epilogue(args, tree, engine, snapshots, slow_log, rep_dir, flight)
 
 
 def cmd_net_query(args: argparse.Namespace) -> None:
@@ -864,6 +895,178 @@ def cmd_metrics(args: argparse.Namespace) -> None:
             tree.wal.close()
         shutil.rmtree(wal_dir, ignore_errors=True)
     sys.stdout.write(obs.render_text())
+
+
+def _format_span(span: dict, depth: int, lines: list) -> None:
+    pad = "  " * depth
+    name = span.get("name", "span")
+    line = (
+        f"{pad}{name:<{max(2, 24 - len(pad))}} "
+        f"compdists={span.get('compdists', 0):<8} "
+        f"pa={span.get('page_accesses', 0):<6} "
+        f"{span.get('elapsed_ms', 0.0):>9.3f} ms"
+    )
+    counts = span.get("counts")
+    if counts:
+        kv = " ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+        line += f"  [{kv}]"
+    lines.append(line)
+    for child in span.get("children", ()):
+        _format_span(child, depth + 1, lines)
+
+
+def _print_trace(trace_data: dict, request_id: Optional[str] = None) -> None:
+    """Render one serialised span tree (the as_dict / JSONL form)."""
+    state = (
+        "complete"
+        if trace_data.get("complete", True)
+        else f"PARTIAL — {trace_data.get('reason')}"
+    )
+    header = f"trace {trace_data.get('kind', 'query')} ({state})"
+    if request_id:
+        header += f"  request_id={request_id}"
+    print(header)
+    spans = trace_data.get("spans")
+    if isinstance(spans, dict):
+        lines: list = []
+        _format_span(spans, 1, lines)
+        print("\n".join(lines))
+        cd, pa = obs.attributed_totals_from_dict(trace_data)
+        print(f"  attributed: {cd} compdists, {pa} page accesses")
+
+
+def _trace_entries_from_file(path: str) -> "list[tuple[Optional[str], dict]]":
+    """``(request_id, trace_dict)`` pairs from a flight dump or slow log."""
+    pairs: list = []
+    try:
+        _, entries = obs.read_flight(path)
+    except ValueError:
+        entries = obs.read_slow_log(path)
+    for entry in entries:
+        trace_data = entry.get("trace")
+        if isinstance(trace_data, dict):
+            pairs.append((entry.get("request_id"), trace_data))
+    return pairs
+
+
+def cmd_trace(args: argparse.Namespace) -> None:
+    """Render span trees: recorded (--file), over the wire (--connect),
+    or from one live in-process query."""
+    if args.file is not None:
+        pairs = _trace_entries_from_file(args.file)
+        if args.request_id is not None:
+            pairs = [p for p in pairs if p[0] == args.request_id]
+        if not pairs:
+            wanted = (
+                f" for request {args.request_id}" if args.request_id else ""
+            )
+            print(f"trace: no traces{wanted} in {args.file}", file=sys.stderr)
+            raise SystemExit(1)
+        for rid, trace_data in pairs:
+            _print_trace(trace_data, rid)
+        return
+    if args.connect is not None:
+        from repro.net import NetClient, RetryPolicy
+
+        host, port = _parse_hostport(args.connect)
+        if args.query is None:
+            raise SystemExit("error: --connect needs --query")
+        client = NetClient(
+            host, port, retry=RetryPolicy(seed=args.seed), trace=True
+        )
+        try:
+            if args.mode == "knn":
+                client.knn_query(args.query, args.k)
+            elif args.mode == "range":
+                client.range_query(args.query, args.radius or 1.0)
+            else:
+                client.range_count(args.query, args.radius or 1.0)
+            if client.last_trace is None:
+                print(
+                    "trace: the server returned no span tree (is it tracing? "
+                    "start it with serve --metrics or --slow-log)",
+                    file=sys.stderr,
+                )
+                raise SystemExit(1)
+            _print_trace(client.last_trace.as_dict(), client.last_request_id)
+        finally:
+            client.close()
+        return
+    # Live in-process mode: build, run one traced query, render.
+    with contextlib.redirect_stdout(sys.stderr):
+        dataset, tree = _build(args)
+    query = args.query if args.query is not None else dataset.queries[0]
+    radius = args.radius
+    if radius is None:
+        radius = dataset.d_plus * args.radius_percent / 100.0
+        if dataset.metric.is_discrete:
+            radius = max(1.0, round(radius))
+    ctx = QueryContext.with_limits(
+        request_id=obs.new_trace_id(), **_limits(args)
+    )
+    ctx.trace = obs.QueryTrace(args.mode)
+    tree.flush_cache(reset_stats=True)
+    if args.mode == "range":
+        tree.range_query(query, radius, context=ctx)
+    elif args.mode == "knn":
+        tree.knn_query(query, args.k, context=ctx)
+    else:
+        tree.range_count(query, radius, context=ctx)
+    _print_trace(ctx.trace.as_dict(), ctx.request_id)
+    acd, apa = ctx.trace.attributed_totals()
+    if (acd, apa) != (ctx.compdists, ctx.page_accesses):
+        print(
+            f"trace: WARNING — span sums ({acd}, {apa}) != context totals "
+            f"({ctx.compdists}, {ctx.page_accesses})",
+            file=sys.stderr,
+        )
+        raise SystemExit(1)
+
+
+def cmd_metrics_diff(args: argparse.Namespace) -> None:
+    """What happened between two metric snapshots (see --snapshot-dir)."""
+    try:
+        before = obs.load_snapshot(args.before)
+        after = obs.load_snapshot(args.after)
+    except (OSError, ValueError) as exc:
+        print(f"metrics-diff: {exc}", file=sys.stderr)
+        raise SystemExit(1) from exc
+    delta = obs.diff_snapshots(before, after)
+    if args.json:
+        json.dump(delta, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+        return
+    shown = 0
+    for name in sorted(delta):
+        info = delta[name]
+        samples = info.get("samples", {})
+        lines = []
+        for key in sorted(samples):
+            value = samples[key]
+            if info["type"] == "histogram":
+                if not value["count"] and args.changed_only:
+                    continue
+                lines.append(
+                    f"  {key or '(no labels)'}: +{value['count']} "
+                    f"observations, sum +{value['sum']:g}"
+                )
+            elif info["type"] == "counter":
+                if not value and args.changed_only:
+                    continue
+                lines.append(f"  {key or '(no labels)'}: +{value:g}")
+            else:  # gauge
+                if value["before"] == value["after"] and args.changed_only:
+                    continue
+                lines.append(
+                    f"  {key or '(no labels)'}: "
+                    f"{value['before']} -> {value['after']}"
+                )
+        if lines:
+            print(f"{name} ({info['type']})")
+            print("\n".join(lines))
+            shown += 1
+    if not shown:
+        print("metrics-diff: no changes between the two snapshots")
 
 
 def cmd_build(args: argparse.Namespace) -> None:
@@ -1436,6 +1639,12 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         help="seconds between periodic snapshots (default: 10)",
     )
     p_serve.add_argument(
+        "--flight-dir", default=None, metavar="DIR",
+        help="record recent query traces in a bounded ring and dump them "
+             "into DIR as JSONL on anomalies (degraded results, failover, "
+             "quarantine, scrub divergence, rejection bursts)",
+    )
+    p_serve.add_argument(
         "--shards", type=int, default=0,
         help="serve from an N-shard cluster instead of a single tree",
     )
@@ -1692,6 +1901,51 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         help="insert/delete operations mixed in (exercises the WAL families)",
     )
     p_metrics.set_defaults(fn=cmd_metrics)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="render one query's span tree — live, over the wire, or from "
+             "a recorded flight dump / slow log",
+    )
+    _add_common(p_trace)
+    p_trace.add_argument(
+        "--file", default=None, metavar="JSONL",
+        help="render traces recorded in a flight dump or slow-query log",
+    )
+    p_trace.add_argument(
+        "--request-id", default=None,
+        help="with --file: only the trace(s) of this request id",
+    )
+    p_trace.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="run the query against a serve --listen server and render "
+             "the stitched cross-process tree",
+    )
+    p_trace.add_argument(
+        "--mode", choices=["range", "knn", "count"], default="knn"
+    )
+    p_trace.add_argument("--query", default=None)
+    p_trace.add_argument("--k", type=int, default=8)
+    p_trace.add_argument("--radius", type=float, default=None)
+    p_trace.add_argument("--radius-percent", type=float, default=8.0)
+    _add_limits(p_trace)
+    p_trace.set_defaults(fn=cmd_trace)
+
+    p_mdiff = sub.add_parser(
+        "metrics-diff",
+        help="diff two metric snapshots (see serve --snapshot-dir)",
+    )
+    p_mdiff.add_argument("before", metavar="BEFORE.json")
+    p_mdiff.add_argument("after", metavar="AFTER.json")
+    p_mdiff.add_argument(
+        "--json", action="store_true",
+        help="emit the structured diff as JSON instead of text",
+    )
+    p_mdiff.add_argument(
+        "--changed-only", action="store_true",
+        help="hide samples with a zero delta",
+    )
+    p_mdiff.set_defaults(fn=cmd_metrics_diff)
 
     p_build = sub.add_parser("build", help="build and save an index directory")
     _add_common(p_build)

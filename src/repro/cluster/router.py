@@ -149,7 +149,7 @@ class Router:
         return box
 
     def range_plan(
-        self, phi_q: Sequence[float], radius: float
+        self, phi_q: Sequence[float], radius: float, trace=None
     ) -> tuple[list[tuple["Shard", bool]], int]:
         """``(visit, pruned)`` for a range query.
 
@@ -157,10 +157,13 @@ class Router:
         ``accept_all`` flag: True when Lemma 2 proves the entire shard lies
         within the ball, so its objects can be emitted without a single
         distance computation.  ``pruned`` counts non-empty shards dropped.
+        With a ``trace``, the routing decision is recorded on its ``plan``
+        span (visited / accepted / pruned counts).
         """
         rr_lo, rr_hi = self.space.range_region(phi_q, radius)
         visit: list[tuple["Shard", bool]] = []
         pruned = 0
+        accepted = 0
         for shard in self._shards:
             box = self.mbb(shard)
             if box is None:
@@ -173,17 +176,25 @@ class Router:
                 self.space.upper_bound_to_pivot(h) <= radius - dq
                 for h, dq in zip(hi, phi_q)
             )
+            if accept_all:
+                accepted += 1
             visit.append((shard, accept_all))
+        if trace is not None:
+            span = trace.span("plan")
+            span.bump("shards_visited", len(visit))
+            span.bump("shards_pruned", pruned)
+            span.bump("shards_accepted", accepted)
         return visit, pruned
 
     def knn_order(
-        self, phi_q: Sequence[float]
+        self, phi_q: Sequence[float], trace=None
     ) -> list[tuple[float, "Shard"]]:
         """Non-empty shards as ``(MIND, shard)``, cheapest first.
 
         MIND(q, MBB) is Lemma 3's lower bound; ties break toward the
         shard with fewer leaf pages (the cost-model proxy for a cheaper
-        visit) so the shared bound tightens as early as possible.
+        visit) so the shared bound tightens as early as possible.  With a
+        ``trace``, the candidate count is recorded on its ``plan`` span.
         """
         order = []
         for shard in self._shards:
@@ -199,4 +210,6 @@ class Router:
                 pair[1].shard_id,
             )
         )
+        if trace is not None:
+            trace.span("plan").bump("knn_candidates", len(order))
         return order

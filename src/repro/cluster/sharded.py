@@ -24,6 +24,7 @@ consistency, not a cluster-wide snapshot.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import shutil
 import time
@@ -553,14 +554,17 @@ class ShardedIndex:
 
     # ------------------------------------------------------------- queries
 
-    def _read_tree(self, shard: Shard) -> SPBTree:
+    def _read_tree(
+        self, shard: Shard, ctx: Optional[QueryContext] = None
+    ) -> SPBTree:
         """The tree that serves one read for ``shard``.
 
         The base cluster always reads the shard's own (primary) tree; the
         replicated cluster overrides this to fan reads across the shard's
-        healthy replicas under the catalog's read-routing policy.  Each
-        scatter closure resolves its tree through this hook at execution
-        time, so one query's sub-reads route independently.
+        healthy replicas under the catalog's read-routing policy (and,
+        when ``ctx`` carries a trace, records which replica served the
+        read).  Each scatter closure resolves its tree through this hook
+        at execution time, so one query's sub-reads route independently.
         """
         return shard.tree
 
@@ -611,7 +615,10 @@ class ShardedIndex:
             phi_q, early = self._map_or_degrade(query, ctx, t0)
             if early is not None:
                 return early
-            visit, pruned = self.router.range_plan(phi_q, radius)
+            with self._plan_region(ctx):
+                visit, pruned = self.router.range_plan(
+                    phi_q, radius, trace=ctx.trace
+                )
             self._count_scatter("range", len(visit), pruned)
             jobs = []
             parts = max(1, len(visit))
@@ -624,6 +631,7 @@ class ShardedIndex:
                 )
                 jobs.append((shard, sub, fn))
             outs = self._run_jobs(jobs, engine)
+            merge_t0 = time.perf_counter()
             results: list[Any] = []
             complete, reason = True, None
             per_shard: dict[int, dict] = {}
@@ -634,6 +642,10 @@ class ShardedIndex:
                 if not out.complete and complete:
                     complete = False
                     reason = _name_shard(out.reason, shard.shard_id)
+            if ctx.trace is not None:
+                ctx.trace.span("merge").elapsed += (
+                    time.perf_counter() - merge_t0
+                )
             if not complete and ctx.strict:
                 raise ctx.raise_for(reason)
             if ctx.trace is not None:
@@ -728,7 +740,8 @@ class ShardedIndex:
             phi_q, early = self._map_or_degrade(query, ctx, t0)
             if early is not None:
                 return early
-            order = self.router.knn_order(phi_q)
+            with self._plan_region(ctx):
+                order = self.router.knn_order(phi_q, trace=ctx.trace)
             complete, reason = True, None
             frontiers: list[float] = []
             per_shard: dict[int, dict] = {}
@@ -744,7 +757,7 @@ class ShardedIndex:
                         pruned += len(order) - i
                         break
                     sub = self._sub_context(ctx, 1)
-                    out = self._read_tree(shard).knn_into(
+                    out = self._read_tree(shard, sub).knn_into(
                         query, k, collector, sub, traversal=traversal, phi_q=phi_q
                     )
                     visited += 1
@@ -793,11 +806,16 @@ class ShardedIndex:
                             else float("inf")
                         )
             self._count_scatter("knn", visited, pruned)
+            merge_t0 = time.perf_counter()
             items = collector.items()
             cut = None
             if not complete:
                 cut = min(frontiers) if frontiers else float("inf")
                 items = [(d, obj) for d, obj in items if d <= cut]
+            if ctx.trace is not None:
+                ctx.trace.span("merge").elapsed += (
+                    time.perf_counter() - merge_t0
+                )
             if not complete and ctx.strict:
                 raise ctx.raise_for(reason)
             if ctx.trace is not None:
@@ -851,7 +869,10 @@ class ShardedIndex:
             phi_q, early = self._map_or_degrade(query, ctx, t0, counting=True)
             if early is not None:
                 return early
-            visit, pruned = self.router.range_plan(phi_q, radius)
+            with self._plan_region(ctx):
+                visit, pruned = self.router.range_plan(
+                    phi_q, radius, trace=ctx.trace
+                )
             self._count_scatter("count", len(visit), pruned)
             jobs = []
             parts = max(1, len(visit))
@@ -864,6 +885,7 @@ class ShardedIndex:
                 )
                 jobs.append((shard, sub, fn))
             outs = self._run_jobs(jobs, engine)
+            merge_t0 = time.perf_counter()
             total = 0
             complete, reason = True, None
             per_shard: dict[int, dict] = {}
@@ -874,6 +896,10 @@ class ShardedIndex:
                 if not out.complete and complete:
                     complete = False
                     reason = _name_shard(out.reason, shard.shard_id)
+            if ctx.trace is not None:
+                ctx.trace.span("merge").elapsed += (
+                    time.perf_counter() - merge_t0
+                )
             if not complete and ctx.strict:
                 raise ctx.raise_for(reason)
             if ctx.trace is not None:
@@ -925,6 +951,17 @@ class ShardedIndex:
             )
         return phi_q, None
 
+    def _plan_region(self, ctx: QueryContext):
+        """Accounting region for the routing plan.  The router reads each
+        shard's root page lazily to learn its MBB, so the first plan after
+        a cold open costs real page accesses — they must land on the
+        ``plan`` span or the trace would not reconcile with the context
+        totals."""
+        tr = ctx.trace
+        if tr is None:
+            return contextlib.nullcontext()
+        return tr.region(tr.span("plan"), ctx)
+
     def _sub_context(self, ctx: QueryContext, parts: int) -> QueryContext:
         """A per-shard slice of the remaining budget.  The deadline and
         cancel token are shared (absolute instants split themselves); the
@@ -943,6 +980,7 @@ class ShardedIndex:
             max_page_accesses=share(ctx.max_page_accesses, ctx.page_accesses),
             strict=False,
             cancel_token=ctx.cancel_token,
+            request_id=ctx.request_id,
         )
         if ctx.trace is not None:
             sub.trace = QueryTrace("shard")
@@ -990,6 +1028,13 @@ class ShardedIndex:
             span.bump("visits")
             if sub.trace is not None:
                 span.children.extend(sub.trace.root.children)
+                for key, value in sub.trace.root.counts.items():
+                    # Identity annotations (which replica served the read)
+                    # overwrite; everything else accumulates.
+                    if isinstance(value, int):
+                        span.counts[key] = span.counts.get(key, 0) + value
+                    else:
+                        span.counts[key] = value
         if _obsreg.ENABLED:
             _instruments.cluster().shard_queries.labels(
                 kind=kind, shard=str(shard.shard_id)
@@ -1009,7 +1054,7 @@ class ShardedIndex:
 
     def _range_fn(self, shard, query, radius, phi_q):
         def fn(sub: QueryContext) -> QueryResult:
-            return self._read_tree(shard).range_query(
+            return self._read_tree(shard, sub).range_query(
                 query, radius, context=sub, phi_q=phi_q
             )
 
@@ -1017,7 +1062,7 @@ class ShardedIndex:
 
     def _count_fn(self, shard, query, radius, phi_q):
         def fn(sub: QueryContext) -> QueryResult:
-            return self._read_tree(shard).range_count(
+            return self._read_tree(shard, sub).range_count(
                 query, radius, context=sub, phi_q=phi_q
             )
 
@@ -1025,15 +1070,15 @@ class ShardedIndex:
 
     def _knn_into_fn(self, shard, query, k, collector, traversal, phi_q):
         def fn(sub: QueryContext) -> QueryResult:
-            return self._read_tree(shard).knn_into(
+            return self._read_tree(shard, sub).knn_into(
                 query, k, collector, sub, traversal=traversal, phi_q=phi_q
             )
 
         return fn
 
     def _knn_fn(self, shard, query, k, collector, traversal, phi_q):
-        def fn(_sub: QueryContext) -> bool:
-            self._read_tree(shard).knn_into(
+        def fn(sub: QueryContext) -> bool:
+            self._read_tree(shard, sub).knn_into(
                 query, k, collector, traversal=traversal, phi_q=phi_q
             )
             return True
@@ -1045,7 +1090,7 @@ class ShardedIndex:
 
         def fn(sub: QueryContext) -> QueryResult:
             t0 = time.perf_counter()
-            tree = self._read_tree(shard)
+            tree = self._read_tree(shard, sub)
             items: list[Any] = []
             complete, reason = True, None
             with sub.activate():
@@ -1069,7 +1114,7 @@ class ShardedIndex:
     def _count_all_fn(self, shard):
         def fn(sub: QueryContext) -> QueryResult:
             with sub.activate():
-                n = self._read_tree(shard).object_count
+                n = self._read_tree(shard, sub).object_count
             return QueryResult([], count=n, stats=sub.stats(0.0, 0))
 
         return fn

@@ -34,6 +34,8 @@ from typing import Any, Optional
 from repro.net import protocol
 from repro.obs import instruments as _instruments
 from repro.obs import registry as _obsreg
+from repro.obs.ids import new_trace_id
+from repro.obs.trace import QueryTrace
 
 
 class NetError(ConnectionError):
@@ -113,6 +115,7 @@ class NetClient:
         grace_ms: float = 500.0,
         retry: Optional[RetryPolicy] = None,
         max_frame: int = protocol.MAX_FRAME,
+        trace: bool = False,
     ) -> None:
         self.host = host
         self.port = port
@@ -123,10 +126,20 @@ class NetClient:
         self.grace_ms = grace_ms
         self.retry = retry if retry is not None else RetryPolicy()
         self.max_frame = max_frame
+        #: When True, mint one trace id per *logical* call (shared by all
+        #: its retry attempts) and stitch the server's span tree from the
+        #: reply into :attr:`last_trace`.
+        self.trace = trace
         self._sock: Optional[socket.socket] = None
         self._request_id = 0
         #: Retry attempts actually performed (observability / tests).
         self.retries = 0
+        #: The server-side identity of the last query answered (the
+        #: correlation key into its slow log / flight dumps), and the
+        #: stitched span tree when the server returned one.  A retried
+        #: call's fields describe only the attempt that succeeded.
+        self.last_request_id: Optional[str] = None
+        self.last_trace: Optional[QueryTrace] = None
 
     # ------------------------------------------------------------ transport
 
@@ -218,6 +231,14 @@ class NetClient:
         )
         idempotent = op not in protocol.MUTATION_OPS
         delays = self.retry.delays() if idempotent else []
+        # One trace id per *logical* call: retry attempts reuse it, so
+        # every record the request leaves behind — on whichever attempt
+        # finally succeeded — shares one correlation key.
+        trace_id = (
+            new_trace_id()
+            if self.trace and op not in ("metrics", "health")
+            else None
+        )
         attempt = 0
         while True:
             self._request_id += 1
@@ -226,6 +247,7 @@ class NetClient:
                 deadline_ms=deadline_ms,
                 max_compdists=max_compdists,
                 max_pa=max_pa,
+                trace_id=trace_id,
             )
             try:
                 response = self._roundtrip(message, timeout_s)
@@ -240,7 +262,10 @@ class NetClient:
             if response.get("ok"):
                 if op in ("metrics", "health"):
                     return response.get("result")
-                return protocol.result_from_json(op, response.get("result"))
+                payload = response.get("result")
+                result = protocol.result_from_json(op, payload)
+                self._harvest_riders(payload)
+                return result
             error = response.get("error") or {}
             code = error.get("code", "INTERNAL")
             if code == "RETRY_LATER":
@@ -254,6 +279,23 @@ class NetClient:
                     continue
                 raise RetryLater(code, error.get("message", ""), error)
             raise RemoteError(code, error.get("message", ""), error)
+
+    def _harvest_riders(self, payload: Any) -> None:
+        """Record the reply's correlation riders (absent on old servers
+        and on mutations, whose payload is a plain bool)."""
+        self.last_request_id = None
+        self.last_trace = None
+        if not isinstance(payload, dict):
+            return
+        rid = payload.get("request_id")
+        if isinstance(rid, str):
+            self.last_request_id = rid
+        trace_data = payload.get("trace")
+        if isinstance(trace_data, dict):
+            try:
+                self.last_trace = QueryTrace.from_dict(trace_data)
+            except (TypeError, ValueError):
+                self.last_trace = None  # malformed rider: not worth a raise
 
     def _sleep_backoff(
         self, local_delay: float, server_hint_ms: Optional[float]

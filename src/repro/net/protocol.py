@@ -280,6 +280,7 @@ def make_request(
     deadline_ms: Optional[float] = None,
     max_compdists: Optional[int] = None,
     max_pa: Optional[int] = None,
+    trace_id: Optional[str] = None,
 ) -> dict:
     message: dict[str, Any] = {
         "v": PROTOCOL_VERSION,
@@ -293,6 +294,10 @@ def make_request(
         message["max_compdists"] = max_compdists
     if max_pa is not None:
         message["max_pa"] = max_pa
+    if trace_id is not None:
+        # Backward-compatible: validate_request ignores unknown keys, so
+        # an old server just drops the correlation id.
+        message["trace_id"] = trace_id
     return message
 
 

@@ -39,6 +39,7 @@ from typing import Any, Optional
 from repro.net import protocol
 from repro.obs import instruments as _instruments
 from repro.obs import registry as _obsreg
+from repro.obs.ids import clean_trace_id
 from repro.service import (
     EngineStopped,
     ExhaustionReason,
@@ -304,6 +305,10 @@ class NetServer:
                 text = render_text()
             return protocol.make_response(request_id, {"exposition": text})
         args = self._query_args(op, message.get("args", {}))
+        # The client's correlation id (sanitised: hostile peers cannot
+        # inject arbitrary bytes into logs).  Absent or invalid, the
+        # engine mints one itself when tracing is on.
+        trace_id = clean_trace_id(message.get("trace_id"))
         deadline_ms = message.get("deadline_ms")
         effective_ms: Optional[float] = None
         if deadline_ms is not None:
@@ -319,9 +324,10 @@ class NetServer:
                 empty = QueryResult(
                     [], complete=False, reason=reason, count=0
                 )
-                return protocol.make_response(
-                    request_id, protocol.result_to_json(op, empty)
-                )
+                payload = protocol.result_to_json(op, empty)
+                if trace_id is not None:
+                    payload["request_id"] = trace_id
+                return protocol.make_response(request_id, payload)
         try:
             pending = self.engine.submit(
                 op,
@@ -331,6 +337,7 @@ class NetServer:
                 max_page_accesses=message.get("max_pa"),
                 strict=False,
                 source=f"net:{peer}",
+                request_id=trace_id,
             )
         except Overloaded as exc:
             self.rejected += 1
@@ -365,9 +372,26 @@ class NetServer:
                 self.drained_partial += 1
                 if _obsreg.ENABLED:
                     _instruments.net().drained.inc()
-        return protocol.make_response(
-            request_id, protocol.result_to_json(op, result)
-        )
+        payload = protocol.result_to_json(op, result)
+        if isinstance(payload, dict):
+            # Reply riders: the request's server-side identity and its
+            # span tree, so the client can stitch a cross-process trace.
+            # Old clients decode with .get() and never see these keys.
+            ctx = getattr(pending, "context", None)
+            if ctx is not None and getattr(ctx, "request_id", None) is not None:
+                payload["request_id"] = ctx.request_id
+                if ctx.trace is not None:
+                    if deadline_ms is not None:
+                        # The wire share of the client's deadline, as a
+                        # zero-cost span: per-stage timing survives the
+                        # network boundary.
+                        ctx.trace.span("net-allowance").elapsed += (
+                            self.network_allowance_ms() / 1000.0
+                        )
+                    payload["trace"] = ctx.trace.as_dict()
+                    if _obsreg.ENABLED:
+                        _instruments.trace().stitched.inc()
+        return protocol.make_response(request_id, payload)
 
     async def _await_pending(self, pending: Any, wait_s: float) -> Any:
         loop = asyncio.get_running_loop()

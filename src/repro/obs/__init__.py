@@ -22,12 +22,18 @@ Public surface:
   JSON-lines log of slow queries with their span trees.
 * :func:`snapshot` / :func:`diff_snapshots` / :class:`SnapshotWriter` —
   diffable point-in-time metric dumps for benchmark harnesses.
+* :func:`new_trace_id` — request/trace identifiers minted at the edge and
+  threaded through every record a request leaves behind.
+* :class:`FlightRecorder` / :func:`read_flight` — bounded ring of recent
+  traces, dumped to JSONL on anomaly triggers.
 """
 
 from __future__ import annotations
 
 from repro.obs import instruments, registry
 from repro.obs.exposition import parse_text, render_text
+from repro.obs.flight import FlightRecorder, find_request, read_flight
+from repro.obs.ids import clean_trace_id, new_trace_id
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -44,10 +50,11 @@ from repro.obs.snapshot import (
     snapshot,
     write_snapshot,
 )
-from repro.obs.trace import QueryTrace, Span
+from repro.obs.trace import QueryTrace, Span, attributed_totals_from_dict
 
 __all__ = [
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricFamily",
@@ -56,14 +63,19 @@ __all__ = [
     "SlowQueryLog",
     "SnapshotWriter",
     "Span",
+    "attributed_totals_from_dict",
+    "clean_trace_id",
     "diff_snapshots",
     "disable",
     "enable",
     "enabled",
+    "find_request",
     "get_registry",
     "instruments",
     "load_snapshot",
+    "new_trace_id",
     "parse_text",
+    "read_flight",
     "read_slow_log",
     "render_text",
     "snapshot",

@@ -1,0 +1,57 @@
+"""Request / trace identifiers.
+
+One identifier is minted at the edge of the system — the network client,
+the server (for bare connections that did not send one), or the CLI for
+in-process queries — and threaded through every record a request leaves
+behind: the :class:`~repro.service.context.QueryContext`, each per-shard
+sub-context, the slow-query log, the supervisor journal, the flight
+recorder, and the wire reply.  ``grep <id>`` across those files joins the
+whole story of a request.
+
+IDs are 16 lowercase hex characters (64 random bits).  That is short
+enough to read aloud and long enough that collisions are a non-issue for
+any realistic retention window.  Minting costs one ``os.urandom`` call —
+cheap enough to be unconditional at the network edge, but in-process
+paths only mint when tracing is actually on (see
+:meth:`QueryEngine.submit`), keeping the paper experiments untouched.
+"""
+
+from __future__ import annotations
+
+import binascii
+import os
+
+#: Length of a trace/request id in hex characters.
+TRACE_ID_LENGTH = 16
+
+#: Upper bound accepted from the wire — anything longer is discarded so a
+#: hostile client cannot bloat logs with megabyte "ids".
+MAX_WIRE_ID_LENGTH = 64
+
+_HEX = set("0123456789abcdef")
+
+
+def new_trace_id() -> str:
+    """Mint a fresh 64-bit request/trace identifier."""
+    return binascii.hexlify(os.urandom(TRACE_ID_LENGTH // 2)).decode("ascii")
+
+
+def clean_trace_id(value: object) -> str | None:
+    """Sanitise an id received from an untrusted source (the wire).
+
+    Returns the id if it is a reasonable printable token, else ``None``
+    (the caller then mints its own).  Foreign tracers use different
+    formats, so anything short and printable passes — not just our hex.
+    """
+    if not isinstance(value, str) or not value:
+        return None
+    if len(value) > MAX_WIRE_ID_LENGTH:
+        return None
+    if not all(c.isalnum() or c in "-_." for c in value):
+        return None
+    return value
+
+
+def is_local_id(value: str) -> bool:
+    """True when ``value`` looks like an id minted by :func:`new_trace_id`."""
+    return len(value) == TRACE_ID_LENGTH and all(c in _HEX for c in value)

@@ -377,6 +377,59 @@ class NetInstruments:
         )
 
 
+class TraceInstruments:
+    """Distributed-tracing volume and stage timings.
+
+    ``queue_wait_seconds`` is the engine admission queue's contribution to
+    traced requests — the stage a latency histogram alone cannot separate
+    from execution.  ``stitched`` counts server replies that carried a
+    span tree back to the client.
+    """
+
+    __slots__ = ("started", "stitched", "queue_wait_seconds")
+
+    def __init__(self) -> None:
+        reg = get_registry()
+        self.started = reg.counter(
+            "repro_trace_started_total",
+            "Traced operations begun (a request id was attached), per kind.",
+            labelnames=("kind",),
+        )
+        self.stitched = reg.counter(
+            "repro_trace_stitched_total",
+            "Wire replies that carried a server span tree for client-side "
+            "stitching.",
+        )
+        self.queue_wait_seconds = reg.histogram(
+            "repro_trace_queue_wait_seconds",
+            "Time traced operations spent in the engine admission queue "
+            "before a worker picked them up.",
+        )
+
+
+class FlightInstruments:
+    """Flight-recorder ring volume and anomaly dump triggers."""
+
+    __slots__ = ("recorded", "ring_depth", "dump_triggers")
+
+    def __init__(self) -> None:
+        reg = get_registry()
+        self.recorded = reg.counter(
+            "repro_flight_recorded_total",
+            "Finished traces recorded into the flight-recorder ring.",
+        )
+        self.ring_depth = reg.gauge(
+            "repro_flight_ring_depth",
+            "Traces currently held in the flight-recorder ring.",
+        )
+        self.dump_triggers = reg.counter(
+            "repro_flight_dump_triggers_total",
+            "Anomaly triggers fired (dump written unless cooled down or "
+            "memory-only), by trigger reason.",
+            labelnames=("reason",),
+        )
+
+
 _buffer_pool: Optional[BufferPoolInstruments] = None
 _pagefile: Optional[PageFileInstruments] = None
 _wal: Optional[WalInstruments] = None
@@ -385,6 +438,8 @@ _cluster: Optional[ClusterInstruments] = None
 _replication: Optional[ReplicationInstruments] = None
 _supervisor: Optional[SupervisorInstruments] = None
 _net: Optional[NetInstruments] = None
+_trace: Optional[TraceInstruments] = None
+_flight: Optional[FlightInstruments] = None
 
 
 def buffer_pool() -> BufferPoolInstruments:
@@ -443,6 +498,20 @@ def net() -> NetInstruments:
     return _net
 
 
+def trace() -> TraceInstruments:
+    global _trace
+    if _trace is None:
+        _trace = TraceInstruments()
+    return _trace
+
+
+def flight() -> FlightInstruments:
+    global _flight
+    if _flight is None:
+        _flight = FlightInstruments()
+    return _flight
+
+
 def preregister() -> None:
     """Create every instrument bundle so the full metric schema is
     registered before any traffic (``repro.obs.enable`` calls this)."""
@@ -454,3 +523,5 @@ def preregister() -> None:
     replication()
     supervisor()
     net()
+    trace()
+    flight()

@@ -131,7 +131,7 @@ class Histogram:
     observation cost.
     """
 
-    __slots__ = ("_lock", "buckets", "_counts", "_sum", "_count")
+    __slots__ = ("_lock", "buckets", "_counts", "_sum", "_count", "_exemplars")
 
     def __init__(self, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS) -> None:
         bounds = tuple(float(b) for b in buckets)
@@ -144,8 +144,12 @@ class Histogram:
         self._counts = [0] * (len(bounds) + 1)  # last slot is +Inf
         self._sum = 0.0
         self._count = 0
+        #: Per-bucket exemplar: bucket index -> (trace_id, value).  Lazily
+        #: allocated — histograms observed without trace ids never pay for
+        #: the dict.
+        self._exemplars: Optional[dict[int, tuple[str, float]]] = None
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, trace_id: Optional[str] = None) -> None:
         # Linear scan beats bisect for the short bucket lists used here,
         # and most observations land in the first few buckets anyway.
         idx = len(self.buckets)
@@ -157,6 +161,28 @@ class Histogram:
             self._counts[idx] += 1
             self._sum += value
             self._count += 1
+            if trace_id is not None:
+                if self._exemplars is None:
+                    self._exemplars = {}
+                self._exemplars[idx] = (trace_id, value)
+
+    def exemplars(self) -> dict[float, dict]:
+        """Last-seen exemplar per bucket: upper bound -> trace id + value.
+
+        This is the aggregates→trace bridge: a p99 spike names its bucket,
+        the bucket names a trace id, and the trace id is greppable in the
+        slow log and dumpable from the flight recorder.
+        """
+        with self._lock:
+            if not self._exemplars:
+                return {}
+            out: dict[float, dict] = {}
+            for idx, (trace_id, value) in sorted(self._exemplars.items()):
+                bound = (
+                    self.buckets[idx] if idx < len(self.buckets) else float("inf")
+                )
+                out[bound] = {"trace_id": trace_id, "value": value}
+            return out
 
     @property
     def sum(self) -> float:
@@ -221,6 +247,7 @@ class Histogram:
             self._counts = [0] * (len(self.buckets) + 1)
             self._sum = 0.0
             self._count = 0
+            self._exemplars = None
 
 
 class MetricFamily:

@@ -25,6 +25,11 @@ import threading
 import time
 from typing import Any, Optional
 
+#: Slow-log entry schema version.  Readers must tolerate entries without
+#: it (pre-versioning logs) and entries carrying unknown fields — new
+#: fields such as ``request_id`` are additions, never breaking changes.
+SLOWLOG_VERSION = 1
+
 
 class SlowQueryLog:
     """Threshold-filtered, newline-delimited JSON query log.
@@ -103,6 +108,7 @@ class SlowQueryLog:
         if elapsed_seconds * 1000.0 < self.threshold_ms:
             return False
         entry: dict[str, Any] = {
+            "v": SLOWLOG_VERSION,
             "ts": time.time(),
             "kind": kind,
             "elapsed_ms": round(elapsed_seconds * 1000.0, 3),
@@ -113,6 +119,9 @@ class SlowQueryLog:
             entry["page_accesses"] = context.page_accesses
             if context.epoch is not None:
                 entry["epoch"] = context.epoch
+            request_id = getattr(context, "request_id", None)
+            if request_id is not None:
+                entry["request_id"] = request_id
             trace = getattr(context, "trace", None)
             if trace is not None:
                 entry["complete"] = trace.complete
@@ -192,18 +201,34 @@ class SlowQueryLog:
         self.close()
 
 
-def read_slow_log(path: str) -> list[dict]:
-    """Parse a slow-query log file back into entries (newest last)."""
+def read_slow_log(path: str, strict: bool = False) -> list[dict]:
+    """Parse a slow-query log file back into entries (newest last).
+
+    Forward- and crash-tolerant by default, like the WAL and supervisor
+    journal readers: entries from newer writers may carry fields this
+    reader predates (they pass through untouched, whatever their schema
+    ``v``), and a torn final line — the process died mid-append — ends the
+    parse with the complete prefix kept.  A malformed line *followed by*
+    well-formed ones is corruption rather than a torn tail and raises
+    either way; ``strict=True`` restores the old raise-on-any-bad-line
+    behaviour.
+    """
     entries = []
+    pending_error: Optional[str] = None
     with open(path, "r", encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, start=1):
             line = line.strip()
             if not line:
                 continue
+            if pending_error is not None:
+                raise ValueError(pending_error)
             try:
-                entries.append(json.loads(line))
-            except json.JSONDecodeError as exc:
-                raise ValueError(
-                    f"{path}:{lineno}: malformed slow-log entry"
-                ) from exc
+                entry = json.loads(line)
+                if not isinstance(entry, dict):
+                    raise json.JSONDecodeError("not an object", line, 0)
+                entries.append(entry)
+            except json.JSONDecodeError:
+                pending_error = f"{path}:{lineno}: malformed slow-log entry"
+                if strict:
+                    raise ValueError(pending_error) from None
     return entries

@@ -47,6 +47,12 @@ def snapshot(registry: Optional[MetricsRegistry] = None) -> dict:
                     "p95": metric.p95,
                     "p99": metric.p99,
                 }
+                exemplars = metric.exemplars()
+                if exemplars:
+                    # JSON object keys must be strings; +Inf included.
+                    samples[key]["exemplars"] = {
+                        str(bound): ex for bound, ex in exemplars.items()
+                    }
             elif isinstance(metric, (Counter, Gauge)):
                 samples[key] = metric.value
         metrics[family.name] = {"type": family.type, "samples": samples}

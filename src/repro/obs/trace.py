@@ -75,6 +75,32 @@ class Span:
             out["children"] = [child.as_dict() for child in self.children]
         return out
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        """Rebuild a span (and its subtree) from :meth:`as_dict` output.
+
+        The inverse direction of the wire: a server serialises its span
+        tree into the reply and the client grafts it back into a live
+        trace, so the stitched tree supports the same reconciliation
+        arithmetic as a local one.  Unknown keys are ignored — newer
+        servers may annotate spans with fields this reader predates.
+        """
+        span = cls(str(data.get("name", "span")))
+        span.compdists = int(data.get("compdists", 0))
+        span.page_accesses = int(data.get("page_accesses", 0))
+        span.elapsed = float(data.get("elapsed_ms", 0.0)) / 1000.0
+        counts = data.get("counts")
+        if isinstance(counts, dict):
+            # Counts are usually integers, but identity annotations (e.g.
+            # which replica served a read) are strings — keep both.
+            span.counts = {
+                str(k): v if isinstance(v, str) else int(v)
+                for k, v in counts.items()
+            }
+        for child in data.get("children", ()):
+            span.children.append(cls.from_dict(child))
+        return span
+
     def __repr__(self) -> str:
         return (
             f"Span({self.name!r}, compdists={self.compdists}, "
@@ -93,7 +119,7 @@ class QueryTrace:
     per-query counters keep.
     """
 
-    __slots__ = ("kind", "root", "reason", "complete", "_levels", "_stack")
+    __slots__ = ("kind", "root", "reason", "complete", "_levels", "_spans", "_stack")
 
     def __init__(self, kind: str = "query") -> None:
         self.kind = kind
@@ -102,6 +128,7 @@ class QueryTrace:
         self.reason: Optional[str] = None
         self.complete = True
         self._levels: dict[int, Span] = {}
+        self._spans: dict[str, Span] = {}
         self._stack: list[Span] = []
 
     def reset(self) -> None:
@@ -110,18 +137,25 @@ class QueryTrace:
         self.reason = None
         self.complete = True
         self._levels = {}
+        self._spans = {}
         self._stack = []
 
     # ------------------------------------------------------------- span tree
 
     def span(self, name: str) -> Span:
-        """Get or create a named child of the root (e.g. ``"map"``)."""
-        for child in self.root.children:
-            if child.name == name:
-                return child
-        child = Span(name)
-        self.root.children.append(child)
-        return child
+        """Get or create a named child of the root (e.g. ``"map"``).
+
+        O(1): looked up in a name→span dict (like :meth:`level`), because a
+        broadcast kNN re-enters its ``shard-<id>`` span on every node visit
+        of every shard — a linear scan over the children list made this
+        quadratic in the scatter width.
+        """
+        span = self._spans.get(name)
+        if span is None:
+            span = Span(name)
+            self._spans[name] = span
+            self.root.children.append(span)
+        return span
 
     def level(self, depth: int) -> Span:
         """The aggregated span for B+-tree level ``depth`` (0 = root node)."""
@@ -197,3 +231,37 @@ class QueryTrace:
         if self.reason is not None:
             out["reason"] = self.reason
         return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QueryTrace":
+        """Rebuild a trace from :meth:`as_dict` output (wire or JSONL)."""
+        trace = cls(str(data.get("kind", "query")))
+        trace.complete = bool(data.get("complete", True))
+        reason = data.get("reason")
+        trace.reason = None if reason is None else str(reason)
+        spans = data.get("spans")
+        if isinstance(spans, dict):
+            trace.root = Span.from_dict(spans)
+            for child in trace.root.children:
+                if child.name.startswith("level-"):
+                    try:
+                        trace._levels[int(child.name[6:])] = child
+                        continue
+                    except ValueError:
+                        pass
+                trace._spans[child.name] = child
+        return trace
+
+
+def attributed_totals_from_dict(trace_data: dict) -> tuple[int, int]:
+    """The reconciliation sums of a serialised trace, without rebuilding it.
+
+    Returns ``(compdists, page_accesses)`` summed over the root's direct
+    children — the quantity that must equal the reply's reported totals
+    even when the span tree crossed a process boundary.
+    """
+    spans = trace_data.get("spans", trace_data)
+    children = spans.get("children", ())
+    compdists = sum(int(c.get("compdists", 0)) for c in children)
+    pa = sum(int(c.get("page_accesses", 0)) for c in children)
+    return compdists, pa

@@ -294,13 +294,23 @@ class ReplicatedIndex(ShardedIndex):
 
     # ----------------------------------------------------------------- reads
 
-    def _read_tree(self, shard: Shard) -> SPBTree:
+    def _read_tree(
+        self, shard: Shard, ctx: Optional[QueryContext] = None
+    ) -> SPBTree:
         rset = self._sets.get(shard.shard_id)
         if rset is None:
             return shard.tree
         rid = self._selector.choose(
             shard.shard_id, rset.member_ids(), rset.healthy, rset.lag
         )
+        if ctx is not None and ctx.trace is not None:
+            # Replica identity on the sub-read's trace: which member served
+            # this read and how far behind the primary it was at choice
+            # time.  The scatter folds these root counts into the parent's
+            # ``shard-<id>`` span (last visit wins for identity).
+            counts = ctx.trace.root.counts
+            counts["replica"] = f"r{rid}"
+            counts["replica_lag_bytes"] = int(rset.lag(rid))
         return rset.tree_for(rid)
 
     def range_query(
@@ -311,7 +321,7 @@ class ReplicatedIndex(ShardedIndex):
         engine: Optional[Any] = None,
     ) -> "list[Any] | ClusterResult":
         out = super().range_query(query, radius, context=context, engine=engine)
-        return self._mark_degraded(out)
+        return self._mark_degraded(out, context)
 
     def knn_query(
         self,
@@ -330,7 +340,7 @@ class ReplicatedIndex(ShardedIndex):
             engine=engine,
             strategy=strategy,
         )
-        return self._mark_degraded(out)
+        return self._mark_degraded(out, context)
 
     def range_count(
         self,
@@ -340,7 +350,7 @@ class ReplicatedIndex(ShardedIndex):
         engine: Optional[Any] = None,
     ) -> "int | ClusterResult":
         out = super().range_count(query, radius, context=context, engine=engine)
-        return self._mark_degraded(out)
+        return self._mark_degraded(out, context)
 
     def degraded_shards(self) -> dict[int, ShardExhaustion]:
         """Shards whose replica set cannot currently honour the write/read
@@ -359,13 +369,17 @@ class ReplicatedIndex(ShardedIndex):
                 )
         return out
 
-    def _mark_degraded(self, out: Any) -> Any:
+    def _mark_degraded(
+        self, out: Any, context: Optional[QueryContext] = None
+    ) -> Any:
         """Stamp quorum-lost shards onto a context-carrying result.
 
         The surviving members still answered (availability), but the
         caller is told, per shard, that the set is degraded — the same
         honesty contract budget exhaustion already follows.  Plain
-        (context-less) results are lists/ints and pass through.
+        (context-less) results are lists/ints and pass through.  The
+        trace (already finished by the scatter layer) is re-finished so
+        its outcome agrees with the downgraded reply.
         """
         if not isinstance(out, ClusterResult):
             return out
@@ -381,14 +395,22 @@ class ReplicatedIndex(ShardedIndex):
             if out.complete:
                 out.complete = False
                 out.reason = reason
+        if (
+            context is not None
+            and context.trace is not None
+            and not out.complete
+        ):
+            context.trace.finish(context, out.complete, out.reason)
         return out
 
     # -------------------------------------------------------------- shipping
 
-    def ship_all(self) -> dict[int, int]:
+    def ship_all(self, request_id: Optional[str] = None) -> dict[int, int]:
         """Pump every replicated shard once; ``shard_id -> bytes shipped``.
         Shards with a down primary are skipped (they need a promotion,
-        not a pump)."""
+        not a pump).  ``request_id`` is accepted so engine-submitted ship
+        tasks stay correlatable; shipping itself records nothing."""
+        del request_id  # identity rides on the engine task's context
         with self._lock.read():
             out = {}
             for sid, rset in sorted(self._sets.items()):
@@ -432,7 +454,10 @@ class ReplicatedIndex(ShardedIndex):
     # ------------------------------------------------------------- promotion
 
     def failover(
-        self, shard_id: int, faults: Optional[FaultInjector] = None
+        self,
+        shard_id: int,
+        faults: Optional[FaultInjector] = None,
+        request_id: Optional[str] = None,
     ) -> dict:
         """Promote the best follower of ``shard_id`` to primary.
 
@@ -475,12 +500,17 @@ class ReplicatedIndex(ShardedIndex):
             self.router.note_insert(shard)  # new tree: drop the cached MBB
             self._write_catalog(faults)  # the commit point
             self._gauge_shard(shard)
-            return {
+            out = {
                 "shard": shard_id,
                 "promoted": candidate.replica_id,
                 "demoted": old.replica_id,
                 "generation": generation,
             }
+            if request_id is not None:
+                # Correlate an engine/CLI-driven promotion with the request
+                # that asked for it (supervisor journal detail, flight dump).
+                out["request_id"] = request_id
+            return out
 
     # ------------------------------------------------------------ structural
 

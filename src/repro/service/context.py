@@ -258,6 +258,11 @@ class QueryContext:
     #: traversal fills it in when attached.  ``None`` — the default — costs
     #: the hot path one identity check per node.
     trace: Optional[Any] = None
+    #: Request/trace identifier minted at the edge (client, server, or
+    #: CLI) and inherited by every per-shard sub-context, so the slow log,
+    #: supervisor journal, and flight recorder all name the same request.
+    #: Survives retries: identity, not a counter.
+    request_id: Optional[str] = None
     started: float = field(default=0.0, repr=False)
 
     @classmethod
@@ -268,6 +273,7 @@ class QueryContext:
         max_page_accesses: Optional[int] = None,
         strict: bool = False,
         cancel_token: Optional[CancelToken] = None,
+        request_id: Optional[str] = None,
     ) -> "QueryContext":
         """Build a context with a deadline expressed as ms from *now*."""
         deadline = (
@@ -281,6 +287,7 @@ class QueryContext:
             max_page_accesses=max_page_accesses,
             strict=strict,
             cancel_token=cancel_token,
+            request_id=request_id,
         )
 
     @property

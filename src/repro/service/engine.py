@@ -40,6 +40,8 @@ from typing import Any, Optional
 
 from repro.obs import instruments as _instruments
 from repro.obs import registry as _obsreg
+from repro.obs.flight import FlightRecorder
+from repro.obs.ids import new_trace_id
 from repro.obs.slowlog import SlowQueryLog
 from repro.obs.trace import QueryTrace
 from repro.service.context import (
@@ -85,6 +87,9 @@ class PendingQuery:
         self.source = source
         #: Deadline allowance in ms, armed when execution starts.
         self.deadline_ms: Optional[float] = None
+        #: ``time.perf_counter()`` at enqueue; the worker measures queue
+        #: wait against it (a traced query's ``queue-wait`` span).
+        self.enqueued_at: float = 0.0
         self._done = threading.Event()
         self._result: Any = None
         self._error: Optional[BaseException] = None
@@ -145,6 +150,7 @@ class QueryEngine:
         strict: bool = False,
         trace_queries: bool = False,
         slow_log: Optional[SlowQueryLog] = None,
+        flight: Optional[FlightRecorder] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -161,8 +167,13 @@ class QueryEngine:
         #: Attach a QueryTrace to every query so its span tree is available
         #: on ``pending.context.trace`` (implied by a slow-query log, which
         #: wants the span tree of its offenders).
-        self.trace_queries = trace_queries or slow_log is not None
+        self.trace_queries = (
+            trace_queries or slow_log is not None or flight is not None
+        )
         self.slow_log = slow_log
+        #: Optional anomaly flight recorder: finished traced queries are
+        #: rung in; degraded results and rejection bursts trigger dumps.
+        self.flight = flight
         self._queue: queue.Queue = queue.Queue(maxsize=max_queue)
         self._threads: list[threading.Thread] = []
         self._started = False
@@ -267,6 +278,8 @@ class QueryEngine:
             self.rejected += 1
         if _obsreg.ENABLED:
             _instruments.engine().admission_rejections.inc()
+        if self.flight is not None:
+            self.flight.note_rejection()
         return Overloaded(
             f"admission queue full ({self._queue.maxsize} pending); "
             f"retry later",
@@ -284,6 +297,7 @@ class QueryEngine:
         strict: Optional[bool] = None,
         cancel_token: Optional[CancelToken] = None,
         source: str = "inproc",
+        request_id: Optional[str] = None,
     ) -> PendingQuery:
         """Enqueue one work item; raises :class:`Overloaded` when the queue is full.
 
@@ -317,12 +331,23 @@ class QueryEngine:
             strict=self.strict if strict is None else strict,
             cancel_token=cancel_token or CancelToken(),
         )
+        # Identity first: with tracing on, every operation — mutations and
+        # replication tasks included — gets a request id, minted here when
+        # the edge (client/server/CLI) did not supply one.  With tracing
+        # off nothing is minted, keeping untraced runs allocation-free.
+        if request_id is not None:
+            context.request_id = request_id
+        elif self.trace_queries:
+            context.request_id = new_trace_id()
         if self.trace_queries and kind not in _MUTATIONS:
             context.trace = QueryTrace(kind)
+            if _obsreg.ENABLED:
+                _instruments.trace().started.labels(kind=kind).inc()
         pending = PendingQuery(kind, args, context, source=source)
         pending.deadline_ms = (
             deadline_ms if deadline_ms is not None else self.default_deadline_ms
         )
+        pending.enqueued_at = time.perf_counter()
         try:
             self._queue.put_nowait(pending)
         except queue.Full:
@@ -347,6 +372,7 @@ class QueryEngine:
         if not self._started or self._stopped:
             raise RuntimeError("engine is not running (use start() or a with block)")
         pending = PendingQuery("task", (fn,), context)
+        pending.enqueued_at = time.perf_counter()
         try:
             self._queue.put_nowait(pending)
         except queue.Full:
@@ -384,6 +410,7 @@ class QueryEngine:
             if item is _STOP:
                 break
             t0 = time.perf_counter()
+            queue_wait = t0 - item.enqueued_at if item.enqueued_at else 0.0
             try:
                 result = self._execute(item)
             except BaseException as exc:  # noqa: BLE001 — relayed to caller
@@ -408,11 +435,23 @@ class QueryEngine:
                         if self._latency_ewma == 0.0
                         else 0.8 * self._latency_ewma + 0.2 * elapsed
                     )
+                ctx = item.context
+                if ctx.trace is not None:
+                    # Stage timing: queue wait attributed after execution so
+                    # a retry's trace reset cannot erase it.  Zero counters,
+                    # so the reconciliation sums are untouched.
+                    ctx.trace.span("queue-wait").elapsed += queue_wait
                 if _obsreg.ENABLED:
                     eng = _instruments.engine()
-                    eng.query_latency.labels(kind=item.kind).observe(elapsed)
+                    eng.query_latency.labels(kind=item.kind).observe(
+                        elapsed, trace_id=ctx.request_id
+                    )
                     if degraded:
                         eng.degraded.inc()
+                    if ctx.trace is not None:
+                        _instruments.trace().queue_wait_seconds.observe(
+                            queue_wait
+                        )
                 if (
                     self.slow_log is not None
                     and item.kind not in _MUTATIONS
@@ -422,6 +461,17 @@ class QueryEngine:
                         item.kind, elapsed, item.context, result,
                         source=item.source,
                     )
+                if self.flight is not None:
+                    if item.kind not in _MUTATIONS and item.kind != "task":
+                        self.flight.observe(
+                            item.kind, item.context, result,
+                            elapsed=elapsed, source=item.source,
+                        )
+                    elif item.kind == "failover":
+                        self.flight.trigger(
+                            "failover",
+                            detail=result if isinstance(result, dict) else None,
+                        )
                 item._finish(result=result)
 
     def _execute(self, pending: PendingQuery) -> Any:
@@ -490,5 +540,7 @@ class QueryEngine:
                     f"{kind!r} requires a replicated cluster; this engine "
                     f"serves {type(self.tree).__name__}"
                 )
+            if ctx.request_id is not None:
+                return method(*args, request_id=ctx.request_id)
             return method(*args)
         return self.tree.delete(*args)

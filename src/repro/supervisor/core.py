@@ -39,6 +39,8 @@ from typing import Any, Optional
 
 from repro.obs import instruments as _instruments
 from repro.obs import registry as _obsreg
+from repro.obs.flight import FlightRecorder
+from repro.obs.ids import new_trace_id
 from repro.replication.replicaset import (
     PrimaryDownError,
     ReplicationError,
@@ -94,8 +96,13 @@ class Supervisor:
         clock: Optional[Any] = None,
         journal_path: Optional[str] = None,
         journal_limit: int = 256,
+        flight: Optional[FlightRecorder] = None,
     ) -> None:
         self.index = index
+        #: Optional anomaly flight recorder: failovers, quarantines and
+        #: scrub divergences trigger a dump of the recent-trace ring so
+        #: the requests degraded *by* the anomaly are captured with it.
+        self.flight = flight
         self.monitor = index.monitor
         self.clock = clock if clock is not None else self.monitor.clock
         timeout = self.monitor.timeout
@@ -125,6 +132,9 @@ class Supervisor:
         self._stop_evt = threading.Event()
         self._last_scrub: Optional[float] = None
         self._scrub_cursor = 0
+        # Correlation id for the scrub currently running under the lock;
+        # divergence/quarantine events it records inherit this id.
+        self._request_id: Optional[str] = None
         # Plain tallies mirror the obs counters so status() works with
         # observability disabled.
         self.ticks = 0
@@ -213,10 +223,19 @@ class Supervisor:
         if st.promoting:
             return  # single-flight: a promotion is already running
         st.promoting = True
+        # One correlation id ties the failover's journal events and its
+        # flight dump together.  The index's failover signature is left
+        # alone here — tests substitute doubles for it.
+        rid = new_trace_id()
         try:
             info = self.index.failover(sid)
         except ReplicationError as exc:
-            self.journal.record("promotion-blocked", shard=sid, detail=str(exc))
+            self.journal.record(
+                "promotion-blocked",
+                shard=sid,
+                detail=str(exc),
+                request_id=rid,
+            )
             return
         finally:
             st.promoting = False
@@ -241,7 +260,19 @@ class Supervisor:
                 "generation": info["generation"],
                 "mttr": round(mttr, 6),
             },
+            request_id=rid,
         )
+        if self.flight is not None:
+            self.flight.trigger(
+                "failover",
+                detail={
+                    "shard": sid,
+                    "promoted": info["promoted"],
+                    "demoted": info["demoted"],
+                    "generation": info["generation"],
+                    "request_id": rid,
+                },
+            )
         actions["promoted"].append(sid)
 
     # --------------------------------------------------------- rejoin/repair
@@ -334,22 +365,37 @@ class Supervisor:
         shard_id: Optional[int] = None,
         pages: Optional[int] = None,
         deep: bool = False,
+        request_id: Optional[str] = None,
     ) -> ScrubReport:
         """One full anti-entropy pass; returns what it found and fixed.
 
         ``pages=None`` checks every page (the CLI default); the
         background loop passes its per-tick budget instead.  ``deep``
         additionally runs the full structural ``verify()`` on every
-        member tree.
+        member tree.  ``request_id`` (minted when absent) correlates the
+        journal events this pass records.
         """
         with self._lock:
             if shard_id is not None:
                 sids = [shard_id]
             else:
                 sids = sorted(s.shard_id for s in self.index.shards)
-            return self._scrub(sids, pages, deep)
+            return self._scrub(sids, pages, deep, request_id=request_id)
 
     def _scrub(
+        self,
+        sids: "list[int]",
+        pages: Optional[int],
+        deep: bool,
+        request_id: Optional[str] = None,
+    ) -> ScrubReport:
+        self._request_id = request_id if request_id is not None else new_trace_id()
+        try:
+            return self._scrub_locked(sids, pages, deep)
+        finally:
+            self._request_id = None
+
+    def _scrub_locked(
         self, sids: "list[int]", pages: Optional[int], deep: bool
     ) -> ScrubReport:
         report = ScrubReport(shards=list(sids))
@@ -390,6 +436,7 @@ class Supervisor:
                 "pages": report.pages_checked,
                 "findings": len(report.findings),
             },
+            request_id=self._request_id,
         )
         return report
 
@@ -499,7 +546,18 @@ class Supervisor:
             shard=finding.shard,
             replica=finding.replica,
             detail={"kind": finding.kind, "detail": finding.detail},
+            request_id=self._request_id,
         )
+        if self.flight is not None:
+            self.flight.trigger(
+                "divergence",
+                detail={
+                    "shard": finding.shard,
+                    "replica": finding.replica,
+                    "kind": finding.kind,
+                    "request_id": self._request_id,
+                },
+            )
 
     def _quarantine(self, sid: int, rid: int, kind: str, detail: str) -> None:
         self.monitor.mark_down(sid, rid)
@@ -512,7 +570,18 @@ class Supervisor:
             shard=sid,
             replica=rid,
             detail={"kind": kind, "detail": detail},
+            request_id=self._request_id,
         )
+        if self.flight is not None:
+            self.flight.trigger(
+                "quarantine",
+                detail={
+                    "shard": sid,
+                    "replica": rid,
+                    "kind": kind,
+                    "request_id": self._request_id,
+                },
+            )
 
     def _quarantine_and_rebuild(
         self, sid: int, rset: Any, rep: Any, finding: ScrubFinding, report: ScrubReport

@@ -22,6 +22,12 @@ from typing import Any, Callable, Optional
 #: Journal filename inside a supervised cluster directory.
 SUPERVISOR_JOURNAL = "supervisor-events.jsonl"
 
+#: Schema version stamped on every journal entry (``"v"``).  Readers are
+#: tolerant: unknown fields are ignored and entries missing ``"v"``
+#: (written before versioning) are accepted, so the version only gates
+#: *incompatible* future changes.
+JOURNAL_VERSION = 1
+
 
 class EventJournal:
     """Bounded in-memory event ring with an optional JSONL spill file."""
@@ -48,14 +54,21 @@ class EventJournal:
         shard: Optional[int] = None,
         replica: Optional[int] = None,
         detail: Any = None,
+        request_id: Optional[str] = None,
     ) -> dict:
-        evt: dict = {"ts": round(float(self.clock()), 6), "event": event}
+        evt: dict = {
+            "v": JOURNAL_VERSION,
+            "ts": round(float(self.clock()), 6),
+            "event": event,
+        }
         if shard is not None:
             evt["shard"] = shard
         if replica is not None:
             evt["replica"] = replica
         if detail is not None:
             evt["detail"] = detail
+        if request_id is not None:
+            evt["request_id"] = request_id
         with self._lock:
             self._events.append(evt)
             if self._fh is not None:
