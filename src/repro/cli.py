@@ -145,6 +145,7 @@ from repro.recovery import salvage_tree
 from repro.service import BudgetExceeded, Overloaded, QueryContext, QueryEngine
 from repro.storage.wal import WriteAheadLog
 from repro.supervisor import SUPERVISOR_JOURNAL, Supervisor, read_journal
+from repro.tuning import TUNING_JOURNAL, Tuner
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -489,6 +490,7 @@ def _serve_network(args: argparse.Namespace, tree, slow_log, snapshots, flight):
         **{f"default_{k}": v for k, v in _limits(args).items()},
     )
     with engine:
+        _maybe_autotune(args, tree, engine)
         handle = serve_in_thread(engine, host, port)
         print(
             f"serving on {host}:{handle.port} with {args.workers} workers "
@@ -533,11 +535,51 @@ def _serve_network(args: argparse.Namespace, tree, slow_log, snapshots, flight):
     return engine
 
 
+def _maybe_autotune(args: argparse.Namespace, tree, engine):
+    """The ``serve --autotune`` path: hook the traversal advisor into the
+    engine and start the background control loop."""
+    if not getattr(args, "autotune", False):
+        return None
+    tuner = Tuner(
+        tree,
+        engine=engine,
+        tick_interval=args.tune_interval,
+        auto_pivot_rebuild=True,
+    )
+    tuner.start()
+    print(
+        f"autotuning: tick {tuner.tick_interval:g}s, "
+        f"epsilon {tuner.advisor.epsilon:g}, journal "
+        f"{tuner.journal.path if tuner.journal.path else '(in-memory)'}"
+    )
+    return tuner
+
+
 def _serve_epilogue(
     args: argparse.Namespace, tree, engine, snapshots, slow_log, rep_dir,
     flight=None,
 ) -> None:
     """Shared tail of ``serve``: summaries, exposition, cleanup."""
+    tuner = getattr(tree, "tuner", None)
+    if tuner is not None:
+        tuner.stop()
+        st = tuner.status()
+        policy = ", ".join(
+            f"{bucket}={p['traversal']}"
+            + (f"/{p['strategy']}" if p["strategy"] else "")
+            for bucket, p in sorted(st["policy"].items())
+        )
+        print(
+            f"tuner     : {st['ticks']} ticks, "
+            f"{st['advisor']['decisions']} advised "
+            f"({st['advisor']['explorations']} explored), "
+            f"{st['calibration']['calibrations']} calibrations, "
+            f"{st['buffer_resizes']} buffer resizes, "
+            f"{st['rebalances']} rebalances, "
+            f"{st['pivot_rebuilds']} pivot rebuilds; "
+            f"policy {policy if policy else '(none yet)'}"
+        )
+        tuner.close()
     if snapshots is not None:
         snapshots.write(meta={"event": "final"})
         print(f"snapshots : {snapshots.written} written to {args.snapshot_dir}")
@@ -680,6 +722,7 @@ def cmd_serve(args: argparse.Namespace) -> None:
             flight=flight,
             **{f"default_{k}": v for k, v in _limits(args).items()},
         ) as engine:
+            _maybe_autotune(args, tree, engine)
             pending = []
             for kind, op_args in ops:
                 while True:
@@ -1483,6 +1526,68 @@ def cmd_scrub(args: argparse.Namespace) -> None:
         idx.close()
 
 
+def cmd_tune(args: argparse.Namespace) -> None:
+    """Offline self-tuning pass over a saved cluster directory.
+
+    Replays a sample of the cluster's own objects as advised kNN
+    queries with the control loop ticking between batches — enough
+    traffic for the advisor to converge a policy, the calibrator to fit
+    the cost-model scales, and (with ``--auto-rebuild``) drift-triggered
+    pivot re-selection to run.  Every decision lands in the directory's
+    ``tuning-events.jsonl``; ``shard-status`` shows the tail.
+    """
+    metric = _directory_metric(args.dir, args.metric)
+    cluster = _load_cluster(args.dir, metric, opener=ShardedIndex.open)
+    try:
+        tuner = Tuner(
+            cluster,
+            epsilon=args.epsilon,
+            auto_pivot_rebuild=args.auto_rebuild,
+        )
+        objects = list(cluster.objects())
+        if not objects:
+            print("tune: cluster is empty; nothing to do", file=sys.stderr)
+            raise SystemExit(1)
+        step = max(1, len(objects) // max(1, args.queries))
+        sample = objects[::step][: args.queries]
+        advised = 0
+        for i, query in enumerate(sample):
+            tuner.advisor.run_knn(cluster, query, args.k, QueryContext())
+            advised += 1
+            if (i + 1) % args.tick_every == 0:
+                tuner.tick()
+        tuner.tick()
+        st = tuner.status()
+        cal = st["calibration"]
+        print(
+            f"advised {advised} kNN queries (k={args.k}) over "
+            f"{cluster.num_shards} shards; {st['ticks']} ticks"
+        )
+        for bucket, p in sorted(st["policy"].items()):
+            arm = p["traversal"] + (
+                f"/{p['strategy']}" if p["strategy"] else ""
+            )
+            print(f"policy    : {bucket} -> {arm}")
+        print(
+            f"calibrated: edc_scale {cal['edc_scale']} "
+            f"epa_scale {cal['epa_scale']} "
+            f"({cal['calibrations']} refits, window {cal['window']}); "
+            f"prediction error edc={cal['error']['edc']} "
+            f"epa={cal['error']['epa']}"
+        )
+        print(
+            f"actions   : {st['buffer_resizes']} buffer resizes, "
+            f"{st['rebalances']} rebalances, {st['pivot_checks']} pivot "
+            f"checks, {st['pivot_rebuilds']} pivot rebuilds"
+        )
+        for evt in tuner.events(args.events):
+            detail = evt.get("detail")
+            print(f"  [{evt.get('ts')}] {evt.get('event')} {detail}")
+        tuner.close()
+    finally:
+        cluster.close()
+
+
 def cmd_shard_status(args: argparse.Namespace) -> None:
     """Replication status plus supervisor event tail, one line per shard."""
     metric = _directory_metric(args.dir, args.metric)
@@ -1529,6 +1634,34 @@ def cmd_shard_status(args: argparse.Namespace) -> None:
                     parts.append(f"replica={evt['replica']}")
                 if "detail" in evt:
                     parts.append(f"detail={evt['detail']}")
+                print("  " + " ".join(str(p) for p in parts))
+        tuning_events = read_journal(
+            os.path.join(args.dir, TUNING_JOURNAL), limit=args.events
+        )
+        if tuning_events:
+            # The same journal format the supervisor uses; the latest
+            # per-bucket "policy" events ARE the traversal policy in
+            # force, so surface them before the raw tail.
+            policy: dict = {}
+            for evt in read_journal(
+                os.path.join(args.dir, TUNING_JOURNAL)
+            ):
+                if evt.get("event") == "policy":
+                    detail = evt.get("detail") or {}
+                    if "bucket" in detail:
+                        policy[detail["bucket"]] = detail
+            for bucket, p in sorted(policy.items()):
+                arm = str(p.get("traversal")) + (
+                    f"/{p['strategy']}" if p.get("strategy") else ""
+                )
+                print(f"tuning policy: {bucket} -> {arm}")
+            print(f"tuning events (last {len(tuning_events)}):")
+            for evt in tuning_events:
+                parts = [f"[{evt.get('ts')}] {evt.get('event')}"]
+                if "detail" in evt:
+                    parts.append(f"detail={evt['detail']}")
+                if evt.get("request_id"):
+                    parts.append(f"request_id={evt['request_id']}")
                 print("  " + " ".join(str(p) for p in parts))
         if bad:
             print(
@@ -1670,6 +1803,18 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         "--scrub-interval", type=float, default=5.0,
         help="with --supervise: seconds between background anti-entropy "
              "scrub passes (default: 5)",
+    )
+    p_serve.add_argument(
+        "--autotune", action="store_true",
+        help="run the self-tuning control loop during the workload "
+             "(traversal advisor on the kNN path, online cost-model "
+             "calibration, buffer/queue adaptation, drift-triggered "
+             "maintenance)",
+    )
+    p_serve.add_argument(
+        "--tune-interval", type=float, default=1.0,
+        help="with --autotune: seconds between control-loop ticks "
+             "(default: 1)",
     )
     p_serve.add_argument(
         "--listen", default=None, metavar="HOST:PORT",
@@ -1886,6 +2031,40 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         help="supervisor journal events to tail (default: 10)",
     )
     p_status.set_defaults(fn=cmd_shard_status)
+
+    p_tune = sub.add_parser(
+        "tune",
+        help="offline self-tuning pass over a saved cluster "
+             "(advisor policy, cost-model calibration, maintenance)",
+    )
+    p_tune.add_argument("--dir", required=True, help="cluster directory")
+    p_tune.add_argument(
+        "--metric", default=None,
+        help="metric name override (default: the catalog's metric_name)",
+    )
+    p_tune.add_argument(
+        "--queries", type=int, default=48,
+        help="advised sample queries to run (default: 48)",
+    )
+    p_tune.add_argument("--k", type=int, default=8)
+    p_tune.add_argument(
+        "--epsilon", type=float, default=0.05,
+        help="advisor exploration floor (default: 0.05)",
+    )
+    p_tune.add_argument(
+        "--tick-every", type=int, default=8,
+        help="control-loop tick every N queries (default: 8)",
+    )
+    p_tune.add_argument(
+        "--auto-rebuild", action="store_true",
+        help="allow a drift-triggered pivot re-selection and rebuild "
+             "through a checkpoint",
+    )
+    p_tune.add_argument(
+        "--events", type=int, default=10,
+        help="tuning journal events to print (default: 10)",
+    )
+    p_tune.set_defaults(fn=cmd_tune)
 
     p_metrics = sub.add_parser(
         "metrics",

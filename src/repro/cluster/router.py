@@ -106,13 +106,22 @@ class Router:
         self.reset(shards)
 
     def reset(self, shards: Sequence["Shard"]) -> None:
-        """Adopt a new shard list (build, load, rebalance swap)."""
+        """Adopt a new shard list (build, load, rebalance swap).
+
+        The MBB cache is dropped wholesale, not filtered to surviving
+        shard ids: a rebalance or failover can swap the *tree* behind a
+        surviving id (donor split, replica promotion), so a box cached
+        under the old tree would silently mis-prune Lemma 1/3 against the
+        new one.  Recomputing a handful of root boxes is one buffered
+        page read each — correctness is worth it.
+        """
         self._shards = sorted(shards, key=lambda s: s.key_lo)
         self._lows = [s.key_lo for s in self._shards]
-        live = {s.shard_id for s in self._shards}
-        self._mbb_cache = {
-            sid: box for sid, box in self._mbb_cache.items() if sid in live
-        }
+        self._mbb_cache = {}
+
+    def invalidate(self, shard_id: int) -> None:
+        """Drop one shard's cached MBB (tree swapped or mutated)."""
+        self._mbb_cache.pop(shard_id, None)
 
     @property
     def shards(self) -> list["Shard"]:
@@ -132,11 +141,11 @@ class Router:
 
     def note_insert(self, shard: "Shard") -> None:
         """Invalidate ``shard``'s cached MBB after an insert."""
-        self._mbb_cache.pop(shard.shard_id, None)
+        self.invalidate(shard.shard_id)
 
     def note_delete(self, shard: "Shard") -> None:
         """Invalidate ``shard``'s cached MBB after a delete."""
-        self._mbb_cache.pop(shard.shard_id, None)
+        self.invalidate(shard.shard_id)
 
     # ------------------------------------------------------------ pruning
 

@@ -1334,6 +1334,92 @@ class ShardedIndex:
         finally:
             self.shards = current
 
+    def rebuild_with_pivots(
+        self,
+        pivots: Sequence[Any],
+        faults: Optional[FaultInjector] = None,
+    ) -> dict:
+        """Re-map the whole cluster onto a new pivot set, in place.
+
+        ``repro.tuning`` calls this when HFI objective drift shows the
+        pivot table has gone stale under mutations.  The pivot space and
+        SFC curve are swapped, every live object is re-mapped (one
+        |O| × |P| pass, like :meth:`build`), and the shard list is cut at
+        fresh population quantiles — then committed through the same
+        single-catalog-rename protocol as :meth:`rebalance`, so a crash
+        anywhere leaves either the old or the new cluster, never a
+        hybrid.  Shard count is preserved; shard ids are fresh.
+        """
+        if not pivots:
+            raise ValueError("need at least one pivot")
+        with self._lock.write():
+            old_shards = list(self.shards)
+            objects = [
+                obj
+                for shard in sorted(old_shards, key=lambda s: s.key_lo)
+                for obj in shard.tree.objects()
+            ]
+            if not objects:
+                raise ValueError("cannot re-pivot an empty cluster")
+            self.space = PivotSpace(
+                list(pivots),
+                self.distance,
+                self.space.d_plus,
+                self.space.delta,
+            )
+            self.curve = _CURVES[self._curve_name](
+                self.space.num_pivots, self.space.bits
+            )
+            keyed = sorted(
+                ((self.curve.encode(self.space.grid(o)), o) for o in objects),
+                key=lambda pair: pair[0],
+            )
+            bounds = self._split_bounds(keyed, max(1, len(old_shards)))
+            # Fresh donor build: ND_k corrections and the grid sample are
+            # pivot-dependent, so the old shards' statistics do not carry.
+            step = max(1, len(keyed) // 256)
+            sample = [obj for _, obj in keyed[::step]][:256]
+            donor = None
+            if len(sample) >= 2:
+                donor = SPBTree.build(
+                    sample,
+                    self.distance.metric,
+                    pivots=list(pivots),
+                    delta=self.space.delta,
+                    d_plus=self.space.d_plus,
+                    curve=self._curve_name,
+                    page_size=self._page_size,
+                    cache_pages=self._cache_pages,
+                    checksums=self._checksums,
+                )
+            new_shards: list[Shard] = []
+            start = 0
+            for i, lo in enumerate(bounds):
+                hi = (
+                    bounds[i + 1]
+                    if i + 1 < len(bounds)
+                    else self.curve.max_value
+                )
+                end = start
+                while end < len(keyed) and keyed[end][0] < hi:
+                    end += 1
+                tree = self._tree_from_items(keyed[start:end], stats_from=donor)
+                new_shards.append(Shard(self.next_shard_id, lo, hi, tree))
+                self.next_shard_id += 1
+                start = end
+            # The router prunes against the *new* pivot space; rebuild it
+            # before the swap installs the new shard list.
+            self.router = Router(self.space, self.curve)
+            self._commit_swap(old_shards, new_shards, faults)
+            if _obsreg.ENABLED:
+                _instruments.cluster().rebalances.labels(op="re-pivot").inc()
+            return {
+                "action": "re-pivot",
+                "pivots": len(self.space.pivots),
+                "new": [s.shard_id for s in new_shards],
+                "objects": len(objects),
+            }
+
     # ------------------------------------------------------------ auditing
 
     def verify(self, check_objects: bool = True) -> ClusterVerifyReport:

@@ -117,6 +117,30 @@ class CostModel:
         self.sample = self.tree.grid_sample
         self._node_boxes = self._collect_boxes()
 
+    @property
+    def calibration(self) -> dict:
+        """The fitted per-deployment constants, as a plain dict.
+
+        ``repro.tuning`` exports these from its online calibrator so a
+        model rebuilt after a rebalance starts from the fitted state
+        instead of cold defaults.
+        """
+        return {
+            "ndk_kind": self._ndk_kind,
+            "hom_scale": self._hom_scale,
+            "epa_scale": self._epa_scale,
+        }
+
+    def apply_calibration(self, calibration: dict) -> None:
+        """Adopt constants previously exported via :attr:`calibration`."""
+        kind = calibration.get("ndk_kind")
+        if kind in ("lb", "hom"):
+            self._ndk_kind = kind
+        if "hom_scale" in calibration:
+            self._hom_scale = float(calibration["hom_scale"])
+        if "epa_scale" in calibration:
+            self._epa_scale = float(calibration["epa_scale"])
+
     # ----------------------------------------------------------- calibration
 
     def _calibrate_probes(self, count: int) -> None:
@@ -269,29 +293,62 @@ class CostModel:
           distribution F with power-law tail extrapolation F(r) ∝ r^(2ρ)
           (query-insensitive), scaled by the probe-fitted constant.
         """
-        space = self.tree.space
         phi_q = self._phi(query)
         if self._ndk_kind == "lb":
-            radius = self._ndk_lower_bound(phi_q, k)
-            if radius <= 0:
-                radius = self._ndk_homogeneous(k) * self._hom_scale
+            radius = self._ndk_lb_monotone(phi_q, k)
         else:
             radius = self._ndk_homogeneous(k) * self._hom_scale
             if radius <= 0:
-                radius = self._ndk_lower_bound(phi_q, k)
+                radius = self._ndk_lb_monotone(phi_q, k)
         return max(radius, 0.0)
 
-    def _ndk_lower_bound(self, phi_q: Sequence[float], k: int) -> float:
+    def _ndk_lb_monotone(self, phi_q: Sequence[float], k: int) -> float:
+        """The "lb" estimate, projected monotone non-decreasing in k.
+
+        ND_k is non-decreasing by definition, but two things can locally
+        invert the raw estimate: the per-k correction measured at
+        construction can fall faster than the lower-bound quantile rises,
+        and the homogeneous fallback (used where the quantile is 0) need
+        not agree with the quantile it hands over to.  The projection
+        resolves both at once: evaluate the *fallback-resolved* estimate
+        at k and at every measured anchor above it (the sorted lower
+        bounds are computed once and shared), then take the min — a lower
+        envelope.  Lowering the violating small-k values beats raising
+        the large-k ones: the small-k probes are the noisy overshooting
+        side of the correction fit.
+        """
+        lbs = self._mapped_lower_bounds(phi_q)
+
+        def resolved(j: int) -> float:
+            value = self._ndk_lower_bound(phi_q, j, lbs)
+            if value <= 0:
+                value = self._ndk_homogeneous(j) * self._hom_scale
+            return value
+
+        anchors = [j for j in sorted(self.tree.ndk_corrections) if j > k]
+        values = [v for j in [k] + anchors if (v := resolved(j)) > 0]
+        return min(values) if values else 0.0
+
+    def _mapped_lower_bounds(self, phi_q: Sequence[float]) -> list[float]:
         space = self.tree.space
-        n = max(self.tree.object_count, 1)
         shift = 0.0 if space.exact else 0.5
-        lower_bounds = sorted(
+        return sorted(
             max(
                 abs((coord + shift) * space.delta - dq)
                 for coord, dq in zip(g, phi_q)
             )
             for g in self.sample
         )
+
+    def _ndk_lower_bound(
+        self,
+        phi_q: Sequence[float],
+        k: int,
+        lower_bounds: Optional[list[float]] = None,
+    ) -> float:
+        n = max(self.tree.object_count, 1)
+        if lower_bounds is None:
+            lower_bounds = self._mapped_lower_bounds(phi_q)
         position = _member_rank(k) * len(lower_bounds) / n
         lbq = _interpolated(lower_bounds, position)
         if lbq <= 0:

@@ -430,6 +430,71 @@ class FlightInstruments:
         )
 
 
+class TuningInstruments:
+    """Self-tuning loop: decisions taken, exploration, calibration error.
+
+    ``prediction_error`` is the calibrated cost models' median
+    |log(predicted/actual)| over the sliding observation window — the
+    gauge an operator watches to decide whether the advisor's choices can
+    be trusted.  Decision counters are labelled by kind (``traversal``,
+    ``buffer-resize``, ``queue-resize``, ``rebalance``, ``pivot-rebuild``)
+    so dashboards separate steady-state steering from rare maintenance.
+    """
+
+    __slots__ = (
+        "ticks",
+        "decisions",
+        "explorations",
+        "calibrations",
+        "prediction_error",
+        "arm_cost",
+        "buffer_capacity",
+        "queue_limit",
+    )
+
+    def __init__(self) -> None:
+        reg = get_registry()
+        self.ticks = reg.counter(
+            "repro_tuning_ticks_total",
+            "Tuner control-loop ticks executed.",
+        )
+        self.decisions = reg.counter(
+            "repro_tuning_decisions_total",
+            "Tuning decisions taken, by kind.",
+            labelnames=("kind",),
+        )
+        self.explorations = reg.counter(
+            "repro_tuning_explorations_total",
+            "Per-query traversal choices made by the epsilon-greedy "
+            "exploration floor rather than the learned policy.",
+        )
+        self.calibrations = reg.counter(
+            "repro_tuning_calibrations_total",
+            "Cost-model recalibrations (EDC/EPA scale refits) committed.",
+        )
+        self.prediction_error = reg.gauge(
+            "repro_tuning_prediction_error",
+            "Median |log(predicted/actual)| of the calibrated cost model "
+            "over the sliding window, per model (edc / epa).",
+            labelnames=("model",),
+        )
+        self.arm_cost = reg.gauge(
+            "repro_tuning_arm_cost",
+            "Learned EWMA cost (compdists + weighted page accesses) per "
+            "kNN traversal arm.",
+            labelnames=("traversal", "strategy"),
+        )
+        self.buffer_capacity = reg.gauge(
+            "repro_tuning_buffer_capacity",
+            "Buffer-pool capacity currently set by the tuner, per shard.",
+            labelnames=("shard",),
+        )
+        self.queue_limit = reg.gauge(
+            "repro_tuning_queue_limit",
+            "Admission-queue depth bound currently set by the tuner.",
+        )
+
+
 _buffer_pool: Optional[BufferPoolInstruments] = None
 _pagefile: Optional[PageFileInstruments] = None
 _wal: Optional[WalInstruments] = None
@@ -440,6 +505,7 @@ _supervisor: Optional[SupervisorInstruments] = None
 _net: Optional[NetInstruments] = None
 _trace: Optional[TraceInstruments] = None
 _flight: Optional[FlightInstruments] = None
+_tuning: Optional[TuningInstruments] = None
 
 
 def buffer_pool() -> BufferPoolInstruments:
@@ -512,6 +578,13 @@ def flight() -> FlightInstruments:
     return _flight
 
 
+def tuning() -> TuningInstruments:
+    global _tuning
+    if _tuning is None:
+        _tuning = TuningInstruments()
+    return _tuning
+
+
 def preregister() -> None:
     """Create every instrument bundle so the full metric schema is
     registered before any traffic (``repro.obs.enable`` calls this)."""
@@ -525,3 +598,4 @@ def preregister() -> None:
     net()
     trace()
     flight()
+    tuning()

@@ -151,6 +151,7 @@ class QueryEngine:
         trace_queries: bool = False,
         slow_log: Optional[SlowQueryLog] = None,
         flight: Optional[FlightRecorder] = None,
+        advisor: Any = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -174,6 +175,10 @@ class QueryEngine:
         #: Optional anomaly flight recorder: finished traced queries are
         #: rung in; degraded results and rejection bursts trigger dumps.
         self.flight = flight
+        #: Optional repro.tuning TraversalAdvisor: kNN submissions that do
+        #: not pin a traversal are routed through it.  None (the default)
+        #: keeps the dispatch byte-identical to the untuned engine.
+        self.advisor = advisor
         self._queue: queue.Queue = queue.Queue(maxsize=max_queue)
         self._threads: list[threading.Thread] = []
         self._started = False
@@ -260,6 +265,22 @@ class QueryEngine:
     def queue_depth(self) -> int:
         """Operations currently waiting in the admission queue."""
         return self._queue.qsize()
+
+    def resize_queue(self, max_queue: int) -> None:
+        """Change the admission-queue depth bound online.
+
+        Queued work is never dropped: shrinking below the current depth
+        only stops *new* admissions until the backlog drains under the
+        new bound.  The mutation happens under the queue's own mutex, and
+        waiters blocked on a full queue are re-woken so a grow takes
+        effect immediately.
+        """
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        q = self._queue
+        with q.mutex:
+            q.maxsize = max_queue
+            q.not_full.notify_all()
 
     def retry_after_hint_ms(self) -> float:
         """Suggested backoff for a rejected caller: roughly the time the
@@ -527,6 +548,11 @@ class QueryEngine:
         if kind == "range":
             return self.tree.range_query(*args, context=ctx)
         if kind == "knn":
+            # The advisor only sees kNN calls that left the traversal to
+            # the engine (query, k) — an explicit traversal argument is an
+            # operator decision and is honoured verbatim.
+            if self.advisor is not None and len(args) == 2:
+                return self.advisor.run_knn(self.tree, args[0], args[1], ctx)
             return self.tree.knn_query(*args, context=ctx)
         if kind == "count":
             return self.tree.range_count(*args, context=ctx)

@@ -1,0 +1,31 @@
+"""Cost-model-driven self-tuning: the EDC/EPA loop, closed online.
+
+The paper's cost models (eqs. 1–8) predict query cost from the union
+distance distribution; ``repro.core.costmodel`` implements them but the
+serving stack never consumed them.  This package does:
+
+* :class:`OnlineCalibrator` — fits the models' per-deployment constants
+  from observed (prediction, outcome) pairs and tracks prediction error;
+* :class:`TraversalAdvisor` — an epsilon-greedy per-query choice of kNN
+  traversal (incremental / greedy × best-first / broadcast), hooked into
+  :class:`repro.service.QueryEngine`;
+* :class:`Tuner` — the background control loop (supervisor-style tick +
+  journal) that recalibrates, adapts buffer-pool and admission-queue
+  sizes within bounds, splits hot shards when skew crosses the payoff
+  threshold, and schedules pivot re-selection when HFI's objective
+  drifts.
+
+Nothing here runs unless explicitly constructed: with tuning disabled
+the query path and its counters are bit-identical to the untuned build.
+"""
+
+from repro.tuning.advisor import TraversalAdvisor
+from repro.tuning.calibrate import OnlineCalibrator
+from repro.tuning.core import TUNING_JOURNAL, Tuner
+
+__all__ = [
+    "TUNING_JOURNAL",
+    "OnlineCalibrator",
+    "TraversalAdvisor",
+    "Tuner",
+]

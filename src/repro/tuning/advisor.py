@@ -1,0 +1,344 @@
+"""Per-query kNN traversal choice, learned online.
+
+The SPB-tree offers two kNN traversals (``incremental`` — optimal
+compdists, Lemma 4 — and ``greedy`` — optimal RAF page accesses), and the
+cluster adds a scatter axis (``best-first`` serial visits vs ``broadcast``
+fan-out).  Which combination is cheapest depends on the workload: k, the
+dataset's distance distribution, the shard layout, and how much the
+buffer pool absorbs.  The paper's cost models predict the *range-query*
+part of that cost well but cannot separate the traversal variants — so
+the advisor treats them as bandit arms.
+
+``TraversalAdvisor`` is an epsilon-greedy contextual bandit over
+(traversal, strategy) arms, bucketed by k.  Every advised query feeds
+back its observed compdists/page-accesses (and thread-CPU time) into
+per-arm EWMAs; the greedy choice minimises the counter cost, with
+counter-ties broken by a fixed dominance order rather than by timing
+(two arms can report identical counters yet differ in constant factors,
+and timing differences at tie margin are machine noise — see
+:meth:`TraversalAdvisor._select`).  With probability ``epsilon`` (the
+exploration floor) a non-greedy arm is replayed so the policy keeps
+learning as the workload drifts.  All randomness comes from one seeded
+generator — a replayed workload makes identical choices.
+
+The advisor never overrides an operator: only kNN submissions that leave
+the traversal to the engine (plain ``(query, k)``) are advised, and the
+chosen arm is passed through the exact public ``knn_query`` arguments a
+human would use — correctness is the tree's own (Hetland's region bounds
+hold under every arm), so a wrong choice costs time, never answers.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Any, Optional
+
+from repro.obs import instruments as _instruments
+from repro.obs import registry as _obsreg
+
+#: Arm axes.  A cluster (anything with a ``router``) exposes both axes;
+#: a single tree only the traversal axis (strategy ``None``).
+_TREE_ARMS = (("incremental", None), ("greedy", None))
+_CLUSTER_ARMS = (
+    ("incremental", "best-first"),
+    ("greedy", "best-first"),
+    ("incremental", "broadcast"),
+    ("greedy", "broadcast"),
+)
+
+#: k-bucket upper bounds: queries in the same bucket share arm statistics.
+_BUCKETS = (2, 8, 32)
+
+
+def _bucket(k: int) -> str:
+    for bound in _BUCKETS:
+        if k <= bound:
+            return f"k<={bound}"
+    return f"k>{_BUCKETS[-1]}"
+
+
+class _Choice:
+    """One advised decision, carried from :meth:`advise` to :meth:`observe`."""
+
+    __slots__ = ("traversal", "strategy", "bucket", "k", "explored", "query")
+
+    def __init__(self, traversal, strategy, bucket, k, explored, query):
+        self.traversal = traversal
+        self.strategy = strategy
+        self.bucket = bucket
+        self.k = k
+        self.explored = explored
+        #: The query object, carried so the calibrator can predict its
+        #: cost later, off the query path.
+        self.query = query
+
+
+class TraversalAdvisor:
+    """Epsilon-greedy kNN traversal policy with cost-model feedback."""
+
+    def __init__(
+        self,
+        calibrator: Any = None,
+        epsilon: float = 0.05,
+        seed: int = 17,
+        pa_weight: float = 1.0,
+        ewma_alpha: float = 0.3,
+        tie_margin: float = 0.05,
+        journal: Any = None,
+    ) -> None:
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError("epsilon must be in [0, 1]")
+        self.calibrator = calibrator
+        self.epsilon = epsilon
+        self.pa_weight = pa_weight
+        self.ewma_alpha = ewma_alpha
+        #: Arms whose counter cost is within this fraction of the best
+        #: are counter-ties; the lower observed wall time wins among
+        #: them.  Counters are the primary objective (the paper's cost
+        #: currency), but they cannot see constant-factor differences —
+        #: e.g. broadcast's scatter overhead when every shard ends up
+        #: visited anyway.
+        self.tie_margin = tie_margin
+        #: Optional EventJournal (attached by the Tuner); decisions are
+        #: journalled when present.  Entries are buffered in memory on
+        #: the query path and written by :meth:`flush_journal` (the
+        #: Tuner calls it every tick) — a synchronous JSONL append costs
+        #: more than the advisor's own bookkeeping and would tax every
+        #: advised query.
+        self.journal = journal
+        self._journal_buffer: list = []
+        self.rng = random.Random(seed)
+        self._lock = threading.Lock()
+        #: bucket -> {arm -> {"cost": EWMA or None, "n": count}}
+        self._stats: dict[str, dict[tuple, dict]] = {}
+        self._best: dict[str, tuple] = {}
+        self.decisions = 0
+        self.explorations = 0
+
+    # ------------------------------------------------------------- choosing
+
+    @staticmethod
+    def arms_for(tree: Any) -> tuple:
+        return _CLUSTER_ARMS if hasattr(tree, "router") else _TREE_ARMS
+
+    def _select(self, stats: dict) -> tuple:
+        """Greedy arm: lowest counter cost, dominance breaking ties.
+
+        Arms whose costs are within ``tie_margin`` of the best are
+        counter-ties — the counters cannot separate them, and any timing
+        signal at that margin is machine noise.  Ties fall back to the
+        arm declaration order, which encodes a dominance argument rather
+        than a measurement: best-first's shard visits are a subset of
+        broadcast's (it may stop early, never do more), and incremental
+        is compdist-optimal (Lemma 4), so on equal counters the earlier
+        arm cannot be doing more work than the later one.
+
+        Caller holds the lock; every arm in ``stats`` has been visited
+        (insertion order of ``stats`` is the declaration order).
+        """
+        order = list(stats)
+        best_cost = min(s["cost"] for s in stats.values())
+        threshold = best_cost * (1.0 + self.tie_margin)
+        near = [a for a, s in stats.items() if s["cost"] <= threshold]
+        return min(near, key=order.index)
+
+    def advise(self, tree: Any, query: Any, k: int, trace=None) -> _Choice:
+        """Pick an arm for one kNN query (no side effects on counters)."""
+        arms = self.arms_for(tree)
+        bucket = _bucket(k)
+        with self._lock:
+            stats = self._stats.setdefault(
+                bucket,
+                {arm: {"cost": None, "ms": None, "n": 0} for arm in arms},
+            )
+            unvisited = [arm for arm in arms if stats[arm]["n"] == 0]
+            if unvisited:
+                # Deterministic coverage: visit every arm once before
+                # trusting any comparison between them.
+                arm, explored = unvisited[0], True
+            elif self.rng.random() < self.epsilon:
+                arm, explored = arms[self.rng.randrange(len(arms))], True
+            else:
+                arm = self._select(stats)
+                explored = False
+            self.decisions += 1
+            if explored:
+                self.explorations += 1
+        if _obsreg.ENABLED:
+            bundle = _instruments.tuning()
+            bundle.decisions.labels(kind="traversal").inc()
+            if explored:
+                bundle.explorations.inc()
+        if trace is not None:
+            name = f"advise:{arm[0]}" + (f":{arm[1]}" if arm[1] else "")
+            trace.span(name).bump("explored", 1 if explored else 0)
+        return _Choice(arm[0], arm[1], bucket, k, explored, query)
+
+    # ------------------------------------------------------------- feedback
+
+    def observe(
+        self,
+        choice: _Choice,
+        compdists: int,
+        page_accesses: int,
+        elapsed: float,
+        request_id: Optional[str] = None,
+    ) -> None:
+        """Feed one advised query's observed cost back into the policy."""
+        cost = compdists + self.pa_weight * page_accesses
+        arm = (choice.traversal, choice.strategy)
+        policy_changed = None
+        with self._lock:
+            stats = self._stats.get(choice.bucket)
+            if stats is None or arm not in stats:
+                return
+            entry = stats[arm]
+            entry["n"] += 1
+            ms = elapsed * 1000.0
+            if entry["cost"] is None:
+                entry["cost"] = float(cost)
+                entry["ms"] = ms
+            else:
+                a = self.ewma_alpha
+                entry["cost"] = (1 - a) * entry["cost"] + a * cost
+                entry["ms"] = (1 - a) * entry["ms"] + a * ms
+            visited = {a: s for a, s in stats.items() if s["cost"] is not None}
+            if len(visited) == len(stats):
+                best = self._select(stats)
+                if self._best.get(choice.bucket) != best:
+                    self._best[choice.bucket] = best
+                    policy_changed = best
+            ewma = entry["cost"]
+        if _obsreg.ENABLED:
+            _instruments.tuning().arm_cost.labels(
+                traversal=choice.traversal, strategy=str(choice.strategy)
+            ).set(ewma)
+        if self.calibrator is not None:
+            try:
+                self.calibrator.observe_query(
+                    choice.query, choice.k, compdists, page_accesses, elapsed
+                )
+            except Exception:
+                pass
+        if self.journal is not None:
+            detail = {
+                "traversal": choice.traversal,
+                "strategy": choice.strategy,
+                "k": choice.k,
+                "bucket": choice.bucket,
+                "explored": choice.explored,
+                "compdists": compdists,
+                "page_accesses": page_accesses,
+                "elapsed_ms": round(elapsed * 1000.0, 3),
+            }
+            with self._lock:
+                self._journal_buffer.append(
+                    ("traversal", detail, request_id)
+                )
+                if policy_changed is not None:
+                    self._journal_buffer.append(
+                        (
+                            "policy",
+                            {
+                                "bucket": choice.bucket,
+                                "traversal": policy_changed[0],
+                                "strategy": policy_changed[1],
+                            },
+                            None,
+                        )
+                    )
+
+    def flush_journal(self) -> int:
+        """Write buffered decision entries to the journal; returns the
+        number written.  Called by the Tuner's tick (and close)."""
+        if self.journal is None:
+            return 0
+        with self._lock:
+            buffered, self._journal_buffer = self._journal_buffer, []
+        for event, detail, request_id in buffered:
+            self.journal.record(event, detail=detail, request_id=request_id)
+        return len(buffered)
+
+    # ------------------------------------------------------------ execution
+
+    def run_knn(self, tree: Any, query: Any, k: int, ctx: Any) -> Any:
+        """Advise, run through the public ``knn_query``, observe.
+
+        This is the :class:`repro.service.QueryEngine` hook: the context's
+        per-attempt counters measure exactly the advised execution (the
+        engine resets them before each attempt), so the feedback is the
+        same number the experiment harnesses report.
+        """
+        choice = self.advise(
+            tree, query, k, trace=getattr(ctx, "trace", None)
+        )
+        # Thread CPU time, not wall: the executing thread's own cost is
+        # what separates counter-tied arms, and it is immune to scheduler
+        # preemption and (virtualised) steal time that would otherwise
+        # randomise the tie-break.
+        started = time.thread_time()
+        if choice.strategy is not None:
+            result = tree.knn_query(
+                query,
+                k,
+                traversal=choice.traversal,
+                context=ctx,
+                strategy=choice.strategy,
+            )
+        else:
+            result = tree.knn_query(
+                query, k, traversal=choice.traversal, context=ctx
+            )
+        elapsed = time.thread_time() - started
+        self.observe(
+            choice,
+            getattr(ctx, "compdists", 0),
+            getattr(ctx, "page_accesses", 0),
+            elapsed,
+            request_id=getattr(ctx, "request_id", None),
+        )
+        return result
+
+    # -------------------------------------------------------------- surface
+
+    def policy(self) -> dict:
+        """The current greedy arm per bucket (only fully-explored buckets)."""
+        with self._lock:
+            out = {}
+            for bucket, arm in sorted(self._best.items()):
+                out[bucket] = {"traversal": arm[0], "strategy": arm[1]}
+            return out
+
+    def status(self) -> dict:
+        with self._lock:
+            arms = {
+                bucket: {
+                    f"{arm[0]}" + (f"/{arm[1]}" if arm[1] else ""): {
+                        "n": entry["n"],
+                        "cost": (
+                            round(entry["cost"], 2)
+                            if entry["cost"] is not None
+                            else None
+                        ),
+                        "ms": (
+                            round(entry["ms"], 3)
+                            if entry["ms"] is not None
+                            else None
+                        ),
+                    }
+                    for arm, entry in stats.items()
+                }
+                for bucket, stats in sorted(self._stats.items())
+            }
+            return {
+                "epsilon": self.epsilon,
+                "decisions": self.decisions,
+                "explorations": self.explorations,
+                "policy": {
+                    bucket: {"traversal": arm[0], "strategy": arm[1]}
+                    for bucket, arm in sorted(self._best.items())
+                },
+                "arms": arms,
+            }

@@ -572,3 +572,74 @@ class TestClusterVerify:
         report = loaded.verify()
         assert not report.ok
         assert any("not covered" in e or "outside" in e for e in report.errors)
+
+
+# --------------------------------------------------------------------------
+# Router MBB cache staleness (regression): a rebalance swaps trees, so any
+# box cached before it must be unconditionally dropped, never filtered.
+
+
+class TestRouterCacheInvalidation:
+    def test_rebalance_drops_every_cached_mbb(
+        self, small_words, edit, tmp_path
+    ):
+        directory = str(tmp_path / "mbbcache")
+        cluster = ShardedIndex.build(
+            small_words, edit, shards=3, num_pivots=3, seed=1
+        )
+        cluster.save(directory)
+        cluster = ShardedIndex.load(directory, edit)
+        router = cluster.router
+        for shard in cluster.shards:
+            router.mbb(shard)  # prime the cache
+        assert len(router._mbb_cache) == cluster.num_shards
+        fattest = max(cluster.shards, key=lambda s: s.tree.object_count)
+        dropped = fattest.shard_id
+        cluster.rebalance(split=dropped)
+        assert router._mbb_cache == {}
+        live = {s.shard_id for s in cluster.shards}
+        assert dropped not in live
+        # Re-priming only ever consults live shards.
+        for shard in cluster.shards:
+            router.mbb(shard)
+        assert set(router._mbb_cache) == live
+
+    def test_post_rebalance_query_ignores_poisoned_cache(
+        self, small_words, edit, tmp_path, word_tree
+    ):
+        """A wrong cached box would let Lemma 1 prune a live shard; after
+        a rebalance no pre-rebalance cache entry may survive to do so."""
+        directory = str(tmp_path / "poison")
+        cluster = ShardedIndex.build(
+            small_words, edit, shards=3, num_pivots=3, seed=1
+        )
+        cluster.save(directory)
+        cluster = ShardedIndex.load(directory, edit)
+        router = cluster.router
+        # Poison every entry with an impossible one-cell box: were any
+        # entry consulted after the rebalance, Lemma 1 would mis-prune.
+        top = cluster.space.cells - 1
+        poison = ((top,) * cluster.space.num_pivots,) * 2
+        for shard in cluster.shards:
+            router._mbb_cache[shard.shard_id] = poison
+        fattest = max(cluster.shards, key=lambda s: s.tree.object_count)
+        cluster.rebalance(split=fattest.shard_id)
+        for q in small_words[::53]:
+            assert set(cluster.range_query(q, 2)) == set(
+                word_tree.range_query(q, 2)
+            )
+            assert [d for d, _ in cluster.knn_query(q, 5)] == [
+                d for d, _ in word_tree.knn_query(q, 5)
+            ]
+
+    def test_invalidate_drops_one_entry(self, small_words, edit):
+        cluster = ShardedIndex.build(
+            small_words, edit, shards=3, num_pivots=3, seed=1
+        )
+        router = cluster.router
+        for shard in cluster.shards:
+            router.mbb(shard)
+        victim = cluster.shards[0].shard_id
+        router.invalidate(victim)
+        assert victim not in router._mbb_cache
+        assert len(router._mbb_cache) == cluster.num_shards - 1
